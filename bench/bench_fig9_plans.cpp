@@ -1,0 +1,46 @@
+// Reproduces Fig. 9: the suboptimal and optimal plans for the Small network.
+//
+// Scenario B (a single 100 cutpoint) yields the 10-action plan that forwards
+// the raw M stream over the LAN links (reserving 100 units there); scenarios
+// C/D/E yield the 13-action plan that splits at the server and reserves only
+// Z + I = 65 units of LAN bandwidth.
+#include <cstdio>
+
+#include "core/planner.hpp"
+#include "domains/media.hpp"
+#include "model/compile.hpp"
+#include "sim/executor.hpp"
+
+namespace {
+
+using namespace sekitei;
+
+void run(char sc, const char* label) {
+  auto inst = domains::media::small();
+  auto cp = model::compile(inst->problem, domains::media::scenario(sc));
+  core::Sekitei planner(cp);
+  sim::Executor exec(cp);
+  auto r = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+  if (!r.ok()) {
+    std::printf("%s: no plan (%s)\n", label, r.failure.c_str());
+    return;
+  }
+  auto rep = exec.execute(*r.plan);
+  std::printf("%s — %zu actions, cost lower bound %.2f, realized cost %.2f,\n"
+              "reserved LAN bandwidth %.1f, reserved WAN bandwidth %.1f\n",
+              label, r.plan->size(), r.plan->cost_lb, rep.actual_cost,
+              rep.max_reserved(net::LinkClass::Lan), rep.max_reserved(net::LinkClass::Wan));
+  std::printf("%s\n", r.plan->str(cp).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 9: suboptimal vs optimal plans for the Small network\n\n");
+  run('B', "scenario B (suboptimal: forwards the raw M stream)");
+  run('C', "scenario C (optimal: splits at the server)");
+  std::printf("paper reference: 10 actions / cost 72 / LAN 100  vs  13 actions / cost 63 /\n"
+              "LAN 65; the ideal (reversible-function) deployment would need only\n"
+              "27 + 31.5 = 58.5 LAN units — see bench_level_granularity for that gap.\n");
+  return 0;
+}

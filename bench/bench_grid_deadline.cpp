@@ -1,0 +1,64 @@
+// Grid workflow deadline sweep (the Section 1 claim: "the modified Sekitei
+// planner is capable of deploying the task graph scenario ... in a way that
+// minimizes resource consumption while meeting specified deadline goals").
+//
+// Sweeps the portal deadline and reports, per deadline: feasibility, which
+// replica the plan fetches, the delivered result volume, the realized
+// completion latency and the plan cost.  The replica flip and the
+// infeasibility frontier are the series of interest.
+#include <cstdio>
+
+#include "core/planner.hpp"
+#include "domains/grid.hpp"
+#include "model/compile.hpp"
+#include "sim/executor.hpp"
+
+int main() {
+  using namespace sekitei;
+
+  std::printf("Grid workflow: deadline vs deployment shape\n");
+  std::printf("%9s | %8s | %8s | %9s | %9s | %9s\n", "deadline", "plan", "replica",
+              "Out.size", "Out.lat", "cost lb");
+
+  for (double deadline : {10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 50.0, 60.0, 80.0}) {
+    domains::grid::Params p;
+    p.deadline = deadline;
+    auto inst = domains::grid::two_cluster(p);
+    auto cp = model::compile(inst->problem, domains::grid::scenario(p));
+    core::Sekitei planner(cp);
+    sim::Executor exec(cp);
+    auto r = planner.plan([&](const core::Plan& pl) { return exec.execute(pl).feasible; });
+    if (!r.ok()) {
+      std::printf("%9.0f | %8s | %8s | %9s | %9s | %9s\n", deadline, "none", "-", "-", "-", "-");
+      continue;
+    }
+    bool far = false, near = false;
+    for (ActionId a : r.plan->steps) {
+      const model::GroundAction& act = cp.actions[a.index()];
+      if (act.kind == model::ActionKind::Cross && cp.iface_names[act.spec_index] == "Raw") {
+        far = far || act.node == inst->storage_far;
+        near = near || act.node == inst->storage_near;
+      }
+    }
+    auto rep = exec.execute(*r.plan);
+    double out_size = 0, out_lat = 0;
+    for (const auto& [var, val] : rep.final_vars) {
+      const model::VarKey& k = cp.vars.key(var);
+      if (k.kind != model::VarKind::IfaceProp || cp.iface_names[k.a] != "Out" ||
+          NodeId(k.b) != inst->portal) {
+        continue;
+      }
+      const std::string& prop = cp.names.str(NameId(k.c));
+      if (prop == "size") out_size = val;
+      if (prop == "lat") out_lat = val;
+    }
+    std::printf("%9.0f | %8zu | %8s | %9.2f | %9.2f | %9.2f\n", deadline, r.plan->size(),
+                far ? "far" : (near ? "near" : "?"), out_size, out_lat, r.plan->cost_lb);
+  }
+
+  std::printf("\nexpected shape: infeasible below the fast replica's minimum completion\n"
+              "time; the fast-but-remote replica wins at tight deadlines; the cheap\n"
+              "near replica takes over once the deadline tolerates its slow link; the\n"
+              "delivered volume never shrinks as the deadline loosens.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Level-granularity ablation (Section 4.2's closing observation):
+//
+//   "The best quality of a solution would be achieved if the bandwidth of
+//    the media stream is cut at two points exactly around 90.  Obtaining
+//    such values automatically requires reversibility of resource functions.
+//    Scenario C approximates the ideal values: it selects the optimal
+//    configuration, but requires slightly more resources than absolutely
+//    necessary (the bandwidth required on LAN links is 65 instead of the
+//    optimal 58.5)."
+//
+// We sweep the upper cutpoint of the demand level [90, x) downward toward
+// 90: the closer the expert's cut brackets the demand, the closer the
+// reserved LAN bandwidth falls to the ideal 58.5.
+#include <cstdio>
+
+#include "core/planner.hpp"
+#include "domains/media.hpp"
+#include "model/compile.hpp"
+#include "sim/executor.hpp"
+
+int main() {
+  using namespace sekitei;
+
+  std::printf("Level granularity vs solution quality (Small network)\n");
+  std::printf("%18s | %7s | %12s | %12s | %s\n", "M cutpoints", "steps", "reserved LAN",
+              "ideal LAN", "overhead");
+
+  const double ideal = 58.5;  // 0.65 * 90, the reversible-functions optimum
+  for (double upper : {200.0, 150.0, 120.0, 100.0, 95.0, 91.0, 90.1}) {
+    auto inst = domains::media::small();
+    auto cp = model::compile(inst->problem,
+                             domains::media::scenario_with_cuts({90.0, upper}));
+    core::Sekitei planner(cp);
+    sim::Executor exec(cp);
+    auto r = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+    if (!r.ok()) {
+      std::printf("      {90, %6.1f} | no plan (%s)\n", upper, r.failure.c_str());
+      continue;
+    }
+    auto rep = exec.execute(*r.plan);
+    const double lan = rep.max_reserved(net::LinkClass::Lan);
+    std::printf("      {90, %6.1f} | %7zu | %12.2f | %12.1f | %+6.1f%%\n", upper,
+                r.plan->size(), lan, ideal, 100.0 * (lan - ideal) / ideal);
+  }
+
+  std::printf("\npaper reference: scenario C (cuts {90,100}) reserves 65 LAN units — an\n"
+              "11%% overhead over the ideal 58.5; tightening the cut toward 90 closes\n"
+              "the gap without any reversibility assumption.\n");
+  return 0;
+}

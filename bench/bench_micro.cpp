@@ -1,0 +1,126 @@
+// Microbenchmarks (google-benchmark) for the planner's hot paths: expression
+// evaluation, interval evaluation, plan-tail replay, problem leveling, and
+// the PLRG/SLRG construction.  These guard the constant factors behind
+// Table 2's planning-time column.
+#include <benchmark/benchmark.h>
+
+#include "core/planner.hpp"
+#include "core/plrg.hpp"
+#include "core/replay.hpp"
+#include "core/slrg.hpp"
+#include "domains/media.hpp"
+#include "expr/parser.hpp"
+#include "expr/program.hpp"
+#include "model/compile.hpp"
+
+namespace {
+
+using namespace sekitei;
+
+expr::Program compile_expr(const std::string& src) {
+  std::map<std::string, std::uint32_t> slots;
+  auto resolve = [&](const expr::RoleRef& r) -> std::uint32_t {
+    auto k = r.str();
+    auto it = slots.find(k);
+    if (it != slots.end()) return it->second;
+    const std::uint32_t s = static_cast<std::uint32_t>(slots.size());
+    slots.emplace(k, s);
+    return s;
+  };
+  auto ast = expr::parse_expr_string(src);
+  return expr::Program::compile(*ast, resolve);
+}
+
+void BM_ExprScalarEval(benchmark::State& state) {
+  expr::Program p = compile_expr("min(M.ibw, link.lbw) + (T.ibw + I.ibw) / 5 - Z.ibw / 10");
+  const double slots[] = {100, 70, 63, 27, 31.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.eval(slots));
+  }
+}
+BENCHMARK(BM_ExprScalarEval);
+
+void BM_ExprIntervalEval(benchmark::State& state) {
+  expr::Program p = compile_expr("min(M.ibw, link.lbw) + (T.ibw + I.ibw) / 5 - Z.ibw / 10");
+  const Interval slots[] = {{90, 100, true}, {0, 70}, {63, 70, true}, {27, 30, true},
+                            {31.5, 35, true}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.eval_interval(slots));
+  }
+}
+BENCHMARK(BM_ExprIntervalEval);
+
+void BM_TableEval(benchmark::State& state) {
+  expr::Program p = compile_expr("table(M.ibw; 0:0, 40:2, 80:6, 120:14, 200:30)");
+  double x = 0;
+  for (auto _ : state) {
+    const double slots[] = {x};
+    benchmark::DoNotOptimize(p.eval(slots));
+    x = x < 200 ? x + 1 : 0;
+  }
+}
+BENCHMARK(BM_TableEval);
+
+void BM_CompileTiny(benchmark::State& state) {
+  auto inst = domains::media::tiny();
+  const auto scenario = domains::media::scenario('C');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::compile(inst->problem, scenario));
+  }
+}
+BENCHMARK(BM_CompileTiny);
+
+void BM_CompileLarge(benchmark::State& state) {
+  auto inst = domains::media::large();
+  const auto scenario = domains::media::scenario(static_cast<char>('B' + state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::compile(inst->problem, scenario));
+  }
+  state.SetLabel(std::string("scenario ") + static_cast<char>('B' + state.range(0)));
+}
+BENCHMARK(BM_CompileLarge)->DenseRange(0, 3);
+
+void BM_ReplayPlanTail(benchmark::State& state) {
+  auto inst = domains::media::small();
+  auto cp = model::compile(inst->problem, domains::media::scenario('C'));
+  core::Sekitei planner(cp);
+  auto r = planner.plan();
+  if (!r.ok()) {
+    state.SkipWithError("no plan");
+    return;
+  }
+  core::Replayer replayer(cp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        replayer.replay(r.plan->steps, /*from_init=*/true, core::ReplayMode::Optimistic));
+  }
+}
+BENCHMARK(BM_ReplayPlanTail);
+
+void BM_PlrgBuild(benchmark::State& state) {
+  auto inst = domains::media::large();
+  auto cp = model::compile(inst->problem, domains::media::scenario('C'));
+  const core::CostFn cost = [&cp](ActionId a) { return cp.actions[a.index()].cost_lb; };
+  for (auto _ : state) {
+    core::Plrg plrg(cp, cost);
+    plrg.build(cp.goal_prop);
+    benchmark::DoNotOptimize(plrg.cost(cp.goal_prop));
+  }
+}
+BENCHMARK(BM_PlrgBuild);
+
+void BM_EndToEndPlanSmall(benchmark::State& state) {
+  auto inst = domains::media::small();
+  const auto scenario = domains::media::scenario('C');
+  for (auto _ : state) {
+    auto cp = model::compile(inst->problem, scenario);
+    core::Sekitei planner(cp);
+    auto r = planner.plan();
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_EndToEndPlanSmall)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

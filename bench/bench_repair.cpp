@@ -1,0 +1,78 @@
+// Repair vs redeploy (the Section 6 extension): after each possible single
+// link failure on the diamond network, compare the cost/length of a repair
+// plan (reusing the surviving deployment at reconnect/migrate discounts)
+// against planning from scratch on the damaged network.
+#include <cstdio>
+
+#include "core/planner.hpp"
+#include "domains/media.hpp"
+#include "model/compile.hpp"
+#include "repair/repair.hpp"
+#include "sim/executor.hpp"
+
+int main() {
+  using namespace sekitei;
+
+  auto inst = domains::media::diamond();
+  auto cp = model::compile(inst->problem, domains::media::scenario('C'));
+  core::Sekitei planner(cp);
+  sim::Executor exec(cp);
+  auto original = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+  if (!original.ok()) {
+    std::printf("no original plan: %s\n", original.failure.c_str());
+    return 1;
+  }
+  auto rep = exec.execute(*original.plan);
+  std::printf("original deployment: %zu actions, cost lower bound %.2f\n\n",
+              original.plan->size(), original.plan->cost_lb);
+  std::printf("%12s | %16s | %16s | %9s\n", "failed link", "repair (n, cost)",
+              "scratch (n, cost)", "saving");
+
+  for (LinkId l : inst->net.link_ids()) {
+    const net::Link& link = inst->net.link(l);
+    const std::string name = inst->net.node(link.a).name + "-" + inst->net.node(link.b).name;
+    repair::Damage dmg;
+    dmg.failed_links.push_back(l);
+
+    auto survivors = repair::compute_survivors(cp, *original.plan, rep.choices, dmg);
+    net::Network damaged = repair::damaged_copy(inst->net, dmg, &survivors.residual);
+    model::CppProblem rp = repair::repair_problem(inst->problem, damaged, survivors);
+    auto rcp = model::compile(rp, domains::media::scenario('C'));
+    repair::apply_adaptation_costs(rcp, survivors, {});
+    core::Sekitei rplanner(rcp);
+    sim::Executor rexec(rcp);
+    auto rr = rplanner.plan([&](const core::Plan& p) { return rexec.execute(p).feasible; });
+
+    net::Network bare = repair::damaged_copy(inst->net, dmg);
+    model::CppProblem sp = inst->problem;
+    sp.network = &bare;
+    auto scp = model::compile(sp, domains::media::scenario('C'));
+    core::Sekitei splanner(scp);
+    sim::Executor sexec(scp);
+    auto sr = splanner.plan([&](const core::Plan& p) { return sexec.execute(p).feasible; });
+
+    char rbuf[32], sbuf[32], save[16];
+    if (rr.ok()) {
+      std::snprintf(rbuf, sizeof rbuf, "%zu, %.2f", rr.plan->size(), rr.plan->cost_lb);
+    } else {
+      std::snprintf(rbuf, sizeof rbuf, "none");
+    }
+    if (sr.ok()) {
+      std::snprintf(sbuf, sizeof sbuf, "%zu, %.2f", sr.plan->size(), sr.plan->cost_lb);
+    } else {
+      std::snprintf(sbuf, sizeof sbuf, "none");
+    }
+    if (rr.ok() && sr.ok()) {
+      std::snprintf(save, sizeof save, "%.0f%%", 100.0 * (1 - rr.plan->cost_lb / sr.plan->cost_lb));
+    } else {
+      std::snprintf(save, sizeof save, "-");
+    }
+    std::printf("%12s | %16s | %16s | %9s\n", name.c_str(), rbuf, sbuf, save);
+  }
+
+  std::printf("\nexpected shape: failures on the used route are repaired by rerouting\n"
+              "over the backup at a fraction of the redeployment cost; failures on\n"
+              "unused links cost (nearly) nothing; reconnecting a surviving component\n"
+              "is cheaper than migrating it, which is cheaper than a fresh install.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces Table 2 ("Scalability evaluation") of the paper: for each of
+// the three networks (Tiny / Small / Large) and each level scenario B-E,
+// the quality of the solution (cost lower bound, plan length, reserved LAN
+// bandwidth) and the work done by the planner (leveled action count, graph
+// sizes, planning time).  Scenario A (the greedy original Sekitei) is also
+// run on every network to demonstrate that it finds no plan.
+//
+// Times are wall-clock on the current machine; the paper's were measured in
+// 2004 — compare shapes, not milliseconds (see EXPERIMENTS.md).
+#include <cstdio>
+#include <memory>
+
+#include "core/planner.hpp"
+#include "domains/media.hpp"
+#include "model/compile.hpp"
+#include "sim/executor.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace sekitei;
+
+void run_row(const domains::media::Instance& inst, char sc_name, bool has_lan) {
+  Stopwatch total;
+  auto cp = model::compile(inst.problem, domains::media::scenario(sc_name));
+
+  core::PlannerOptions opt;
+  if (sc_name == 'A') opt.mode = core::PlannerOptions::Mode::Greedy;
+  core::Sekitei planner(cp, opt);
+  sim::Executor exec(cp);
+  auto r = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+  const double total_ms = total.elapsed_ms();
+
+  if (!r.ok()) {
+    std::printf("  %c | %11s | %7s | %8s | %7llu | %6llu/%-6llu | %7llu | %8llu/%-8llu | %7.0f/%-7.0f\n",
+                sc_name, "no plan", "-", "-", (unsigned long long)r.stats.total_actions,
+                (unsigned long long)r.stats.plrg_props, (unsigned long long)r.stats.plrg_actions,
+                (unsigned long long)r.stats.slrg_sets, (unsigned long long)r.stats.rg_nodes,
+                (unsigned long long)r.stats.rg_open_left, total_ms, r.stats.time_search_ms);
+    return;
+  }
+  auto rep = exec.execute(*r.plan);
+  char lan_buf[32];
+  if (has_lan && rep.feasible) {
+    std::snprintf(lan_buf, sizeof lan_buf, "%.0f", rep.max_reserved(net::LinkClass::Lan));
+  } else {
+    std::snprintf(lan_buf, sizeof lan_buf, "N/A");
+  }
+  std::printf("  %c | %11.2f | %7zu | %8s | %7llu | %6llu/%-6llu | %7llu | %8llu/%-8llu | %7.0f/%-7.0f\n",
+              sc_name, r.plan->cost_lb, r.plan->size(), lan_buf,
+              (unsigned long long)r.stats.total_actions,
+              (unsigned long long)r.stats.plrg_props, (unsigned long long)r.stats.plrg_actions,
+              (unsigned long long)r.stats.slrg_sets, (unsigned long long)r.stats.rg_nodes,
+              (unsigned long long)r.stats.rg_open_left, total_ms, r.stats.time_search_ms);
+}
+
+void run_network(const char* name, const domains::media::Instance& inst, bool has_lan) {
+  std::printf("%s (%zu nodes, %zu links)\n", name, inst.net.node_count(),
+              inst.net.link_count());
+  for (char sc : {'A', 'B', 'C', 'D', 'E'}) run_row(inst, sc, has_lan);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 2: Scalability evaluation (reproduction)\n");
+  std::printf("columns: scenario | cost lower bound | actions in plan | reserved LAN bw |"
+              " total actions | PLRG p/a | SLRG sets | RG nodes/queued | time ms total/search\n\n");
+
+  run_network("Tiny", *domains::media::tiny(), /*has_lan=*/false);
+  std::printf("\n");
+  run_network("Small", *domains::media::small(), /*has_lan=*/true);
+  std::printf("\n");
+  run_network("Large", *domains::media::large(), /*has_lan=*/true);
+
+  std::printf("\npaper reference (Table 2):\n");
+  std::printf("  Tiny : B 7/7, C 42/7, D 42/7, E 42/7 (lower bound/actions); A finds no plan\n");
+  std::printf("  Small: B 10/10 LAN 100, C 63/13 LAN 65, D 63/13 LAN 65, E 63/13 LAN 65\n");
+  std::printf("  Large: B 11/11 LAN 100, C 63/13 LAN 65, D 63/13 LAN 65, E 63/13 LAN 65\n");
+  return 0;
+}

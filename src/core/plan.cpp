@@ -1,0 +1,17 @@
+#include "core/plan.hpp"
+
+#include <sstream>
+
+namespace sekitei::core {
+
+std::string Plan::str(const model::CompiledProblem& cp) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    os << (i + 1) << ". " << cp.describe(steps[i]) << "  (cost >= "
+       << cp.actions[steps[i].index()].cost_lb << ")\n";
+  }
+  os << "total cost lower bound: " << cost_lb << "\n";
+  return os.str();
+}
+
+}  // namespace sekitei::core

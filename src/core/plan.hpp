@@ -1,0 +1,25 @@
+// Deployment plans: a totally ordered sequence of ground actions, first
+// action executed first (Fig. 4 of the paper is exactly such a listing).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/compile.hpp"
+#include "support/ids.hpp"
+
+namespace sekitei::core {
+
+struct Plan {
+  std::vector<ActionId> steps;  // execution order
+  /// Sum of the steps' leveled cost lower bounds — the paper's "lower bound
+  /// on cost" (Table 2, column 2).
+  double cost_lb = 0.0;
+
+  [[nodiscard]] std::size_t size() const { return steps.size(); }
+
+  /// Multi-line rendering in the style of Fig. 4.
+  [[nodiscard]] std::string str(const model::CompiledProblem& cp) const;
+};
+
+}  // namespace sekitei::core

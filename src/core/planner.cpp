@@ -1,0 +1,70 @@
+#include "core/planner.hpp"
+
+#include "core/plrg.hpp"
+#include "core/rg.hpp"
+#include "core/slrg.hpp"
+#include "support/timer.hpp"
+
+namespace sekitei::core {
+
+Sekitei::Sekitei(const model::CompiledProblem& cp, PlannerOptions options)
+    : cp_(cp), options_(options) {}
+
+PlanResult Sekitei::plan(const std::function<bool(const Plan&)>& validate) {
+  PlanResult result;
+  result.stats.total_actions = cp_.actions.size();
+  Stopwatch watch;
+
+  const CostFn cost = options_.mode == PlannerOptions::Mode::Greedy
+                          ? CostFn([](ActionId) { return 1.0; })
+                          : CostFn([this](ActionId a) { return cp_.actions[a.index()].cost_lb; });
+
+  // Phase 1: per-proposition logical regression graph (all goals at once).
+  Plrg plrg(cp_, cost);
+  plrg.build(std::span<const PropId>(cp_.goal_props));
+  result.stats.plrg_props = plrg.prop_nodes();
+  result.stats.plrg_actions = plrg.action_nodes();
+  for (PropId g : cp_.goal_props) {
+    if (!plrg.reachable(g)) {
+      result.stats.logically_unreachable = true;
+      result.stats.time_search_ms = watch.elapsed_ms();
+      result.failure = "goal " + cp_.describe(g) + " is logically unreachable";
+      return result;
+    }
+  }
+
+  // Phase 2: set costs (the memoized SLRG oracle).
+  const std::vector<PropId>& goal_set = cp_.goal_props;
+  Slrg slrg(cp_, plrg, cost, {options_.max_slrg_sets});
+  const double logical_cost = slrg.c_logical(goal_set);
+  if (logical_cost == kInf) {
+    result.stats.slrg_sets = slrg.set_count();
+    result.stats.logically_unreachable = true;
+    result.stats.time_search_ms = watch.elapsed_ms();
+    result.failure = "no logically consistent action sequence reaches the goal";
+    return result;
+  }
+
+  // Phase 3: the main regression graph with optimistic-map replay.
+  Rg rg(cp_, slrg, plrg, cost);
+  Rg::Options rg_opts;
+  rg_opts.max_expansions = options_.max_rg_expansions;
+  rg_opts.forbid_repeated_actions = options_.forbid_repeated_actions;
+  rg_opts.replay_mode = options_.mode == PlannerOptions::Mode::Greedy ? ReplayMode::WorstCase
+                                                                      : ReplayMode::Optimistic;
+  std::optional<Plan> plan = rg.search(goal_set, rg_opts, validate, result.stats);
+  result.stats.slrg_sets = slrg.set_count();
+  result.stats.hit_search_limit = result.stats.hit_search_limit || slrg.hit_limit();
+  result.stats.time_search_ms = watch.elapsed_ms();
+
+  if (plan) {
+    result.plan = std::move(plan);
+  } else {
+    result.failure = result.stats.hit_search_limit
+                         ? "search limit exhausted before finding a plan"
+                         : "no resource-feasible plan exists under the given levels";
+  }
+  return result;
+}
+
+}  // namespace sekitei::core

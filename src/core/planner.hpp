@@ -1,0 +1,55 @@
+// Planner facade: the modified Sekitei algorithm (Section 3.2) and the
+// greedy original-Sekitei baseline (Section 2.2) behind one interface.
+//
+// Typical use:
+//   auto cp = model::compile(problem, scenario);
+//   core::Sekitei planner(cp);
+//   core::PlanResult r = planner.plan();
+//   if (r.plan) std::cout << r.plan->str(cp);
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/plan.hpp"
+#include "core/stats.hpp"
+#include "model/compile.hpp"
+
+namespace sekitei::core {
+
+struct PlannerOptions {
+  enum class Mode {
+    Leveled,  // the paper's contribution: cost-optimal leveled planning
+    Greedy,   // original Sekitei: plan-length costs + worst-case reservation
+  };
+  Mode mode = Mode::Leveled;
+
+  std::uint64_t max_rg_expansions = 1u << 21;
+  std::uint64_t max_slrg_sets = 2u << 20;
+  bool forbid_repeated_actions = true;
+};
+
+struct PlanResult {
+  std::optional<Plan> plan;
+  PlannerStats stats;
+  std::string failure;  // human-readable reason when !plan
+
+  [[nodiscard]] bool ok() const { return plan.has_value(); }
+};
+
+class Sekitei {
+ public:
+  explicit Sekitei(const model::CompiledProblem& cp, PlannerOptions options = {});
+
+  /// Runs the three phases (PLRG -> SLRG -> RG).  `validate`, when given,
+  /// concretely checks candidate plans (the simulator hook); rejected
+  /// candidates resume the search, so a returned plan is always executable.
+  [[nodiscard]] PlanResult plan(const std::function<bool(const Plan&)>& validate = {});
+
+ private:
+  const model::CompiledProblem& cp_;
+  PlannerOptions options_;
+};
+
+}  // namespace sekitei::core

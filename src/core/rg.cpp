@@ -1,0 +1,148 @@
+#include "core/rg.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/sorted_vec.hpp"
+
+namespace sekitei::core {
+
+Rg::Rg(const model::CompiledProblem& cp, Slrg& slrg, const Plrg& plrg, CostFn cost)
+    : cp_(cp), slrg_(slrg), plrg_(plrg), cost_fn_(std::move(cost)) {}
+
+bool Rg::independent(ActionId a, ActionId b) {
+  if (sorted_vars_.empty()) sorted_vars_.resize(cp_.actions.size());
+  auto vars_of = [&](ActionId id) -> const std::vector<VarId>& {
+    std::vector<VarId>& v = sorted_vars_[id.index()];
+    if (v.empty() && !cp_.actions[id.index()].slot_vars.empty()) {
+      v = cp_.actions[id.index()].slot_vars;
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+    return v;
+  };
+  if (sorted_intersects(vars_of(a), vars_of(b))) return false;
+  // Logical support in either direction (through the level closure) makes
+  // the pair order-dependent.
+  for (PropId p : cp_.actions[b.index()].pre) {
+    const auto& ach = cp_.achievers_of(p);
+    if (std::binary_search(ach.begin(), ach.end(), a)) return false;
+  }
+  for (PropId p : cp_.actions[a.index()].pre) {
+    const auto& ach = cp_.achievers_of(p);
+    if (std::binary_search(ach.begin(), ach.end(), b)) return false;
+  }
+  return true;
+}
+
+std::vector<ActionId> Rg::tail_of(std::uint32_t idx) const {
+  std::vector<ActionId> steps;
+  std::uint32_t cur = idx;
+  while (pool_[cur].action.valid()) {
+    steps.push_back(pool_[cur].action);
+    cur = pool_[cur].parent;
+  }
+  return steps;  // deepest node's action first == execution order
+}
+
+std::optional<Plan> Rg::search(const std::vector<PropId>& goal_set, const Options& options,
+                               const Validator& validate, PlannerStats& stats) {
+  struct Open {
+    double f;
+    double g;
+    std::uint32_t node;
+    bool operator<(const Open& o) const {
+      if (f != o.f) return f > o.f;  // min-heap on f
+      return g < o.g;                // tie-break: prefer deeper (larger g)
+    }
+  };
+  std::priority_queue<Open> open;
+  Replayer replayer(cp_);
+  pool_.clear();
+
+  pool_.push_back(Node{ActionId{}, 0, goal_set, 0.0});
+  open.push({slrg_.estimate(goal_set), 0.0, 0});
+  stats.rg_nodes = 1;
+
+  while (!open.empty()) {
+    const Open cur = open.top();
+    open.pop();
+    const Node& nd = pool_[cur.node];
+    ++stats.rg_expansions;
+    if (stats.rg_expansions > options.max_expansions) {
+      stats.hit_search_limit = true;
+      break;
+    }
+
+    // Goal test: all propositions hold initially and the tail executes in
+    // the initial-state resource map.
+    if (sorted_subset(nd.state, cp_.init_props)) {
+      std::vector<ActionId> steps = tail_of(cur.node);
+      if (replayer.replay(steps, /*from_init=*/true, options.replay_mode)) {
+        Plan plan;
+        plan.steps = std::move(steps);
+        plan.cost_lb = cur.g;
+        if (!validate || validate(plan)) {
+          stats.rg_open_left = open.size();
+          return plan;
+        }
+        ++stats.sim_rejections;
+      } else {
+        ++stats.rg_pruned_by_replay;
+      }
+      // A rejected candidate node may still have regressions worth trying
+      // (e.g. produce more of a stream elsewhere), so fall through.
+    }
+
+    // Candidate actions: achievers of any unsatisfied proposition.
+    std::vector<ActionId> cands;
+    for (PropId p : nd.state) {
+      if (cp_.init_holds(p)) continue;
+      for (ActionId a : cp_.achievers_of(p)) {
+        if (!plrg_.relevant(a)) continue;
+        sorted_insert(cands, a);
+      }
+    }
+
+    for (ActionId a : cands) {
+      // Canonical ordering of adjacent independent actions: `a` executes
+      // right before this node's action; if they commute, only explore the
+      // ascending-id order.
+      if (options.commutativity_pruning && pool_[cur.node].action.valid()) {
+        const ActionId b = pool_[cur.node].action;
+        if (a > b && independent(a, b)) continue;
+      }
+      if (options.forbid_repeated_actions) {
+        bool seen = false;
+        for (std::uint32_t w = cur.node; pool_[w].action.valid(); w = pool_[w].parent) {
+          if (pool_[w].action == a) {
+            seen = true;
+            break;
+          }
+        }
+        if (seen) continue;
+      }
+      std::vector<PropId> nxt = regress_set(cp_, pool_[cur.node].state, a);
+      if (nxt == pool_[cur.node].state) continue;
+      const double h = slrg_.estimate(nxt);
+      if (h == kInf) continue;
+
+      // Replay the extended tail in the optimistic maps (Fig. 8); prune on
+      // resource failure.
+      const std::uint32_t child = static_cast<std::uint32_t>(pool_.size());
+      pool_.push_back(Node{a, cur.node, std::move(nxt), cur.g + cost_fn_(a)});
+      const std::vector<ActionId> tail = tail_of(child);
+      if (!replayer.replay(tail, /*from_init=*/false, options.replay_mode)) {
+        ++stats.rg_pruned_by_replay;
+        pool_.pop_back();
+        continue;
+      }
+      ++stats.rg_nodes;
+      open.push({pool_[child].g + h, pool_[child].g, child});
+    }
+  }
+  stats.rg_open_left = open.size();
+  return std::nullopt;
+}
+
+}  // namespace sekitei::core

@@ -1,0 +1,81 @@
+// Main Regression Graph (Section 3.2.3).
+//
+// "The final phase of the algorithm is construction of the main regression
+//  graph (RG).  The RG contains totally ordered plan tails and is expanded
+//  using A* search.  The logical cost of achieving a set of propositions is
+//  used as an estimate of the remaining cost. [...] Since resource failures
+//  depend on the plan tail, it is not possible to reuse nodes in the RG.
+//  The RG is a tree, while the PLRG and SLRG are general graphs."
+//
+// Every expansion replays the tail through the optimistic resource maps
+// (core/replay.hpp) and prunes on failure — the early detection of
+// quality-of-service violations the paper highlights.  The search ends when
+// a node's proposition set holds in the initial state AND the tail replays
+// in the initial-state resource map (plus an optional external concrete
+// validation, e.g. the simulator).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/plan.hpp"
+#include "core/replay.hpp"
+#include "core/slrg.hpp"
+#include "core/stats.hpp"
+
+namespace sekitei::core {
+
+class Rg {
+ public:
+  struct Options {
+    std::uint64_t max_expansions = 1u << 20;
+    /// Forbid the exact same ground action twice in one tail.  Keeps the
+    /// tree finite even in pathological cost structures; no stream-delivery
+    /// plan benefits from repeating an identical leveled action.
+    bool forbid_repeated_actions = true;
+    /// Commutativity pruning: when two adjacent actions in a tail touch
+    /// disjoint resources and neither supports the other's preconditions,
+    /// only the ActionId-ascending order is explored.  Any plan has an
+    /// equivalent canonical reordering (adjacent independent swaps preserve
+    /// the replay outcome exactly), so completeness is kept while the
+    /// factorial interleavings of parallel stream chains collapse.
+    bool commutativity_pruning = true;
+    /// Replay semantics for both search-time tail replays and the final
+    /// initial-state check.  WorstCase reproduces the greedy baseline.
+    ReplayMode replay_mode = ReplayMode::Optimistic;
+  };
+
+  /// `validate` (optional) gets the candidate plan after it replays from the
+  /// initial state; returning false rejects it and resumes the search.
+  using Validator = std::function<bool(const Plan&)>;
+
+  Rg(const model::CompiledProblem& cp, Slrg& slrg, const Plrg& plrg, CostFn cost);
+
+  [[nodiscard]] std::optional<Plan> search(const std::vector<PropId>& goal_set,
+                                           const Options& options, const Validator& validate,
+                                           PlannerStats& stats);
+
+ private:
+  struct Node {
+    ActionId action;            // invalid for the root
+    std::uint32_t parent = 0;   // index into pool; root points to itself
+    std::vector<PropId> state;  // propositions still to achieve
+    double g = 0.0;
+  };
+
+  /// Tail of node `idx` in execution order (deepest action first).
+  [[nodiscard]] std::vector<ActionId> tail_of(std::uint32_t idx) const;
+
+  /// True when `a` (executing immediately before `b`) commutes with `b`:
+  /// disjoint located variables and no logical support either way.
+  [[nodiscard]] bool independent(ActionId a, ActionId b);
+
+  const model::CompiledProblem& cp_;
+  Slrg& slrg_;
+  const Plrg& plrg_;
+  CostFn cost_fn_;
+  std::vector<Node> pool_;
+  std::vector<std::vector<VarId>> sorted_vars_;  // per action, lazily filled
+};
+
+}  // namespace sekitei::core

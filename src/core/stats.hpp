@@ -1,0 +1,34 @@
+// Planner work statistics — exactly the quantities Table 2 reports.
+#pragma once
+
+#include <cstdint>
+
+namespace sekitei::core {
+
+struct PlannerStats {
+  // Column 5: "total # of actions evaluated after leveling and pruning".
+  std::uint64_t total_actions = 0;
+
+  // Column 6: PLRG proposition / action node counts.
+  std::uint64_t plrg_props = 0;
+  std::uint64_t plrg_actions = 0;
+
+  // Column 7: SLRG set-node count.
+  std::uint64_t slrg_sets = 0;
+
+  // Column 8: RG nodes created / left in the A* queue at solution time.
+  std::uint64_t rg_nodes = 0;
+  std::uint64_t rg_open_left = 0;
+
+  // Column 9 (second number): search + graph construction time.
+  double time_search_ms = 0.0;
+
+  // Extra diagnostics (not in the paper's table).
+  std::uint64_t rg_expansions = 0;
+  std::uint64_t rg_pruned_by_replay = 0;
+  std::uint64_t sim_rejections = 0;
+  bool logically_unreachable = false;
+  bool hit_search_limit = false;
+};
+
+}  // namespace sekitei::core

@@ -1,0 +1,137 @@
+#include "domains/grid.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace sekitei::domains::grid {
+
+std::string domain_text(const Params& p) {
+  std::ostringstream os;
+  os << "param deadline = " << p.deadline << ";\n"
+     << "param quality = " << p.quality << ";\n";
+  os << R"(
+# Logical files.  `lat` is the accumulated completion time of the data at a
+# site; transfers add link delay plus a profiled congestion term (a tabled,
+# non-reversible function of the transfer size).  `size` shrinks down the
+# pipeline as tasks reduce the data.
+interface Raw {
+  property size degradable;
+  property lat upgradable;
+  cross {
+    Raw.lat' := Raw.lat + link.delay + table(Raw.size; 0:0, 40:2, 80:6, 120:14);
+    link.lbw -= Raw.size / 10;
+  }
+  cost 1 + Raw.size / 20;
+}
+interface Mid {
+  property size degradable;
+  property lat upgradable;
+  cross {
+    Mid.lat' := Mid.lat + link.delay + table(Mid.size; 0:0, 20:1, 40:3, 60:7);
+    link.lbw -= Mid.size / 10;
+  }
+  cost 1 + Mid.size / 20;
+}
+interface Out {
+  property size degradable;
+  property lat upgradable;
+  cross {
+    Out.lat' := Out.lat + link.delay + table(Out.size; 0:0, 10:1, 20:2);
+    link.lbw -= Out.size / 10;
+  }
+  cost 1 + Out.size / 20;
+}
+
+# The task graph: Preprocess then Analyze, each consuming CPU proportional
+# to its input volume and adding compute time to the completion latency.
+component Preprocess {
+  requires Raw;
+  implements Mid;
+  conditions { node.cpu >= Raw.size / 5; }
+  effects {
+    Mid.size := Raw.size / 2;
+    Mid.lat := Raw.lat + Raw.size / 10;
+    node.cpu -= Raw.size / 5;
+  }
+  cost 1 + Raw.size / 10;
+}
+component Analyze {
+  requires Mid;
+  implements Out;
+  conditions { node.cpu >= Mid.size / 2; }
+  effects {
+    Out.size := Mid.size / 4;
+    Out.lat := Mid.lat + Mid.size / 5;
+    node.cpu -= Mid.size / 2;
+  }
+  cost 1 + Mid.size / 5;
+}
+
+# The goal sink: results of at least `quality` volume, before the deadline.
+component Portal {
+  requires Out;
+  conditions {
+    Out.lat <= deadline;
+    Out.size >= quality;
+  }
+  cost 1;
+}
+)";
+  return os.str();
+}
+
+spec::DomainSpec make_domain(const Params& p) { return spec::parse_domain(domain_text(p)); }
+
+std::unique_ptr<Instance> two_cluster(const Params& p) {
+  auto inst = std::make_unique<Instance>();
+  inst->params = p;
+  inst->domain = make_domain(p);
+
+  auto cpu = [](double c) { return std::map<std::string, double>{{"cpu", c}}; };
+  auto link = [](double bw, double delay) {
+    return std::map<std::string, double>{{"lbw", bw}, {"delay", delay}};
+  };
+
+  // Far replica sits behind two fast links; near replica behind one slow
+  // link.  Storage and portal nodes have little CPU, so compute lands on the
+  // clusters.
+  inst->storage_far = inst->net.add_node("storage_far", cpu(5));
+  inst->storage_near = inst->net.add_node("storage_near", cpu(5));
+  inst->cluster1 = inst->net.add_node("cluster1", cpu(p.cluster_cpu));
+  inst->cluster2 = inst->net.add_node("cluster2", cpu(p.cluster_cpu));
+  inst->portal = inst->net.add_node("portal", cpu(5));
+
+  inst->net.add_link(inst->storage_far, inst->cluster1, net::LinkClass::Wan, link(200, 3));
+  inst->net.add_link(inst->cluster1, inst->cluster2, net::LinkClass::Lan, link(200, 3));
+  inst->net.add_link(inst->storage_near, inst->cluster2, net::LinkClass::Wan, link(200, 25));
+  inst->net.add_link(inst->cluster2, inst->portal, net::LinkClass::Lan, link(200, 2));
+
+  inst->problem.network = &inst->net;
+  inst->problem.domain = &inst->domain;
+  // Two physical replicas of the same logical Raw file — replica selection
+  // is the planner's choice.
+  inst->problem.initial_streams.push_back(
+      {"Raw", "size", inst->storage_far, Interval{0.0, p.raw_size_max}});
+  inst->problem.initial_streams.push_back(
+      {"Raw", "size", inst->storage_near, Interval{0.0, p.raw_size_max}});
+  inst->problem.placement_rule["Portal"] = {inst->portal};
+  inst->problem.goal_component = "Portal";
+  inst->problem.goal_node = inst->portal;
+  return inst;
+}
+
+spec::LevelScenario scenario(const Params& p) {
+  spec::LevelScenario sc;
+  sc.name = "grid";
+  sc.iface_levels[{"Raw", "size"}] = spec::LevelSet(p.size_cuts);
+  // Mid/Out sizes are proportional (1/2 and 1/8 of Raw).
+  std::vector<double> mid_cuts = p.size_cuts, out_cuts = p.size_cuts;
+  for (double& c : mid_cuts) c *= 0.5;
+  for (double& c : out_cuts) c *= 0.125;
+  sc.iface_levels[{"Mid", "size"}] = spec::LevelSet(mid_cuts);
+  sc.iface_levels[{"Out", "size"}] = spec::LevelSet(out_cuts);
+  return sc;
+}
+
+}  // namespace sekitei::domains::grid

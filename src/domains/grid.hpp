@@ -1,0 +1,68 @@
+// Grid workflow domain — the paper's motivating task-graph scenario
+// (Section 1): "a grid computing application described in terms of a task
+// graph exchanging information using logical files [3] ... a solution to the
+// CPP would result in a mapping of tasks to concrete components on specific
+// computational hosts, the mapping of logical files to physical replicas,
+// and orchestration of any required data transfers", and later: "the
+// modified Sekitei planner is capable of deploying the task graph scenario
+// ... in a way that minimizes resource consumption while meeting specified
+// deadline goals."
+//
+// Pipeline:  Raw --Preprocess--> Mid --Analyze--> Out --> Portal
+//
+// * Logical file interfaces carry `size` (data volume) and `lat`
+//   (accumulated completion time: transfer + compute).  `lat` is upgradable
+//   (a result that arrives early also satisfies any looser deadline level);
+//   `size` is degradable (a task may read a subset of the data).
+// * Transfers accumulate latency through a *profiled congestion table* — a
+//   non-reversible tabled function, the paper's canonical reason why
+//   reversible-formula approaches do not apply.
+// * The Raw file exists as two replicas (near-but-slow / far-but-fast);
+//   the deadline decides which replica and how much data the plan can use.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "model/problem.hpp"
+#include "net/network.hpp"
+#include "spec/spec.hpp"
+
+namespace sekitei::domains::grid {
+
+struct Params {
+  double deadline = 60.0;     // Portal: Out.lat <= deadline
+  double quality = 8.0;       // Portal: Out.size >= quality
+  double raw_size_max = 100;  // replicas offer up to this much data
+  double cluster_cpu = 40.0;
+  /// Level cutpoints for Raw.size — the "how much data" operating regimes.
+  std::vector<double> size_cuts{40, 80};
+};
+
+[[nodiscard]] spec::DomainSpec make_domain(const Params& params = {});
+[[nodiscard]] std::string domain_text(const Params& params = {});
+
+struct Instance {
+  spec::DomainSpec domain;
+  net::Network net;
+  model::CppProblem problem;
+  NodeId storage_far;   // replica behind two fast links
+  NodeId storage_near;  // replica behind one slow link
+  NodeId cluster1;
+  NodeId cluster2;
+  NodeId portal;
+  Params params;
+
+  Instance() = default;
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+};
+
+/// The two-cluster grid with replicated input data (see file comment).
+[[nodiscard]] std::unique_ptr<Instance> two_cluster(const Params& params = {});
+
+/// The level scenario for this domain: Raw.size leveled by params.size_cuts,
+/// Out.lat leveled at the deadline.
+[[nodiscard]] spec::LevelScenario scenario(const Params& params = {});
+
+}  // namespace sekitei::domains::grid

@@ -1,0 +1,329 @@
+#include "domains/media.hpp"
+
+#include <sstream>
+
+#include "net/generator.hpp"
+#include "net/paths.hpp"
+#include "support/error.hpp"
+
+namespace sekitei::domains::media {
+
+std::string domain_text(const Params& p) {
+  std::ostringstream os;
+  os << "param demand = " << p.client_demand << ";\n"
+     << "param tdemand = " << 0.7 * p.client_demand << ";\n"
+     << "param serverCap = " << p.server_cap << ";\n"
+     << "param wLink = " << p.link_cost_weight << ";\n"
+     << "param wComp = " << p.comp_cost_weight << ";\n";
+  // Identical cross behaviour for each stream type (Fig. 6): the delivered
+  // bandwidth is capped by the link, and the link pool shrinks by what is
+  // carried.
+  for (const char* iface : {"M", "T", "I", "Z"}) {
+    os << "interface " << iface << " {\n"
+       << "  property ibw degradable;\n"
+       << "  cross {\n"
+       << "    " << iface << ".ibw' := min(" << iface << ".ibw, link.lbw);\n"
+       << "    link.lbw -= min(" << iface << ".ibw, link.lbw);\n"
+       << "  }\n"
+       << "  cost 1 + wLink * " << iface << ".ibw / 10;\n"
+       << "}\n";
+  }
+  os << R"(
+component Server {
+  implements M;
+  effects { M.ibw := serverCap; }
+  cost 1;
+}
+component Client {
+  requires M;
+  conditions { M.ibw >= demand; }
+  cost 1;
+}
+component TClient {
+  # Text-only consumer used by the Fig. 5 cost-tradeoff scenario; inert in
+  # the Table 2 instances (its placement rule is empty there).
+  requires T;
+  conditions { T.ibw >= tdemand; }
+  cost 1;
+}
+component Splitter {
+  requires M;
+  implements T, I;
+  conditions { node.cpu >= M.ibw / 5; }
+  effects {
+    T.ibw := M.ibw * 0.7;
+    I.ibw := M.ibw * 0.3;
+    node.cpu -= M.ibw / 5;
+  }
+  cost 1 + wComp * M.ibw / 10;
+}
+component Zip {
+  requires T;
+  implements Z;
+  conditions { node.cpu >= T.ibw / 10; }
+  effects {
+    Z.ibw := T.ibw / 2;
+    node.cpu -= T.ibw / 10;
+  }
+  cost 1 + wComp * T.ibw / 10;
+}
+component Unzip {
+  requires Z;
+  implements T;
+  conditions { node.cpu >= Z.ibw / 5; }
+  effects {
+    T.ibw := Z.ibw * 2;
+    node.cpu -= Z.ibw / 5;
+  }
+  cost 1 + wComp * Z.ibw / 10;
+}
+component Merger {
+  requires T, I;
+  implements M;
+  conditions {
+    node.cpu >= (T.ibw + I.ibw) / 5;
+    T.ibw * 3 == I.ibw * 7;
+  }
+  effects {
+    M.ibw := T.ibw + I.ibw;
+    node.cpu -= (T.ibw + I.ibw) / 5;
+  }
+  cost 1 + wComp * (T.ibw + I.ibw) / 10;
+}
+)";
+  return os.str();
+}
+
+spec::DomainSpec make_domain(const Params& p) { return spec::parse_domain(domain_text(p)); }
+
+namespace {
+
+void wire_problem(Instance& inst) {
+  inst.problem.network = &inst.net;
+  inst.problem.domain = &inst.domain;
+  inst.problem.initial_streams.push_back(
+      {"M", "ibw", inst.server, Interval{0.0, inst.params.server_cap}});
+  inst.problem.preplaced.emplace_back("Server", inst.server);
+  inst.problem.placement_rule["Server"] = {};             // never re-placed
+  inst.problem.placement_rule["Client"] = {inst.client};  // location is given
+  inst.problem.placement_rule["TClient"] = {};            // Fig. 5 only
+  inst.problem.goal_component = "Client";
+  inst.problem.goal_node = inst.client;
+}
+
+std::map<std::string, double> cpu_res(double cpu) { return {{"cpu", cpu}}; }
+std::map<std::string, double> link_res(double bw, double delay) {
+  return {{"lbw", bw}, {"delay", delay}};
+}
+
+}  // namespace
+
+std::unique_ptr<Instance> tiny(const Params& p) {
+  auto inst = std::make_unique<Instance>();
+  inst->params = p;
+  inst->domain = make_domain(p);
+  inst->server = inst->net.add_node("n0", cpu_res(p.node_cpu));
+  inst->client = inst->net.add_node("n1", cpu_res(p.node_cpu));
+  inst->net.add_link(inst->server, inst->client, net::LinkClass::Wan, link_res(p.wan_bw, 10));
+  wire_problem(*inst);
+  return inst;
+}
+
+std::unique_ptr<Instance> chain_instance(std::uint32_t before, std::uint32_t after,
+                                         const Params& p) {
+  auto inst = std::make_unique<Instance>();
+  inst->params = p;
+  inst->domain = make_domain(p);
+  std::vector<net::ChainLinkSpec> links;
+  for (std::uint32_t i = 0; i < before; ++i) {
+    links.push_back({net::LinkClass::Lan, p.lan_bw, 1});
+  }
+  links.push_back({net::LinkClass::Wan, p.wan_bw, 10});
+  for (std::uint32_t i = 0; i < after; ++i) {
+    links.push_back({net::LinkClass::Lan, p.lan_bw, 1});
+  }
+  inst->net = net::chain(links, p.node_cpu);
+  inst->server = NodeId(0);
+  inst->client = NodeId(static_cast<std::uint32_t>(inst->net.node_count() - 1));
+  wire_problem(*inst);
+  return inst;
+}
+
+std::unique_ptr<Instance> small(const Params& p) {
+  // server -LAN- a -LAN- b -WAN- c -LAN- client, plus one off-path node
+  // hanging off `a` (6 nodes total, as in the paper's Small network).
+  auto inst = chain_instance(2, 1, p);
+  const NodeId off = inst->net.add_node("n_off", cpu_res(p.node_cpu));
+  inst->net.add_link(NodeId(1), off, net::LinkClass::Lan, link_res(p.lan_bw, 1));
+  return inst;
+}
+
+std::unique_ptr<Instance> large(const Params& p, std::uint64_t seed) {
+  auto inst = std::make_unique<Instance>();
+  inst->params = p;
+  inst->domain = make_domain(p);
+
+  net::TransitStubParams ts;
+  ts.transit_nodes = 3;
+  ts.stubs_per_transit = 3;
+  ts.nodes_per_stub = 10;
+  ts.lan_bandwidth = p.lan_bw;
+  ts.wan_bandwidth = p.wan_bw;
+  ts.node_cpu = p.node_cpu;
+  ts.extra_stub_edge_prob = 0.15;
+  inst->net = net::transit_stub(ts, seed);
+  SEKITEI_ASSERT(inst->net.node_count() == 93);
+
+  // Stub gateways are the "_0" hosts.  Join the server stub (s0) and client
+  // stub (s4) with a direct stub-stub WAN edge — a standard GT-ITM feature —
+  // so the cheapest route is LAN-LAN-WAN-LAN, while longer all-WAN transit
+  // routes still exist as alternatives.
+  const NodeId gw_s = inst->net.find_node("s0_0");
+  const NodeId gw_c = inst->net.find_node("s4_0");
+  SEKITEI_ASSERT(gw_s.valid() && gw_c.valid());
+  inst->net.add_link(gw_s, gw_c, net::LinkClass::Wan, link_res(p.wan_bw, 10));
+
+  // Server: a host two LAN hops from its gateway; client: one hop from its
+  // gateway (same path shape as Small).
+  const auto dist_s = net::hop_distances(inst->net, gw_s);
+  const auto dist_c = net::hop_distances(inst->net, gw_c);
+  inst->server = NodeId{};
+  inst->client = NodeId{};
+  for (std::uint32_t k = 1; k < 10; ++k) {
+    const NodeId cand_s = inst->net.find_node("s0_" + std::to_string(k));
+    if (!inst->server.valid() && dist_s[cand_s.index()] == 2) inst->server = cand_s;
+    const NodeId cand_c = inst->net.find_node("s4_" + std::to_string(k));
+    if (!inst->client.valid() && dist_c[cand_c.index()] == 1) inst->client = cand_c;
+  }
+  if (!inst->server.valid() || !inst->client.valid()) {
+    raise("media::large: seed does not yield hosts at the required LAN depths; pick another");
+  }
+  wire_problem(*inst);
+  return inst;
+}
+
+std::unique_ptr<Instance> diamond(const Params& p) {
+  // server -LAN- a -WAN- b -LAN- client, plus a longer (two-WAN-hop) backup
+  // route a - c2 - b2 - client.  Used by the repair/adaptation experiments:
+  // the original plan uses the short route; losing its WAN link leaves the
+  // backup with full capacity.  WAN links are sized just below the raw T
+  // stream's demand-level floor (0.7 * 90 = 63 with the defaults) so the
+  // Zip/Unzip transformation is mandatory, while the compressed pair
+  // Z + I = 65 still fits one WAN link.
+  auto inst = std::make_unique<Instance>();
+  inst->params = p;
+  inst->domain = make_domain(p);
+  const NodeId s = inst->net.add_node("s", cpu_res(p.node_cpu));
+  const NodeId a = inst->net.add_node("a", cpu_res(p.node_cpu));
+  const NodeId b = inst->net.add_node("b", cpu_res(p.node_cpu));
+  const NodeId c2 = inst->net.add_node("c2", cpu_res(p.node_cpu));
+  const NodeId b2 = inst->net.add_node("b2", cpu_res(p.node_cpu));
+  const NodeId cl = inst->net.add_node("cl", cpu_res(p.node_cpu));
+  const double wan = 0.943 * p.wan_bw;  // 66 with the default 70
+  inst->net.add_link(s, a, net::LinkClass::Lan, link_res(p.lan_bw, 1));
+  inst->net.add_link(a, b, net::LinkClass::Wan, link_res(wan, 10));
+  inst->net.add_link(b, cl, net::LinkClass::Lan, link_res(p.lan_bw, 1));
+  inst->net.add_link(a, c2, net::LinkClass::Wan, link_res(wan, 10));
+  inst->net.add_link(c2, b2, net::LinkClass::Wan, link_res(wan, 10));
+  inst->net.add_link(b2, cl, net::LinkClass::Lan, link_res(p.lan_bw, 1));
+  inst->server = s;
+  inst->client = cl;
+  wire_problem(*inst);
+  return inst;
+}
+
+std::unique_ptr<Instance> multicast(const Params& p) {
+  // One server, two clients behind a shared WAN hop:
+  //   s -LAN- a -WAN- b -LAN- c1
+  //                    \-LAN- c2
+  // Both clients must receive >= demand units; the planner shares the
+  // transformation pipeline and the WAN crossing between them.
+  auto inst = std::make_unique<Instance>();
+  inst->params = p;
+  inst->domain = make_domain(p);
+  const NodeId s = inst->net.add_node("s", cpu_res(p.node_cpu));
+  const NodeId a = inst->net.add_node("a", cpu_res(p.node_cpu));
+  const NodeId b = inst->net.add_node("b", cpu_res(p.node_cpu));
+  const NodeId c1 = inst->net.add_node("c1", cpu_res(p.node_cpu));
+  const NodeId c2 = inst->net.add_node("c2", cpu_res(p.node_cpu));
+  inst->net.add_link(s, a, net::LinkClass::Lan, link_res(p.lan_bw, 1));
+  inst->net.add_link(a, b, net::LinkClass::Wan, link_res(p.wan_bw, 10));
+  inst->net.add_link(b, c1, net::LinkClass::Lan, link_res(p.lan_bw, 1));
+  inst->net.add_link(b, c2, net::LinkClass::Lan, link_res(p.lan_bw, 1));
+  inst->server = s;
+  inst->client = c1;
+  wire_problem(*inst);
+  inst->problem.placement_rule["Client"] = {c1, c2};
+  inst->problem.extra_goals.emplace_back("Client", c2);
+  return inst;
+}
+
+std::unique_ptr<Instance> fig5(const Params& p) {
+  // The Fig. 5 tradeoff: a T stream can reach the client either over three
+  // generous links, or over two thin links that only fit the compressed Z
+  // stream (forcing Zip/Unzip).  Which plan is cheaper depends on the
+  // relative cost of link bandwidth vs node processing (wLink / wComp).
+  auto inst = std::make_unique<Instance>();
+  inst->params = p;
+  inst->domain = make_domain(p);
+
+  const double t_demand = 0.7 * p.client_demand;  // 63 with the defaults
+  const NodeId s = inst->net.add_node("s", cpu_res(p.node_cpu));
+  const NodeId a = inst->net.add_node("a", cpu_res(p.node_cpu));
+  const NodeId b = inst->net.add_node("b", cpu_res(p.node_cpu));
+  const NodeId c = inst->net.add_node("c", cpu_res(p.node_cpu));
+  const NodeId d = inst->net.add_node("d", cpu_res(p.node_cpu));
+  // Long route: three links that fit the raw T stream.
+  inst->net.add_link(s, a, net::LinkClass::Wan, link_res(p.lan_bw, 5));
+  inst->net.add_link(a, b, net::LinkClass::Wan, link_res(p.lan_bw, 5));
+  inst->net.add_link(b, c, net::LinkClass::Wan, link_res(p.lan_bw, 5));
+  // Short route: two links that only fit the compressed Z stream.
+  const double thin = 0.55 * t_demand;  // > Z = T/2, < T
+  inst->net.add_link(s, d, net::LinkClass::Wan, link_res(thin, 5));
+  inst->net.add_link(d, c, net::LinkClass::Wan, link_res(thin, 5));
+
+  inst->server = s;
+  inst->client = c;
+  inst->problem.network = &inst->net;
+  inst->problem.domain = &inst->domain;
+  inst->problem.initial_streams.push_back({"T", "ibw", s, Interval{0.0, 2 * t_demand}});
+  inst->problem.placement_rule["Server"] = {};
+  inst->problem.placement_rule["Client"] = {};
+  inst->problem.placement_rule["TClient"] = {c};
+  inst->problem.goal_component = "TClient";
+  inst->problem.goal_node = c;
+  return inst;
+}
+
+spec::LevelScenario scenario(char name) {
+  spec::LevelScenario sc;
+  switch (name) {
+    case 'A': sc = scenario_with_cuts({}); break;
+    case 'B': sc = scenario_with_cuts({100}); break;
+    case 'C': sc = scenario_with_cuts({90, 100}); break;
+    case 'D': sc = scenario_with_cuts({30, 70, 90, 100}); break;
+    case 'E': sc = scenario_with_cuts({30, 70, 90, 100}, {31, 62}); break;
+    default: raise(std::string("unknown media scenario '") + name + "'");
+  }
+  sc.name = std::string(1, name);
+  return sc;
+}
+
+spec::LevelScenario scenario_with_cuts(std::vector<double> m_cuts,
+                                       std::vector<double> link_cuts) {
+  spec::LevelScenario sc;
+  sc.name = "custom";
+  if (!m_cuts.empty()) {
+    const spec::LevelSet m(std::move(m_cuts));
+    sc.iface_levels[{"M", "ibw"}] = m;
+    sc.iface_levels[{"T", "ibw"}] = m.scaled(0.7);
+    sc.iface_levels[{"I", "ibw"}] = m.scaled(0.3);
+    sc.iface_levels[{"Z", "ibw"}] = m.scaled(0.35);
+  }
+  if (!link_cuts.empty()) {
+    sc.link_levels["lbw"] = spec::LevelSet(std::move(link_cuts));
+  }
+  return sc;
+}
+
+}  // namespace sekitei::domains::media

@@ -1,0 +1,108 @@
+// The paper's evaluation workload: media stream delivery (Fig. 1).
+//
+// A Server produces a combined media stream M (images + text) of up to
+// `serverCap` units; the Client must receive at least `clientDemand` units.
+// Auxiliary components can transform the stream en route:
+//
+//     Splitter: M -> T + I      (T = 0.7 M, I = 0.3 M; Merger's profiled
+//                                ratio condition T*3 == I*7 pins the split)
+//     Zip:      T -> Z          (Z = T/2)
+//     Unzip:    Z -> T
+//     Merger:   T + I -> M
+//
+// CPU profile (reconstructed from the paper's own numbers, see DESIGN.md §3):
+//     Splitter M/5,  Zip T/10,  Unzip Z/5,  Merger (T+I)/5
+// so a 30-CPU node can process up to ~111 units of M on either side of the
+// transformation — the capacity the paper states.
+//
+// Costs are "proportional to the processed/transferred bandwidth"
+// (Section 4.1): every action costs 1 + bandwidth/10.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "model/problem.hpp"
+#include "net/network.hpp"
+#include "spec/spec.hpp"
+
+namespace sekitei::domains::media {
+
+struct Params {
+  double client_demand = 90.0;  // paper: "at least 90 units"
+  double server_cap = 200.0;    // paper: "up to 200 units"
+  double lan_bw = 150.0;
+  double wan_bw = 70.0;
+  double node_cpu = 30.0;
+  /// Cost weights (both 1.0 reproduces the paper's cost; Fig. 5 sweeps the
+  /// relative cost of link bandwidth vs node processing).
+  double link_cost_weight = 1.0;
+  double comp_cost_weight = 1.0;
+};
+
+/// The component library of Fig. 1 / Fig. 2.
+[[nodiscard]] spec::DomainSpec make_domain(const Params& params = {});
+
+/// The raw DSL text of the domain (documentation / parser round-trips).
+[[nodiscard]] std::string domain_text(const Params& params = {});
+
+/// A self-contained problem instance (owns its network and domain; the
+/// CppProblem points into them, hence no copies or moves).
+struct Instance {
+  spec::DomainSpec domain;
+  net::Network net;
+  model::CppProblem problem;
+  NodeId server;
+  NodeId client;
+  Params params;
+
+  Instance() = default;
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+};
+
+/// *Tiny* (Fig. 3): two nodes joined by a 70-unit WAN link; 30 CPU each.
+[[nodiscard]] std::unique_ptr<Instance> tiny(const Params& params = {});
+
+/// *Small* (Fig. 9): a 6-node network whose server-client path is
+/// LAN-LAN-WAN-LAN (plus one off-path node).
+[[nodiscard]] std::unique_ptr<Instance> small(const Params& params = {});
+
+/// *Large* (Fig. 10): a 93-node transit-stub network generated in the spirit
+/// of GT-ITM; the server and client sit in stub domains joined by a direct
+/// stub-stub WAN edge, so the relevant path has the Small network's shape
+/// while ~85 nodes are irrelevant but not statically prunable.
+[[nodiscard]] std::unique_ptr<Instance> large(const Params& params = {},
+                                              std::uint64_t seed = 13);
+
+/// A diamond with two parallel WAN routes (server -LAN- a -WAN- {b|b2} -LAN-
+/// client); losing one WAN link leaves a backup — the repair experiments'
+/// setting.
+[[nodiscard]] std::unique_ptr<Instance> diamond(const Params& params = {});
+
+/// One server, two clients behind a shared WAN hop; both must receive the
+/// stream (a multi-goal / multicast deployment).
+[[nodiscard]] std::unique_ptr<Instance> multicast(const Params& params = {});
+
+/// The Fig. 5 cost-tradeoff scenario: a T stream deliverable either over
+/// three generous links or over two thin links plus Zip/Unzip; the cost
+/// weights in `params` decide which plan is optimal.
+[[nodiscard]] std::unique_ptr<Instance> fig5(const Params& params = {});
+
+/// A parameterizable chain instance (for scaling sweeps): `lan_hops_before`
+/// LAN links, one WAN link, `lan_hops_after` LAN links.
+[[nodiscard]] std::unique_ptr<Instance> chain_instance(std::uint32_t lan_hops_before,
+                                                       std::uint32_t lan_hops_after,
+                                                       const Params& params = {});
+
+/// Table 1's level scenarios 'A'..'E'.  T/I/Z cutpoints are proportional to
+/// M's (factors 0.7 / 0.3 / 0.35).
+[[nodiscard]] spec::LevelScenario scenario(char name);
+
+/// A scenario with the given M-stream cutpoints (proportional T/I/Z levels),
+/// for level-granularity ablations.
+[[nodiscard]] spec::LevelScenario scenario_with_cuts(std::vector<double> m_cuts,
+                                                     std::vector<double> link_cuts = {});
+
+}  // namespace sekitei::domains::media

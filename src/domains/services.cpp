@@ -1,0 +1,139 @@
+#include "domains/services.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace sekitei::domains::services {
+
+std::string domain_text(const Params& p) {
+  std::ostringstream os;
+  os << "param demand = " << p.response_demand << ";\n"
+     << "param overhead = " << p.cipher_overhead << ";\n";
+  os << R"(
+# Raw data served by the database — as sensitive as the responses derived
+# from it, so it may only traverse trusted links.
+interface Data {
+  property ibw degradable;
+  property sens init 1;
+  cross {
+    link.sec >= Data.sens;
+    Data.ibw' := min(Data.ibw, link.lbw);
+    link.lbw -= min(Data.ibw, link.lbw);
+  }
+  cost 1 + Data.ibw / 10;
+}
+
+# The application response: sensitive, so its link crossings demand a
+# trusted link (the qualitative constraint of Section 2.1).
+interface R {
+  property ibw degradable;
+  property sens init 1;
+  cross {
+    link.sec >= R.sens;
+    R.ibw' := min(R.ibw, link.lbw);
+    link.lbw -= min(R.ibw, link.lbw);
+  }
+  cost 1 + R.ibw / 10;
+}
+
+# The encrypted response: crossable anywhere, at a bandwidth overhead.
+interface E {
+  property ibw degradable;
+  cross {
+    E.ibw' := min(E.ibw, link.lbw);
+    link.lbw -= min(E.ibw, link.lbw);
+  }
+  cost 1 + E.ibw / 10;
+}
+
+component Database {
+  implements Data;
+  cost 1;
+}
+component AppServer {
+  requires Data;
+  implements R;
+  conditions { node.cpu >= Data.ibw / 4; }
+  effects {
+    R.ibw := Data.ibw / 2;
+    R.sens := 1;
+    node.cpu -= Data.ibw / 4;
+  }
+  cost 1 + Data.ibw / 10;
+}
+component Encryptor {
+  requires R;
+  implements E;
+  conditions { node.cpu >= R.ibw / 8; }
+  effects {
+    E.ibw := R.ibw * overhead;
+    node.cpu -= R.ibw / 8;
+  }
+  cost 1 + R.ibw / 10;
+}
+component Decryptor {
+  requires E;
+  implements R;
+  conditions { node.cpu >= E.ibw / 8; }
+  effects {
+    R.ibw := E.ibw / overhead;
+    R.sens := 1;
+    node.cpu -= E.ibw / 8;
+  }
+  cost 1 + E.ibw / 10;
+}
+component Frontend {
+  requires R;
+  conditions { R.ibw >= demand; }
+  cost 1;
+}
+)";
+  return os.str();
+}
+
+spec::DomainSpec make_domain(const Params& p) { return spec::parse_domain(domain_text(p)); }
+
+std::unique_ptr<Instance> dmz(const Params& p) {
+  auto inst = std::make_unique<Instance>();
+  inst->params = p;
+  inst->domain = make_domain(p);
+
+  auto cpu = [&](double c) { return std::map<std::string, double>{{"cpu", c}}; };
+  auto link = [](double bw, double sec) {
+    return std::map<std::string, double>{{"lbw", bw}, {"sec", sec}, {"delay", 1}};
+  };
+
+  inst->database = inst->net.add_node("db", cpu(p.node_cpu));
+  inst->gateway1 = inst->net.add_node("gw1", cpu(p.node_cpu));
+  inst->gateway2 = inst->net.add_node("gw2", cpu(p.node_cpu));
+  inst->frontend = inst->net.add_node("fe", cpu(p.node_cpu));
+  inst->net.add_link(inst->database, inst->gateway1, net::LinkClass::Lan, link(200, 1));
+  inst->net.add_link(inst->gateway1, inst->gateway2, net::LinkClass::Wan,
+                     link(150, p.trusted_wan ? 1 : 0));
+  inst->net.add_link(inst->gateway2, inst->frontend, net::LinkClass::Lan, link(200, 1));
+
+  inst->problem.network = &inst->net;
+  inst->problem.domain = &inst->domain;
+  inst->problem.initial_streams.push_back(
+      {"Data", "ibw", inst->database, Interval{0.0, p.data_cap}});
+  inst->problem.preplaced.emplace_back("Database", inst->database);
+  inst->problem.placement_rule["Database"] = {};
+  inst->problem.placement_rule["Frontend"] = {inst->frontend};
+  inst->problem.goal_component = "Frontend";
+  inst->problem.goal_node = inst->frontend;
+  return inst;
+}
+
+spec::LevelScenario scenario(const Params& p) {
+  spec::LevelScenario sc;
+  sc.name = "services";
+  const double d = p.response_demand;
+  sc.iface_levels[{"R", "ibw"}] = spec::LevelSet({d, 1.5 * d});
+  sc.iface_levels[{"Data", "ibw"}] = spec::LevelSet({2 * d, 3 * d});
+  sc.iface_levels[{"E", "ibw"}] =
+      spec::LevelSet({d * p.cipher_overhead, 1.5 * d * p.cipher_overhead});
+  return sc;
+}
+
+}  // namespace sekitei::domains::services

@@ -1,0 +1,58 @@
+// Secure service composition — the paper's web-services motivation
+// (Section 1: "In the web services area, an application is represented by a
+// BPEL or OWL-S composite service") with a *qualitative* constraint driving
+// auxiliary-component injection: sensitive responses may only traverse
+// trusted links ("other properties such as link security", Section 2.1).
+//
+// Pipeline:  Data --AppServer--> R (response) --> Frontend
+//
+// The response stream R carries `sens` (sensitivity); its cross action
+// requires `link.sec >= R.sens`.  Crossing an untrusted link therefore
+// demands the Encryptor/Decryptor pair, which maps R to the encrypted E
+// stream (crossable anywhere, at a bandwidth overhead) — auxiliary
+// components injected for a purely logical reason, complementing the
+// bandwidth-driven injection of the media domain.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "model/problem.hpp"
+#include "net/network.hpp"
+#include "spec/spec.hpp"
+
+namespace sekitei::domains::services {
+
+struct Params {
+  double response_demand = 40.0;  // Frontend: R.ibw >= this
+  double data_cap = 120.0;        // database offers up to this much
+  double cipher_overhead = 1.25;  // E.ibw = R.ibw * overhead
+  double node_cpu = 30.0;
+  bool trusted_wan = false;       // when true the WAN link has sec 1
+};
+
+[[nodiscard]] spec::DomainSpec make_domain(const Params& params = {});
+[[nodiscard]] std::string domain_text(const Params& params = {});
+
+struct Instance {
+  spec::DomainSpec domain;
+  net::Network net;
+  model::CppProblem problem;
+  NodeId database;
+  NodeId gateway1;
+  NodeId gateway2;
+  NodeId frontend;
+  Params params;
+
+  Instance() = default;
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+};
+
+/// db -trusted LAN- gw1 -(un)trusted WAN- gw2 -trusted LAN- frontend.
+[[nodiscard]] std::unique_ptr<Instance> dmz(const Params& params = {});
+
+/// Level scenario bracketing the response demand.
+[[nodiscard]] spec::LevelScenario scenario(const Params& params = {});
+
+}  // namespace sekitei::domains::services

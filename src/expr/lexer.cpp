@@ -1,0 +1,172 @@
+#include "expr/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace sekitei::expr {
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::End: return "end of input";
+    case Tok::Ident: return "identifier";
+    case Tok::Number: return "number";
+    case Tok::Dot: return "'.'";
+    case Tok::Comma: return "','";
+    case Tok::Semi: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Prime: return "'''";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Assign: return "':='";
+    case Tok::PlusEq: return "'+='";
+    case Tok::MinusEq: return "'-='";
+    case Tok::Ge: return "'>='";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Lt: return "'<'";
+    case Tok::EqEq: return "'=='";
+    case Tok::Ne: return "'!='";
+    case Tok::Eq: return "'='";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string_view src) {
+  std::size_t i = 0;
+  int line = 1;
+  const std::size_t n = src.size();
+  auto push = [&](Tok k, std::string text = {}, double num = 0.0) {
+    tokens_.push_back(Token{k, std::move(text), num, line});
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#' || (c == '/' && i + 1 < n && src[i + 1] == '/')) {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) || src[j] == '_')) ++j;
+      push(Tok::Ident, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      char* endp = nullptr;
+      // strtod stops at the first non-numeric char; src is NUL-terminated via
+      // std::string storage only when constructed from one, so copy the tail.
+      std::string tail(src.substr(i, std::min<std::size_t>(64, n - i)));
+      const double v = std::strtod(tail.c_str(), &endp);
+      const std::size_t len = static_cast<std::size_t>(endp - tail.c_str());
+      if (len == 0) raise("lexer: malformed number at line " + std::to_string(line));
+      push(Tok::Number, tail.substr(0, len), v);
+      i += len;
+      continue;
+    }
+    auto two = [&](char a, char b) { return c == a && i + 1 < n && src[i + 1] == b; };
+    if (two(':', '=')) { push(Tok::Assign); i += 2; continue; }
+    if (two('+', '=')) { push(Tok::PlusEq); i += 2; continue; }
+    if (two('-', '=')) { push(Tok::MinusEq); i += 2; continue; }
+    if (two('>', '=')) { push(Tok::Ge); i += 2; continue; }
+    if (two('<', '=')) { push(Tok::Le); i += 2; continue; }
+    if (two('=', '=')) { push(Tok::EqEq); i += 2; continue; }
+    if (two('!', '=')) { push(Tok::Ne); i += 2; continue; }
+    switch (c) {
+      case '.': push(Tok::Dot); break;
+      case ',': push(Tok::Comma); break;
+      case ';': push(Tok::Semi); break;
+      case ':': push(Tok::Colon); break;
+      case '(': push(Tok::LParen); break;
+      case ')': push(Tok::RParen); break;
+      case '{': push(Tok::LBrace); break;
+      case '}': push(Tok::RBrace); break;
+      case '[': push(Tok::LBracket); break;
+      case ']': push(Tok::RBracket); break;
+      case '\'': push(Tok::Prime); break;
+      case '+': push(Tok::Plus); break;
+      case '-': push(Tok::Minus); break;
+      case '*': push(Tok::Star); break;
+      case '/': push(Tok::Slash); break;
+      case '>': push(Tok::Gt); break;
+      case '<': push(Tok::Lt); break;
+      case '=': push(Tok::Eq); break;
+      default: {
+        std::ostringstream os;
+        os << "lexer: unexpected character '" << c << "' at line " << line;
+        raise(os.str());
+      }
+    }
+    ++i;
+  }
+  push(Tok::End);
+}
+
+const Token& Lexer::peek(std::size_t n) const {
+  const std::size_t idx = std::min(pos_ + n, tokens_.size() - 1);
+  return tokens_[idx];
+}
+
+const Token& Lexer::next() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Lexer::accept(Tok k) {
+  if (peek().kind != k) return false;
+  next();
+  return true;
+}
+
+const Token& Lexer::expect(Tok k) {
+  if (peek().kind != k) {
+    std::ostringstream os;
+    os << "parse error at line " << peek().line << ": expected " << tok_name(k) << ", found "
+       << tok_name(peek().kind);
+    if (peek().kind == Tok::Ident) os << " '" << peek().text << "'";
+    raise(os.str());
+  }
+  return next();
+}
+
+void Lexer::expect_keyword(std::string_view kw) {
+  if (!at_keyword(kw)) {
+    std::ostringstream os;
+    os << "parse error at line " << peek().line << ": expected keyword '" << kw << "'";
+    raise(os.str());
+  }
+  next();
+}
+
+bool Lexer::at_keyword(std::string_view kw) const {
+  return peek().kind == Tok::Ident && peek().text == kw;
+}
+
+bool Lexer::accept_keyword(std::string_view kw) {
+  if (!at_keyword(kw)) return false;
+  next();
+  return true;
+}
+
+}  // namespace sekitei::expr

@@ -1,0 +1,43 @@
+// Hand-written lexer for the specification DSL and its embedded expressions.
+//
+// Comment syntax: `#` and `//` to end of line.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "expr/token.hpp"
+
+namespace sekitei::expr {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src);
+
+  /// Current token (never past End).
+  [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+  /// Lookahead by `n` tokens.
+  [[nodiscard]] const Token& peek(std::size_t n) const;
+  /// Consumes and returns the current token.
+  const Token& next();
+  /// Consumes the current token iff it has kind `k`.
+  bool accept(Tok k);
+  /// Consumes the current token, raising a descriptive Error unless kind `k`.
+  const Token& expect(Tok k);
+  /// Consumes an Ident with exactly this spelling, or raises.
+  void expect_keyword(std::string_view kw);
+  /// True when the current token is an Ident spelled `kw`.
+  [[nodiscard]] bool at_keyword(std::string_view kw) const;
+  /// Consumes the keyword iff present.
+  bool accept_keyword(std::string_view kw);
+
+  [[nodiscard]] bool at_end() const { return peek().kind == Tok::End; }
+  [[nodiscard]] int line() const { return peek().line; }
+
+ private:
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sekitei::expr

@@ -1,0 +1,178 @@
+#include "expr/monotonicity.hpp"
+
+#include "support/error.hpp"
+
+namespace sekitei::expr {
+
+const char* direction_name(Direction d) {
+  switch (d) {
+    case Direction::Constant: return "constant";
+    case Direction::NonDecreasing: return "non-decreasing";
+    case Direction::NonIncreasing: return "non-increasing";
+    case Direction::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+Direction combine_add(Direction a, Direction b) {
+  if (a == Direction::Constant) return b;
+  if (b == Direction::Constant) return a;
+  if (a == b) return a;
+  return Direction::Unknown;
+}
+
+Direction flip(Direction d) {
+  switch (d) {
+    case Direction::NonDecreasing: return Direction::NonIncreasing;
+    case Direction::NonIncreasing: return Direction::NonDecreasing;
+    default: return d;
+  }
+}
+
+namespace {
+
+/// Sign of an expression's possible values, derived syntactically; needed to
+/// reason about multiplication.
+enum class Sign : unsigned char { NonNeg, NonPos, Zero, Any };
+
+Sign sign_of(const Node& n) {
+  switch (n.kind) {
+    case NodeKind::Const:
+      if (n.value > 0) return Sign::NonNeg;
+      if (n.value < 0) return Sign::NonPos;
+      return Sign::Zero;
+    case NodeKind::Var:
+      // Resources and stream properties are non-negative quantities.
+      return Sign::NonNeg;
+    case NodeKind::Neg: {
+      const Sign s = sign_of(*n.a);
+      if (s == Sign::NonNeg) return Sign::NonPos;
+      if (s == Sign::NonPos) return Sign::NonNeg;
+      return s;
+    }
+    case NodeKind::Add: {
+      const Sign a = sign_of(*n.a), b = sign_of(*n.b);
+      if (a == Sign::Zero) return b;
+      if (b == Sign::Zero) return a;
+      return a == b ? a : Sign::Any;
+    }
+    case NodeKind::Sub: {
+      const Sign a = sign_of(*n.a), b = sign_of(*n.b);
+      if (b == Sign::Zero) return a;
+      if (a == Sign::NonNeg && b == Sign::NonPos) return Sign::NonNeg;
+      if (a == Sign::NonPos && b == Sign::NonNeg) return Sign::NonPos;
+      return Sign::Any;
+    }
+    case NodeKind::Mul:
+    case NodeKind::Div: {
+      const Sign a = sign_of(*n.a), b = sign_of(*n.b);
+      if (a == Sign::Zero) return Sign::Zero;
+      if (n.kind == NodeKind::Mul && b == Sign::Zero) return Sign::Zero;
+      if (a == Sign::Any || b == Sign::Any) return Sign::Any;
+      const bool aneg = a == Sign::NonPos, bneg = b == Sign::NonPos;
+      return (aneg != bneg) ? Sign::NonPos : Sign::NonNeg;
+    }
+    case NodeKind::Min:
+    case NodeKind::Max: {
+      const Sign a = sign_of(*n.a), b = sign_of(*n.b);
+      if (a == b) return a;
+      if (a == Sign::Zero) return b;
+      if (b == Sign::Zero) return a;
+      return Sign::Any;
+    }
+    case NodeKind::Table: {
+      bool nonneg = true, nonpos = true;
+      for (double y : n.table.ys) {
+        nonneg = nonneg && y >= 0;
+        nonpos = nonpos && y <= 0;
+      }
+      if (nonneg && nonpos) return Sign::Zero;
+      if (nonneg) return Sign::NonNeg;
+      if (nonpos) return Sign::NonPos;
+      return Sign::Any;
+    }
+  }
+  return Sign::Any;
+}
+
+Direction direction_wrt(const Node& n, const std::string& var) {
+  switch (n.kind) {
+    case NodeKind::Const:
+      return Direction::Constant;
+    case NodeKind::Var:
+      return n.ref.str() == var ? Direction::NonDecreasing : Direction::Constant;
+    case NodeKind::Neg:
+      return flip(direction_wrt(*n.a, var));
+    case NodeKind::Add:
+      return combine_add(direction_wrt(*n.a, var), direction_wrt(*n.b, var));
+    case NodeKind::Sub:
+      return combine_add(direction_wrt(*n.a, var), flip(direction_wrt(*n.b, var)));
+    case NodeKind::Mul: {
+      const Direction da = direction_wrt(*n.a, var);
+      const Direction db = direction_wrt(*n.b, var);
+      const Sign sa = sign_of(*n.a), sb = sign_of(*n.b);
+      auto scaled = [](Direction d, Sign s) {
+        if (d == Direction::Constant) return Direction::Constant;
+        if (s == Sign::NonNeg || s == Sign::Zero) return d;
+        if (s == Sign::NonPos) return flip(d);
+        return Direction::Unknown;
+      };
+      return combine_add(scaled(da, sb), scaled(db, sa));
+    }
+    case NodeKind::Div: {
+      const Direction da = direction_wrt(*n.a, var);
+      const Direction db = direction_wrt(*n.b, var);
+      const Sign sa = sign_of(*n.a), sb = sign_of(*n.b);
+      auto scaled = [](Direction d, Sign s) {
+        if (d == Direction::Constant) return Direction::Constant;
+        if (s == Sign::NonNeg || s == Sign::Zero) return d;
+        if (s == Sign::NonPos) return flip(d);
+        return Direction::Unknown;
+      };
+      // a/b grows with a (for b>=0) and shrinks as b grows (for a>=0).
+      return combine_add(scaled(da, sb), scaled(flip(db), sa));
+    }
+    case NodeKind::Min:
+    case NodeKind::Max:
+      return combine_add(direction_wrt(*n.a, var), direction_wrt(*n.b, var));
+    case NodeKind::Table: {
+      const Direction inner = direction_wrt(*n.a, var);
+      if (inner == Direction::Constant) return Direction::Constant;
+      if (n.table.is_monotone_nondecreasing()) return inner;
+      if (n.table.is_monotone_nonincreasing()) return flip(inner);
+      return Direction::Unknown;
+    }
+  }
+  return Direction::Unknown;
+}
+
+void collect_vars(const Node& n, DirectionMap& out) {
+  switch (n.kind) {
+    case NodeKind::Var:
+      out.emplace(n.ref.str(), Direction::Constant);
+      break;
+    case NodeKind::Const:
+      break;
+    default:
+      if (n.a) collect_vars(*n.a, out);
+      if (n.b) collect_vars(*n.b, out);
+  }
+}
+
+}  // namespace
+
+DirectionMap analyze(const Node& ast) {
+  DirectionMap vars;
+  collect_vars(ast, vars);
+  for (auto& [name, dir] : vars) dir = direction_wrt(ast, name);
+  return vars;
+}
+
+bool is_monotone(const Node& ast) {
+  for (const auto& [name, dir] : analyze(ast)) {
+    if (dir == Direction::Unknown) return false;
+  }
+  return true;
+}
+
+}  // namespace sekitei::expr

@@ -1,0 +1,45 @@
+// Syntactic monotonicity analysis of specification formulae.
+//
+// Sekitei's soundness premise (Section 2.2) is that resource functions are
+// monotone: pushing more data through a component never yields less output.
+// The paper also notes that degradability/upgradability tags "can be obtained
+// automatically by syntactic analysis of the problem specification".  This
+// module implements that analysis: it derives, for each role variable, the
+// direction in which an expression moves when the variable grows.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "expr/ast.hpp"
+
+namespace sekitei::expr {
+
+/// Direction of an expression as a function of one variable.
+enum class Direction : unsigned char {
+  Constant,       // does not depend on the variable
+  NonDecreasing,  // grows (weakly) with the variable
+  NonIncreasing,  // shrinks (weakly) with the variable
+  Unknown,        // cannot be established syntactically
+};
+
+[[nodiscard]] const char* direction_name(Direction d);
+
+/// Combines directions of two sub-expressions under addition.
+[[nodiscard]] Direction combine_add(Direction a, Direction b);
+/// Flips a direction (negation / subtraction RHS / division denominator).
+[[nodiscard]] Direction flip(Direction d);
+
+/// Map from role-variable spelling ("T.ibw") to derived direction.
+using DirectionMap = std::map<std::string, Direction>;
+
+/// Analyzes `ast` and returns the direction of the whole expression with
+/// respect to every role variable it mentions.
+[[nodiscard]] DirectionMap analyze(const Node& ast);
+
+/// True when the expression is (weakly) monotone — in *some* direction — in
+/// every variable it mentions.  This is the check a spec loader runs to
+/// enforce the paper's "only restriction on such functions is monotonicity".
+[[nodiscard]] bool is_monotone(const Node& ast);
+
+}  // namespace sekitei::expr

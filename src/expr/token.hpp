@@ -1,0 +1,49 @@
+// Tokens shared by the expression parser and the specification DSL parser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sekitei::expr {
+
+enum class Tok : std::uint8_t {
+  End,
+  Ident,      // bare identifier: Merger, ibw, node, ...
+  Number,     // numeric literal (double)
+  Dot,        // .
+  Comma,      // ,
+  Semi,       // ;
+  Colon,      // :
+  LParen,     // (
+  RParen,     // )
+  LBrace,     // {
+  RBrace,     // }
+  LBracket,   // [
+  RBracket,   // ]
+  Prime,      // '
+  Plus,       // +
+  Minus,      // -
+  Star,       // *
+  Slash,      // /
+  Assign,     // :=
+  PlusEq,     // +=
+  MinusEq,    // -=
+  Ge,         // >=
+  Le,         // <=
+  Gt,         // >
+  Lt,         // <
+  EqEq,       // ==
+  Ne,         // !=
+  Eq,         // =   (only used by `param name = value;`)
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;    // identifier spelling
+  double number = 0.0; // numeric value for Tok::Number
+  int line = 1;        // 1-based source line, for diagnostics
+};
+
+[[nodiscard]] const char* tok_name(Tok t);
+
+}  // namespace sekitei::expr

@@ -1,0 +1,88 @@
+// Compilation of a CPP instance into a leveled AI-planning problem
+// (Sections 2.2 and 3.1).
+//
+// compile() grounds every component over every allowed node and every
+// interface over every directed link, instantiates the ground actions per
+// level combination, prunes combinations whose conditions cannot hold over
+// the optimistic intervals (the paper's leveling-time pruning: "Actions for
+// crossing the link with the M stream with levels above 1 are pruned during
+// the leveling because of limited link bandwidth", Fig. 7), and assembles
+// the initial state, goal and achiever indices used by the planner phases.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/action.hpp"
+#include "model/problem.hpp"
+#include "model/props.hpp"
+#include "model/vars.hpp"
+#include "spec/levels.hpp"
+#include "support/interner.hpp"
+
+namespace sekitei::model {
+
+/// Per-interface leveling info for one compiled problem: which property is
+/// leveled (at most one per interface), its level set and tag.
+struct IfaceLevelInfo {
+  NameId prop;              // invalid when the interface is unleveled
+  spec::LevelSet levels;    // trivial when unleveled
+  spec::LevelTag tag = spec::LevelTag::None;
+};
+
+struct InitMapEntry {
+  VarId var;
+  Interval value;
+};
+
+class CompiledProblem {
+ public:
+  const CppProblem* problem = nullptr;
+  const net::Network* net = nullptr;
+  const spec::DomainSpec* domain = nullptr;
+  spec::LevelScenario scenario;
+
+  Interner names;                        // property/resource name interner
+  std::vector<std::string> iface_names;  // aligned with domain interface order
+  std::vector<IfaceLevelInfo> iface_levels;
+
+  VarRegistry vars;
+  PropRegistry props;
+
+  std::vector<std::unique_ptr<CompiledSemantics>> semantics;
+  std::vector<GroundAction> actions;
+
+  /// achievers[p] = actions whose effects support proposition p, including
+  /// cross-level support through degradable/upgradable closure.
+  std::vector<std::vector<ActionId>> achievers;
+
+  std::vector<PropId> init_props;  // sorted, closure applied
+  std::vector<InitMapEntry> init_map;
+  /// Sorted goal set: the primary goal plus every extra goal.
+  std::vector<PropId> goal_props;
+  /// The primary goal (first of goal_props), kept for single-goal callers.
+  PropId goal_prop;
+
+  /// Leveling statistics (Table 2, column 5 reports `actions.size()`).
+  std::uint64_t combos_considered = 0;
+  std::uint64_t combos_pruned = 0;
+
+  [[nodiscard]] const std::vector<ActionId>& achievers_of(PropId p) const;
+  [[nodiscard]] bool init_holds(PropId p) const;
+
+  /// Human-readable action rendering, e.g.
+  /// "place Splitter on n0 [M:L1 -> T:L1,I:L1]" or "cross Z n0->n1 [L1->L1]".
+  [[nodiscard]] std::string describe(ActionId a) const;
+  [[nodiscard]] std::string describe(PropId p) const;
+
+ private:
+  static const std::vector<ActionId> kNoAchievers;
+};
+
+/// Grounds and levels `problem` under `scenario`.  Raises on malformed input
+/// (unknown names, several leveled properties on one interface).
+[[nodiscard]] CompiledProblem compile(const CppProblem& problem,
+                                      const spec::LevelScenario& scenario);
+
+}  // namespace sekitei::model

@@ -1,0 +1,60 @@
+// A Component Placement Problem instance (Section 2.1): network + component
+// specifications + initial deployment + goal.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "spec/spec.hpp"
+#include "support/interval.hpp"
+
+namespace sekitei::model {
+
+/// A stream available in the initial state (e.g. the Server's M stream:
+/// "the server is capable of producing up to 200 units" => value [0, 200] —
+/// the planner *chooses* how much of it to use; that choice is the essence of
+/// Scenario 1).
+struct InitialStream {
+  std::string iface;   // interface name
+  std::string prop;    // which property `value` constrains (e.g. "ibw")
+  NodeId node;
+  Interval value;      // production choice interval; a point for fixed streams
+};
+
+struct CppProblem {
+  const net::Network* network = nullptr;
+  const spec::DomainSpec* domain = nullptr;
+
+  std::vector<InitialStream> initial_streams;
+
+  /// Components already deployed (their placed() props hold initially).
+  std::vector<std::pair<std::string, NodeId>> preplaced;
+
+  /// Placement restrictions: component name -> allowed nodes.  A present but
+  /// empty list means the component can never be (re)placed — e.g. the
+  /// Server, which only exists pre-placed.  Absent = placeable anywhere.
+  std::map<std::string, std::vector<NodeId>> placement_rule;
+
+  /// Goal: placed(goal_component, goal_node) — e.g. the Client on its fixed
+  /// node ("locations of both the server and the clients are given").
+  std::string goal_component;
+  NodeId goal_node;
+
+  /// Additional goals beyond the primary one: the paper's plural "clients".
+  /// Every pair must end up placed; the planner naturally shares upstream
+  /// components and streams between them (multicast deployment).
+  std::vector<std::pair<std::string, NodeId>> extra_goals;
+
+  [[nodiscard]] bool placeable_at(const std::string& comp, NodeId n) const {
+    auto it = placement_rule.find(comp);
+    if (it == placement_rule.end()) return true;
+    for (NodeId allowed : it->second) {
+      if (allowed == n) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace sekitei::model

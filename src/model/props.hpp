@@ -1,0 +1,80 @@
+// Logical propositions.
+//
+// Two kinds (Section 2.2): `placed(Component, node)` and, folded together
+// with its level parameter, `avail(Interface, node, level)` — "the interface
+// is available at the node with its leveled property in level interval k".
+// Both kinds are *important* propositions in the paper's sense: they can be
+// achieved by actions and drive branching.  Levels of node/link resources
+// are never materialized as propositions; they appear only as parameters of
+// leveled actions and entries in optimistic resource maps (the paper's
+// "unimportant" level propositions, which are "only checked").
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/ids.hpp"
+
+namespace sekitei::model {
+
+enum class PropKind : unsigned char { Placed, Avail };
+
+struct PropKey {
+  PropKind kind = PropKind::Placed;
+  std::uint32_t entity = 0;  // component index | interface index
+  std::uint32_t node = 0;
+  std::uint32_t level = 0;   // always 0 for Placed
+
+  friend bool operator==(const PropKey& x, const PropKey& y) {
+    return x.kind == y.kind && x.entity == y.entity && x.node == y.node && x.level == y.level;
+  }
+};
+
+struct PropKeyHash {
+  std::size_t operator()(const PropKey& k) const noexcept {
+    std::size_t h = static_cast<std::size_t>(k.kind);
+    h = h * 1099511628211ULL ^ k.entity;
+    h = h * 1099511628211ULL ^ k.node;
+    h = h * 1099511628211ULL ^ k.level;
+    return h;
+  }
+};
+
+class PropRegistry {
+ public:
+  PropId placed(ComponentId comp, NodeId node) {
+    return intern({PropKind::Placed, comp.index(), node.index(), 0});
+  }
+  PropId avail(InterfaceId iface, NodeId node, std::uint32_t level) {
+    return intern({PropKind::Avail, iface.index(), node.index(), level});
+  }
+
+  /// Lookup without creation; invalid id when the proposition was never made.
+  [[nodiscard]] PropId find_avail(InterfaceId iface, NodeId node, std::uint32_t level) const {
+    auto it = index_.find({PropKind::Avail, iface.index(), node.index(), level});
+    return it == index_.end() ? PropId{} : it->second;
+  }
+  [[nodiscard]] PropId find_placed(ComponentId comp, NodeId node) const {
+    auto it = index_.find({PropKind::Placed, comp.index(), node.index(), 0});
+    return it == index_.end() ? PropId{} : it->second;
+  }
+
+  [[nodiscard]] const PropKey& key(PropId id) const { return keys_[id.index()]; }
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+
+ private:
+  PropId intern(const PropKey& k) {
+    auto it = index_.find(k);
+    if (it != index_.end()) return it->second;
+    PropId id(static_cast<std::uint32_t>(keys_.size()));
+    keys_.push_back(k);
+    index_.emplace(k, id);
+    return id;
+  }
+
+  std::vector<PropKey> keys_;
+  std::unordered_map<PropKey, PropId, PropKeyHash> index_;
+};
+
+}  // namespace sekitei::model

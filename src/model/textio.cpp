@@ -1,0 +1,229 @@
+#include "model/textio.hpp"
+
+#include <sstream>
+
+#include "expr/lexer.hpp"
+#include "support/error.hpp"
+
+namespace sekitei::model {
+
+namespace {
+
+using expr::Lexer;
+using expr::Tok;
+
+double parse_number(Lexer& lex) {
+  const double sign = lex.accept(Tok::Minus) ? -1.0 : 1.0;
+  return sign * lex.expect(Tok::Number).number;
+}
+
+std::map<std::string, double> parse_resource_block(Lexer& lex) {
+  std::map<std::string, double> res;
+  lex.expect(Tok::LBrace);
+  while (!lex.accept(Tok::RBrace)) {
+    const std::string name = lex.expect(Tok::Ident).text;
+    res[name] = parse_number(lex);
+    lex.expect(Tok::Semi);
+  }
+  return res;
+}
+
+void parse_network(Lexer& lex, net::Network& net) {
+  lex.expect(Tok::LBrace);
+  while (!lex.accept(Tok::RBrace)) {
+    if (lex.accept_keyword("node")) {
+      const std::string name = lex.expect(Tok::Ident).text;
+      if (net.find_node(name).valid()) raise("textio: duplicate node '" + name + "'");
+      net.add_node(name, lex.peek().kind == Tok::LBrace ? parse_resource_block(lex)
+                                                        : std::map<std::string, double>{});
+      lex.accept(Tok::Semi);
+    } else if (lex.accept_keyword("link")) {
+      const std::string an = lex.expect(Tok::Ident).text;
+      const std::string bn = lex.expect(Tok::Ident).text;
+      const NodeId a = net.find_node(an);
+      const NodeId b = net.find_node(bn);
+      if (!a.valid()) raise("textio: link references unknown node '" + an + "'");
+      if (!b.valid()) raise("textio: link references unknown node '" + bn + "'");
+      net::LinkClass cls = net::LinkClass::Other;
+      if (lex.accept_keyword("lan")) {
+        cls = net::LinkClass::Lan;
+      } else if (lex.accept_keyword("wan")) {
+        cls = net::LinkClass::Wan;
+      } else {
+        lex.accept_keyword("other");
+      }
+      net.add_link(a, b, cls, lex.peek().kind == Tok::LBrace ? parse_resource_block(lex)
+                                                             : std::map<std::string, double>{});
+      lex.accept(Tok::Semi);
+    } else {
+      raise("textio: expected 'node' or 'link' in network block (line " +
+            std::to_string(lex.line()) + ")");
+    }
+  }
+}
+
+NodeId expect_node(Lexer& lex, const net::Network& net) {
+  const std::string name = lex.expect(Tok::Ident).text;
+  const NodeId n = net.find_node(name);
+  if (!n.valid()) raise("textio: unknown node '" + name + "'");
+  return n;
+}
+
+void parse_problem(Lexer& lex, LoadedProblem& lp) {
+  if (lp.net.node_count() == 0) {
+    raise("textio: the problem block requires a network block first");
+  }
+  lex.expect(Tok::LBrace);
+  while (!lex.accept(Tok::RBrace)) {
+    if (lex.accept_keyword("stream")) {
+      InitialStream is;
+      is.iface = lex.expect(Tok::Ident).text;
+      lex.expect(Tok::Dot);
+      is.prop = lex.expect(Tok::Ident).text;
+      lex.expect_keyword("at");
+      is.node = expect_node(lex, lp.net);
+      lex.expect(Tok::Eq);
+      if (lex.accept(Tok::LBracket)) {
+        const double lo = parse_number(lex);
+        lex.expect(Tok::Comma);
+        const double hi = parse_number(lex);
+        lex.expect(Tok::RBracket);
+        is.value = Interval{lo, hi};
+      } else {
+        is.value = Interval::point(parse_number(lex));
+      }
+      lex.expect(Tok::Semi);
+      if (lp.domain.find_interface(is.iface) == nullptr) {
+        raise("textio: stream references unknown interface '" + is.iface + "'");
+      }
+      lp.problem.initial_streams.push_back(std::move(is));
+    } else if (lex.accept_keyword("preplaced")) {
+      const std::string comp = lex.expect(Tok::Ident).text;
+      lex.expect_keyword("at");
+      const NodeId n = expect_node(lex, lp.net);
+      lex.expect(Tok::Semi);
+      if (lp.domain.find_component(comp) == nullptr) {
+        raise("textio: preplaced references unknown component '" + comp + "'");
+      }
+      lp.problem.preplaced.emplace_back(comp, n);
+    } else if (lex.accept_keyword("restrict")) {
+      const std::string comp = lex.expect(Tok::Ident).text;
+      lex.expect_keyword("to");
+      std::vector<NodeId>& nodes = lp.problem.placement_rule[comp];
+      do {
+        nodes.push_back(expect_node(lex, lp.net));
+      } while (lex.accept(Tok::Comma));
+      lex.expect(Tok::Semi);
+    } else if (lex.accept_keyword("forbid")) {
+      const std::string comp = lex.expect(Tok::Ident).text;
+      lex.expect(Tok::Semi);
+      lp.problem.placement_rule[comp] = {};
+    } else if (lex.accept_keyword("goal")) {
+      lp.problem.goal_component = lex.expect(Tok::Ident).text;
+      lex.expect_keyword("at");
+      lp.problem.goal_node = expect_node(lex, lp.net);
+      lex.expect(Tok::Semi);
+      if (lp.domain.find_component(lp.problem.goal_component) == nullptr) {
+        raise("textio: goal references unknown component '" + lp.problem.goal_component + "'");
+      }
+    } else {
+      raise("textio: expected stream/preplaced/restrict/forbid/goal (line " +
+            std::to_string(lex.line()) + ")");
+    }
+  }
+}
+
+void parse_scenario(Lexer& lex, LoadedProblem& lp) {
+  lex.expect(Tok::LBrace);
+  while (!lex.accept(Tok::RBrace)) {
+    lex.expect_keyword("levels");
+    if (lex.accept_keyword("link")) {
+      const std::string res = lex.expect(Tok::Ident).text;
+      lex.expect(Tok::LBrace);
+      std::vector<double> cuts;
+      do {
+        cuts.push_back(parse_number(lex));
+      } while (lex.accept(Tok::Comma));
+      lex.expect(Tok::RBrace);
+      lp.scenario.link_levels[res] = spec::LevelSet(std::move(cuts));
+    } else if (lex.accept_keyword("node")) {
+      const std::string res = lex.expect(Tok::Ident).text;
+      lex.expect(Tok::LBrace);
+      std::vector<double> cuts;
+      do {
+        cuts.push_back(parse_number(lex));
+      } while (lex.accept(Tok::Comma));
+      lex.expect(Tok::RBrace);
+      lp.scenario.node_levels[res] = spec::LevelSet(std::move(cuts));
+    } else {
+      const std::string iface = lex.expect(Tok::Ident).text;
+      lex.expect(Tok::Dot);
+      const std::string prop = lex.expect(Tok::Ident).text;
+      lex.expect(Tok::LBrace);
+      std::vector<double> cuts;
+      do {
+        cuts.push_back(parse_number(lex));
+      } while (lex.accept(Tok::Comma));
+      lex.expect(Tok::RBrace);
+      if (lp.domain.find_interface(iface) == nullptr) {
+        raise("textio: levels reference unknown interface '" + iface + "'");
+      }
+      lp.scenario.iface_levels[{iface, prop}] = spec::LevelSet(std::move(cuts));
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<LoadedProblem> load_problem(const std::string& domain_text,
+                                            const std::string& problem_text,
+                                            const expr::ParamTable& params) {
+  auto lp = std::make_unique<LoadedProblem>();
+  lp->domain = spec::parse_domain(domain_text, params);
+  lp->scenario.name = "file";
+
+  Lexer lex(problem_text);
+  while (!lex.at_end()) {
+    if (lex.accept_keyword("network")) {
+      parse_network(lex, lp->net);
+    } else if (lex.accept_keyword("problem")) {
+      parse_problem(lex, *lp);
+    } else if (lex.accept_keyword("scenario")) {
+      parse_scenario(lex, *lp);
+    } else {
+      raise("textio: expected 'network', 'problem' or 'scenario' (line " +
+            std::to_string(lex.line()) + ")");
+    }
+  }
+  if (lp->problem.goal_component.empty()) raise("textio: the problem block must set a goal");
+  lp->problem.network = &lp->net;
+  lp->problem.domain = &lp->domain;
+  return lp;
+}
+
+std::string network_to_text(const net::Network& net) {
+  std::ostringstream os;
+  os << "network {\n";
+  for (NodeId n : net.node_ids()) {
+    const net::Node& node = net.node(n);
+    os << "  node " << node.name << " {";
+    for (const auto& [k, v] : node.resources) os << ' ' << k << ' ' << v << ';';
+    os << " }\n";
+  }
+  for (LinkId l : net.link_ids()) {
+    const net::Link& link = net.link(l);
+    os << "  link " << net.node(link.a).name << ' ' << net.node(link.b).name << ' ';
+    switch (link.cls) {
+      case net::LinkClass::Lan: os << "lan"; break;
+      case net::LinkClass::Wan: os << "wan"; break;
+      case net::LinkClass::Other: os << "other"; break;
+    }
+    os << " {";
+    for (const auto& [k, v] : link.resources) os << ' ' << k << ' ' << v << ';';
+    os << " }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace sekitei::model

@@ -1,0 +1,65 @@
+// File-driven problem loading: a text format for networks and CPP instances,
+// so the planner is usable without writing C++.  Together with the domain
+// DSL (spec/spec.hpp) this covers the whole input surface of the paper:
+// "The CPP is specified by a network topology and resources, specifications
+// of components, and a characterization of the interactions between
+// components and the network environment."
+//
+// Syntax (comments with # or //):
+//
+//   network {
+//     node n0 { cpu 30; }
+//     node n1 { cpu 30; }
+//     link n0 n1 wan { lbw 70; delay 10; }   # class: lan | wan | other
+//   }
+//   problem {
+//     stream M.ibw at n0 = [0, 200];     # production choice interval
+//     stream M.ibw at n2 = 50;           # fixed replica
+//     preplaced Server at n0;
+//     restrict Client to n1;             # placement rule (repeatable)
+//     forbid Server;                     # never placeable
+//     goal Client at n1;
+//   }
+//   scenario {
+//     levels M.ibw { 90, 100 }
+//     levels T.ibw { 63, 70 }
+//     levels link lbw { 31, 62 }
+//     levels node cpu { 10, 20 }
+//   }
+//
+// All three sections are optional and may appear in any order; `problem`
+// requires `network` to have been parsed first.
+#pragma once
+
+#include <string>
+
+#include "model/problem.hpp"
+#include "net/network.hpp"
+#include "spec/spec.hpp"
+
+namespace sekitei::model {
+
+/// A fully self-contained, heap-pinned problem instance loaded from text.
+/// Non-copyable/movable: `problem` points into `net` and `domain`.
+struct LoadedProblem {
+  spec::DomainSpec domain;
+  net::Network net;
+  CppProblem problem;
+  spec::LevelScenario scenario;
+
+  LoadedProblem() = default;
+  LoadedProblem(const LoadedProblem&) = delete;
+  LoadedProblem& operator=(const LoadedProblem&) = delete;
+};
+
+/// Parses `domain_text` (the component DSL) and `problem_text` (the format
+/// above) into a ready-to-compile instance.  Raises sekitei::Error with a
+/// line-accurate message on malformed input.
+[[nodiscard]] std::unique_ptr<LoadedProblem> load_problem(
+    const std::string& domain_text, const std::string& problem_text,
+    const expr::ParamTable& params = {});
+
+/// Serializes a network back to the text format (round-trip support).
+[[nodiscard]] std::string network_to_text(const net::Network& net);
+
+}  // namespace sekitei::model

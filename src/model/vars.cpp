@@ -1,0 +1,29 @@
+#include "model/vars.hpp"
+
+#include <sstream>
+
+namespace sekitei::model {
+
+std::string VarRegistry::describe(VarId id, const net::Network& net, const Interner& names,
+                                  const std::vector<std::string>& iface_names) const {
+  const VarKey& k = key(id);
+  std::ostringstream os;
+  switch (k.kind) {
+    case VarKind::NodeRes:
+      os << names.str(NameId(k.b)) << '(' << net.node(NodeId(k.a)).name << ')';
+      break;
+    case VarKind::LinkRes: {
+      const net::Link& l = net.link(LinkId(k.a));
+      os << names.str(NameId(k.b)) << '(' << net.node(l.a).name << '-' << net.node(l.b).name
+         << ')';
+      break;
+    }
+    case VarKind::IfaceProp:
+      os << names.str(NameId(k.c)) << '(' << iface_names[k.a] << '@'
+         << net.node(NodeId(k.b)).name << ')';
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace sekitei::model

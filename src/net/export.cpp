@@ -1,0 +1,61 @@
+#include "net/export.hpp"
+
+#include <sstream>
+
+namespace sekitei::net {
+
+std::string to_dot(const Network& net, const std::string& graph_name) {
+  std::ostringstream os;
+  os << "graph " << graph_name << " {\n";
+  os << "  node [shape=circle fontsize=9];\n";
+  for (NodeId n : net.node_ids()) {
+    os << "  \"" << net.node(n).name << "\";\n";
+  }
+  for (LinkId l : net.link_ids()) {
+    const Link& link = net.link(l);
+    os << "  \"" << net.node(link.a).name << "\" -- \"" << net.node(link.b).name << "\" [label=\""
+       << link.resource("lbw") << "\"";
+    if (link.cls == LinkClass::Wan) os << " style=bold color=red";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_json(const Network& net) {
+  std::ostringstream os;
+  os << "{\"nodes\":[";
+  bool first = true;
+  for (NodeId n : net.node_ids()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << net.node(n).name << "\",\"resources\":{";
+    bool rfirst = true;
+    for (const auto& [k, v] : net.node(n).resources) {
+      if (!rfirst) os << ",";
+      rfirst = false;
+      os << "\"" << k << "\":" << v;
+    }
+    os << "}}";
+  }
+  os << "],\"links\":[";
+  first = true;
+  for (LinkId l : net.link_ids()) {
+    const Link& link = net.link(l);
+    if (!first) os << ",";
+    first = false;
+    os << "{\"a\":\"" << net.node(link.a).name << "\",\"b\":\"" << net.node(link.b).name
+       << "\",\"class\":\"" << link_class_name(link.cls) << "\",\"resources\":{";
+    bool rfirst = true;
+    for (const auto& [k, v] : link.resources) {
+      if (!rfirst) os << ",";
+      rfirst = false;
+      os << "\"" << k << "\":" << v;
+    }
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace sekitei::net

@@ -1,0 +1,18 @@
+// Network serialization: Graphviz DOT for figures (Fig. 10 analogue) and a
+// small JSON form for tooling.
+#pragma once
+
+#include <string>
+
+#include "net/network.hpp"
+
+namespace sekitei::net {
+
+/// Graphviz rendering; LAN links solid, WAN links bold/dashed, with
+/// bandwidth labels.
+[[nodiscard]] std::string to_dot(const Network& net, const std::string& graph_name = "net");
+
+/// Compact JSON: {"nodes":[{name,resources}...], "links":[{a,b,class,resources}...]}.
+[[nodiscard]] std::string to_json(const Network& net);
+
+}  // namespace sekitei::net

@@ -1,0 +1,132 @@
+#include "net/generator.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace sekitei::net {
+
+namespace {
+
+std::map<std::string, double> cpu_res(double cpu) { return {{"cpu", cpu}}; }
+
+std::map<std::string, double> link_res(double bw, double delay) {
+  return {{"lbw", bw}, {"delay", delay}};
+}
+
+}  // namespace
+
+Network transit_stub(const TransitStubParams& p, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  Network net;
+
+  // Transit backbone: a ring plus random chords, so the backbone survives a
+  // single transit failure and offers alternative routes.
+  std::vector<NodeId> transit;
+  transit.reserve(p.transit_nodes);
+  for (std::uint32_t i = 0; i < p.transit_nodes; ++i) {
+    transit.push_back(net.add_node("t" + std::to_string(i), cpu_res(p.node_cpu)));
+  }
+  for (std::uint32_t i = 0; i + 1 < p.transit_nodes; ++i) {
+    net.add_link(transit[i], transit[i + 1], LinkClass::Wan,
+                 link_res(p.wan_bandwidth, p.wan_delay));
+  }
+  if (p.transit_nodes > 2) {
+    net.add_link(transit.back(), transit.front(), LinkClass::Wan,
+                 link_res(p.wan_bandwidth, p.wan_delay));
+  }
+  for (std::uint32_t i = 0; i < p.transit_nodes; ++i) {
+    for (std::uint32_t j = i + 2; j < p.transit_nodes; ++j) {
+      if (rng.chance(p.extra_transit_edge_prob) && !net.find_link(transit[i], transit[j]).valid()) {
+        net.add_link(transit[i], transit[j], LinkClass::Wan,
+                     link_res(p.wan_bandwidth, p.wan_delay));
+      }
+    }
+  }
+
+  // Stub domains: each hangs off one transit router through a WAN access
+  // link; inside the stub, hosts form a LAN tree with random extra edges.
+  std::uint32_t stub_index = 0;
+  for (std::uint32_t t = 0; t < p.transit_nodes; ++t) {
+    for (std::uint32_t s = 0; s < p.stubs_per_transit; ++s, ++stub_index) {
+      std::vector<NodeId> stub;
+      stub.reserve(p.nodes_per_stub);
+      const std::string prefix = "s" + std::to_string(stub_index) + "_";
+      for (std::uint32_t k = 0; k < p.nodes_per_stub; ++k) {
+        stub.push_back(net.add_node(prefix + std::to_string(k), cpu_res(p.node_cpu)));
+      }
+      // Gateway host connects the stub to its transit router.
+      net.add_link(stub[0], transit[t], LinkClass::Wan, link_res(p.wan_bandwidth, p.wan_delay));
+      // LAN tree: each host attaches to a random earlier host.
+      for (std::uint32_t k = 1; k < p.nodes_per_stub; ++k) {
+        const std::uint32_t parent = static_cast<std::uint32_t>(rng.next_below(k));
+        net.add_link(stub[k], stub[parent], LinkClass::Lan, link_res(p.lan_bandwidth, p.lan_delay));
+      }
+      for (std::uint32_t i = 0; i < p.nodes_per_stub; ++i) {
+        for (std::uint32_t j = i + 1; j < p.nodes_per_stub; ++j) {
+          if (rng.chance(p.extra_stub_edge_prob) && !net.find_link(stub[i], stub[j]).valid()) {
+            net.add_link(stub[i], stub[j], LinkClass::Lan,
+                         link_res(p.lan_bandwidth, p.lan_delay));
+          }
+        }
+      }
+    }
+  }
+
+  SEKITEI_ASSERT(net.connected());
+  return net;
+}
+
+Network waxman(const WaxmanParams& p, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  Network net;
+  std::vector<double> x(p.nodes), y(p.nodes);
+  for (std::uint32_t i = 0; i < p.nodes; ++i) {
+    x[i] = rng.next_double();
+    y[i] = rng.next_double();
+    net.add_node("w" + std::to_string(i), cpu_res(p.node_cpu));
+  }
+  const double max_dist = std::sqrt(2.0);
+  for (std::uint32_t i = 0; i < p.nodes; ++i) {
+    for (std::uint32_t j = i + 1; j < p.nodes; ++j) {
+      const double d = std::hypot(x[i] - x[j], y[i] - y[j]);
+      const double prob = p.alpha * std::exp(-d / (p.beta * max_dist));
+      if (rng.chance(prob)) {
+        net.add_link(NodeId(i), NodeId(j), LinkClass::Wan,
+                     link_res(p.bandwidth, p.delay_scale * d));
+      }
+    }
+  }
+  // Guarantee connectivity: attach every node to a random predecessor, as a
+  // spanning construction on top of the Waxman draw.
+  for (std::uint32_t i = 1; i < p.nodes; ++i) {
+    bool attached = false;
+    for (LinkId l : net.links_at(NodeId(i))) {
+      if (net.link(l).other(NodeId(i)).index() < i) {
+        attached = true;
+        break;
+      }
+    }
+    if (!attached) {
+      const std::uint32_t j = static_cast<std::uint32_t>(rng.next_below(i));
+      const double d = std::hypot(x[i] - x[j], y[i] - y[j]);
+      net.add_link(NodeId(i), NodeId(j), LinkClass::Wan,
+                   link_res(p.bandwidth, p.delay_scale * d));
+    }
+  }
+  SEKITEI_ASSERT(net.connected());
+  return net;
+}
+
+Network chain(const std::vector<ChainLinkSpec>& links, double node_cpu) {
+  Network net;
+  NodeId prev = net.add_node("n0", cpu_res(node_cpu));
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    NodeId cur = net.add_node("n" + std::to_string(i + 1), cpu_res(node_cpu));
+    net.add_link(prev, cur, links[i].cls, link_res(links[i].bandwidth, links[i].delay));
+    prev = cur;
+  }
+  return net;
+}
+
+}  // namespace sekitei::net

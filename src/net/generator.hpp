@@ -1,0 +1,59 @@
+// Topology generators.
+//
+// The paper's Large scenario uses a 93-node network "generated using the
+// GeorgiaTech ITM tool" [Zegura et al.].  GT-ITM is an external C program we
+// cannot ship, so this module re-implements its transit-stub recipe: a small
+// random transit backbone whose routers each anchor several stub (campus)
+// domains.  Transit and inter-domain links are WAN class; intra-stub links
+// are LAN class.  A Waxman generator (the other classic GT-ITM flavour) and
+// simple chain/star builders are provided for sweeps and tests.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.hpp"
+#include "support/rng.hpp"
+
+namespace sekitei::net {
+
+struct TransitStubParams {
+  std::uint32_t transit_nodes = 3;        // routers in the transit backbone
+  std::uint32_t stubs_per_transit = 3;    // stub domains per transit router
+  std::uint32_t nodes_per_stub = 10;      // hosts per stub domain
+  double extra_transit_edge_prob = 0.4;   // chance of redundant backbone edges
+  double extra_stub_edge_prob = 0.25;     // chance of redundant stub edges
+  double lan_bandwidth = 150.0;           // paper: LAN links 150 units
+  double wan_bandwidth = 70.0;            // paper: WAN links 70 units
+  double node_cpu = 30.0;                 // paper: CPU for ~111 media units
+  double lan_delay = 1.0;
+  double wan_delay = 10.0;
+};
+
+/// Generates a connected transit-stub network.  With the defaults this gives
+/// 3 transit + 9 stubs x 10 = 93 nodes, matching the paper's Fig. 10 scale.
+[[nodiscard]] Network transit_stub(const TransitStubParams& params, std::uint64_t seed);
+
+struct WaxmanParams {
+  std::uint32_t nodes = 50;
+  double alpha = 0.15;  // edge probability scale
+  double beta = 0.6;    // edge probability distance decay
+  double bandwidth = 100.0;
+  double node_cpu = 30.0;
+  double delay_scale = 10.0;
+};
+
+/// Classic Waxman random graph on the unit square; extra spanning-tree edges
+/// guarantee connectivity.
+[[nodiscard]] Network waxman(const WaxmanParams& params, std::uint64_t seed);
+
+/// A chain n0 - n1 - ... - n{k-1} with per-link classes/bandwidths supplied
+/// by the caller; used to build the paper's Tiny and Small scenarios.
+struct ChainLinkSpec {
+  LinkClass cls;
+  double bandwidth;
+  double delay = 1.0;
+};
+
+[[nodiscard]] Network chain(const std::vector<ChainLinkSpec>& links, double node_cpu);
+
+}  // namespace sekitei::net

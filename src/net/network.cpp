@@ -1,0 +1,84 @@
+#include "net/network.hpp"
+
+#include <queue>
+
+namespace sekitei::net {
+
+const char* link_class_name(LinkClass c) {
+  switch (c) {
+    case LinkClass::Lan: return "LAN";
+    case LinkClass::Wan: return "WAN";
+    case LinkClass::Other: return "OTHER";
+  }
+  return "?";
+}
+
+NodeId Network::add_node(std::string name, std::map<std::string, double> resources) {
+  NodeId id(static_cast<std::uint32_t>(nodes_.size()));
+  nodes_.push_back(Node{std::move(name), std::move(resources)});
+  incidence_.emplace_back();
+  return id;
+}
+
+LinkId Network::add_link(NodeId a, NodeId b, LinkClass cls,
+                         std::map<std::string, double> resources) {
+  SEKITEI_ASSERT(a.index() < nodes_.size() && b.index() < nodes_.size());
+  if (a == b) raise("network: self-loop links are not allowed");
+  LinkId id(static_cast<std::uint32_t>(links_.size()));
+  links_.push_back(Link{a, b, cls, std::move(resources)});
+  incidence_[a.index()].push_back(id);
+  incidence_[b.index()].push_back(id);
+  return id;
+}
+
+NodeId Network::find_node(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return NodeId(static_cast<std::uint32_t>(i));
+  }
+  return NodeId{};
+}
+
+LinkId Network::find_link(NodeId a, NodeId b) const {
+  for (LinkId l : links_at(a)) {
+    if (links_[l.index()].other(a) == b) return l;
+  }
+  return LinkId{};
+}
+
+std::vector<NodeId> Network::node_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) out.emplace_back(static_cast<std::uint32_t>(i));
+  return out;
+}
+
+std::vector<LinkId> Network::link_ids() const {
+  std::vector<LinkId> out;
+  out.reserve(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) out.emplace_back(static_cast<std::uint32_t>(i));
+  return out;
+}
+
+bool Network::connected() const {
+  if (nodes_.empty()) return true;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::queue<NodeId> q;
+  q.push(NodeId(0));
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!q.empty()) {
+    const NodeId n = q.front();
+    q.pop();
+    for (LinkId l : links_at(n)) {
+      const NodeId m = links_[l.index()].other(n);
+      if (!seen[m.index()]) {
+        seen[m.index()] = true;
+        ++count;
+        q.push(m);
+      }
+    }
+  }
+  return count == nodes_.size();
+}
+
+}  // namespace sekitei::net

@@ -1,0 +1,108 @@
+// Wide-area network model: nodes and links carrying named resources.
+//
+// The paper's model (Section 2.1): "The network is assumed built up out of
+// nodes and links, each characterized in terms of a number of resources."
+// Node resources of interest: cpu; link resources: lbw (bandwidth).  The
+// model is open: any named resource (memory, disk bandwidth, delay, ...)
+// can be attached and referenced from spec formulae as `node.<res>` /
+// `link.<res>`.
+//
+// Links are undirected and share one resource pool between both directions;
+// a stream crossing in either direction consumes from the same pool.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/ids.hpp"
+
+namespace sekitei::net {
+
+/// Link class, used for reporting ("reserved LAN bandwidth", Table 2 col. 4)
+/// and by topology generators.
+enum class LinkClass : unsigned char { Lan, Wan, Other };
+
+[[nodiscard]] const char* link_class_name(LinkClass c);
+
+struct Node {
+  std::string name;
+  std::map<std::string, double> resources;  // e.g. {"cpu": 30}
+
+  [[nodiscard]] double resource(const std::string& res) const {
+    auto it = resources.find(res);
+    return it == resources.end() ? 0.0 : it->second;
+  }
+};
+
+struct Link {
+  NodeId a;
+  NodeId b;
+  LinkClass cls = LinkClass::Other;
+  std::map<std::string, double> resources;  // e.g. {"lbw": 150, "delay": 5}
+
+  [[nodiscard]] double resource(const std::string& res) const {
+    auto it = resources.find(res);
+    return it == resources.end() ? 0.0 : it->second;
+  }
+
+  [[nodiscard]] bool connects(NodeId n) const { return a == n || b == n; }
+  [[nodiscard]] NodeId other(NodeId n) const {
+    SEKITEI_ASSERT(connects(n));
+    return a == n ? b : a;
+  }
+};
+
+class Network {
+ public:
+  NodeId add_node(std::string name, std::map<std::string, double> resources = {});
+  LinkId add_link(NodeId a, NodeId b, LinkClass cls,
+                  std::map<std::string, double> resources = {});
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  [[nodiscard]] const Node& node(NodeId id) const {
+    SEKITEI_ASSERT(id.index() < nodes_.size());
+    return nodes_[id.index()];
+  }
+  [[nodiscard]] Node& node(NodeId id) {
+    SEKITEI_ASSERT(id.index() < nodes_.size());
+    return nodes_[id.index()];
+  }
+  [[nodiscard]] const Link& link(LinkId id) const {
+    SEKITEI_ASSERT(id.index() < links_.size());
+    return links_[id.index()];
+  }
+  [[nodiscard]] Link& link(LinkId id) {
+    SEKITEI_ASSERT(id.index() < links_.size());
+    return links_[id.index()];
+  }
+
+  /// Looks a node up by name; invalid id when absent.
+  [[nodiscard]] NodeId find_node(const std::string& name) const;
+
+  /// Links incident to `n`.
+  [[nodiscard]] const std::vector<LinkId>& links_at(NodeId n) const {
+    SEKITEI_ASSERT(n.index() < incidence_.size());
+    return incidence_[n.index()];
+  }
+
+  /// The link between a and b, if any (first match).
+  [[nodiscard]] LinkId find_link(NodeId a, NodeId b) const;
+
+  /// All node / link ids, for iteration.
+  [[nodiscard]] std::vector<NodeId> node_ids() const;
+  [[nodiscard]] std::vector<LinkId> link_ids() const;
+
+  /// True when every node can reach every other node.
+  [[nodiscard]] bool connected() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> incidence_;
+};
+
+}  // namespace sekitei::net

@@ -1,0 +1,99 @@
+#include "net/paths.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace sekitei::net {
+
+std::vector<std::uint32_t> hop_distances(const Network& net, NodeId src) {
+  std::vector<std::uint32_t> dist(net.node_count(), std::numeric_limits<std::uint32_t>::max());
+  std::queue<NodeId> q;
+  dist[src.index()] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId n = q.front();
+    q.pop();
+    for (LinkId l : net.links_at(n)) {
+      const NodeId m = net.link(l).other(n);
+      if (dist[m.index()] == std::numeric_limits<std::uint32_t>::max()) {
+        dist[m.index()] = dist[n.index()] + 1;
+        q.push(m);
+      }
+    }
+  }
+  return dist;
+}
+
+std::optional<Path> shortest_path(const Network& net, NodeId src, NodeId dst,
+                                  const std::function<double(const Link&)>& weight) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(net.node_count(), inf);
+  std::vector<NodeId> prev_node(net.node_count());
+  std::vector<LinkId> prev_link(net.node_count());
+  using Entry = std::pair<double, std::uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[src.index()] = 0.0;
+  pq.emplace(0.0, src.index());
+  while (!pq.empty()) {
+    const auto [d, ni] = pq.top();
+    pq.pop();
+    if (d > dist[ni]) continue;
+    if (NodeId(ni) == dst) break;
+    for (LinkId l : net.links_at(NodeId(ni))) {
+      const Link& link = net.link(l);
+      const NodeId m = link.other(NodeId(ni));
+      const double nd = d + weight(link);
+      if (nd < dist[m.index()]) {
+        dist[m.index()] = nd;
+        prev_node[m.index()] = NodeId(ni);
+        prev_link[m.index()] = l;
+        pq.emplace(nd, m.index());
+      }
+    }
+  }
+  if (dist[dst.index()] == inf) return std::nullopt;
+  Path path;
+  path.weight = dist[dst.index()];
+  NodeId cur = dst;
+  while (cur != src) {
+    path.nodes.push_back(cur);
+    path.links.push_back(prev_link[cur.index()]);
+    cur = prev_node[cur.index()];
+  }
+  path.nodes.push_back(src);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.links.begin(), path.links.end());
+  return path;
+}
+
+std::optional<Path> fewest_hops(const Network& net, NodeId src, NodeId dst) {
+  return shortest_path(net, src, dst, [](const Link&) { return 1.0; });
+}
+
+double widest_path_bandwidth(const Network& net, NodeId src, NodeId dst,
+                             const std::string& res) {
+  // Modified Dijkstra maximizing the bottleneck bandwidth.
+  std::vector<double> best(net.node_count(), 0.0);
+  using Entry = std::pair<double, std::uint32_t>;
+  std::priority_queue<Entry> pq;  // max-heap on bottleneck
+  best[src.index()] = std::numeric_limits<double>::infinity();
+  pq.emplace(best[src.index()], src.index());
+  while (!pq.empty()) {
+    const auto [w, ni] = pq.top();
+    pq.pop();
+    if (w < best[ni]) continue;
+    for (LinkId l : net.links_at(NodeId(ni))) {
+      const Link& link = net.link(l);
+      const NodeId m = link.other(NodeId(ni));
+      const double nw = std::min(w, link.resource(res));
+      if (nw > best[m.index()]) {
+        best[m.index()] = nw;
+        pq.emplace(nw, m.index());
+      }
+    }
+  }
+  return best[dst.index()];
+}
+
+}  // namespace sekitei::net

@@ -1,0 +1,37 @@
+// Path queries over the network: BFS hop counts and Dijkstra with an
+// arbitrary per-link weight.  Used by tests, by topology analysis in the
+// benchmarks, and by the repair module to localize damage.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace sekitei::net {
+
+/// Hop distance from `src` to every node (UINT32_MAX when unreachable).
+[[nodiscard]] std::vector<std::uint32_t> hop_distances(const Network& net, NodeId src);
+
+struct Path {
+  std::vector<NodeId> nodes;  // src ... dst
+  std::vector<LinkId> links;  // nodes.size() - 1 entries
+  double weight = 0.0;
+};
+
+/// Cheapest path under `weight(link)`; nullopt when unreachable.
+[[nodiscard]] std::optional<Path> shortest_path(
+    const Network& net, NodeId src, NodeId dst,
+    const std::function<double(const Link&)>& weight);
+
+/// Path with the fewest hops (weight = 1 per link).
+[[nodiscard]] std::optional<Path> fewest_hops(const Network& net, NodeId src, NodeId dst);
+
+/// The maximum bandwidth (min over links of `res`) achievable on any single
+/// path from src to dst — the classic widest-path / bottleneck query.  Used
+/// to decide whether a direct connection is possible at all.
+[[nodiscard]] double widest_path_bandwidth(const Network& net, NodeId src, NodeId dst,
+                                           const std::string& res = "lbw");
+
+}  // namespace sekitei::net

@@ -1,0 +1,169 @@
+#include "repair/repair.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace sekitei::repair {
+
+bool Damage::link_failed(LinkId l) const {
+  return std::find(failed_links.begin(), failed_links.end(), l) != failed_links.end();
+}
+
+bool Damage::node_failed(NodeId n) const {
+  return std::find(failed_nodes.begin(), failed_nodes.end(), n) != failed_nodes.end();
+}
+
+net::Network damaged_copy(const net::Network& net, const Damage& damage,
+                          const sim::ExecutionReport* residual) {
+  net::Network out;
+  for (NodeId n : net.node_ids()) {
+    const net::Node& node = net.node(n);
+    std::map<std::string, double> res =
+        damage.node_failed(n) ? std::map<std::string, double>{} : node.resources;
+    if (residual != nullptr) {
+      for (const sim::NodeUse& nu : residual->node_use) {
+        if (nu.node == n && res.count("cpu")) res["cpu"] = std::max(0.0, res["cpu"] - nu.used);
+      }
+    }
+    out.add_node(node.name, std::move(res));
+  }
+  for (LinkId l : net.link_ids()) {
+    if (damage.link_failed(l)) continue;
+    const net::Link& link = net.link(l);
+    if (damage.node_failed(link.a) || damage.node_failed(link.b)) continue;
+    std::map<std::string, double> res = link.resources;
+    if (residual != nullptr) {
+      for (const sim::LinkUse& lu : residual->link_use) {
+        if (lu.link == l && res.count("lbw")) res["lbw"] = std::max(0.0, res["lbw"] - lu.used);
+      }
+    }
+    out.add_link(link.a, link.b, link.cls, std::move(res));
+  }
+  return out;
+}
+
+Survivors compute_survivors(const model::CompiledProblem& cp, const core::Plan& plan,
+                            std::span<const double> choices, const Damage& damage,
+                            bool drop_goal_component) {
+  Survivors out;
+  // Live streams: (interface index, node index), seeded by the problem's own
+  // initial streams on surviving nodes.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> live;
+  auto iface_index = [&](const std::string& name) -> std::uint32_t {
+    for (std::uint32_t i = 0; i < cp.iface_names.size(); ++i) {
+      if (cp.iface_names[i] == name) return i;
+    }
+    raise("repair: unknown interface " + name);
+  };
+  for (const model::InitialStream& is : cp.problem->initial_streams) {
+    if (!damage.node_failed(is.node)) live.emplace(iface_index(is.iface), is.node.index());
+  }
+
+  for (ActionId aid : plan.steps) {
+    const model::GroundAction& act = cp.actions[aid.index()];
+    if (act.kind == model::ActionKind::Place) {
+      if (damage.node_failed(act.node)) continue;
+      bool inputs_ok = true;
+      for (PropId p : act.pre) {
+        const model::PropKey& k = cp.props.key(p);
+        if (k.kind == model::PropKind::Avail && !live.count({k.entity, k.node})) {
+          inputs_ok = false;
+        }
+      }
+      if (!inputs_ok) continue;
+      const std::string& comp = cp.domain->component_at(act.spec_index).name;
+      if (drop_goal_component && comp == cp.problem->goal_component) continue;
+      out.subplan.steps.push_back(aid);
+      out.placements.emplace_back(comp, act.node);
+      for (PropId e : act.eff) {
+        const model::PropKey& k = cp.props.key(e);
+        if (k.kind == model::PropKind::Avail) live.emplace(k.entity, k.node);
+      }
+    } else {
+      if (damage.link_failed(act.link) || damage.node_failed(act.node) ||
+          damage.node_failed(act.node2) || !live.count({act.spec_index, act.node.index()})) {
+        continue;
+      }
+      out.subplan.steps.push_back(aid);
+      live.emplace(act.spec_index, act.node2.index());
+    }
+  }
+
+  // Re-execute the surviving sub-plan: exact stream values and residual
+  // resource consumption.  The sub-plan is prefix-closed by construction, so
+  // this always succeeds when the original plan executed.
+  sim::Executor exec(cp);
+  out.residual = exec.attempt(out.subplan, choices);
+  if (!out.residual.feasible) {
+    raise("repair: surviving sub-plan failed to re-execute: " + out.residual.failure);
+  }
+
+  // Materialize live streams with their executed values; the leveled
+  // property (or the interface's first property) carries the value.
+  for (const auto& [iface, node] : live) {
+    const model::IfaceLevelInfo& info = cp.iface_levels[iface];
+    const spec::InterfaceSpec& ispec = cp.domain->interface_at(iface);
+    if (ispec.properties.empty()) continue;
+    const std::string prop =
+        info.prop.valid() ? cp.names.str(info.prop) : ispec.properties.front().name;
+    const NameId prop_id = cp.names.find(prop);
+    for (const auto& [var, val] : out.residual.final_vars) {
+      const model::VarKey& k = cp.vars.key(var);
+      if (k.kind == model::VarKind::IfaceProp && k.a == iface && k.b == node &&
+          NameId(k.c) == prop_id) {
+        out.streams.push_back({ispec.name, prop, NodeId(node), Interval::point(val)});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void apply_adaptation_costs(model::CompiledProblem& cp, const Survivors& survivors,
+                            const AdaptationCosts& costs) {
+  for (model::GroundAction& act : cp.actions) {
+    if (act.kind != model::ActionKind::Place) continue;
+    const std::string& comp = cp.domain->component_at(act.spec_index).name;
+    double factor = 1.0;
+    for (const auto& [name, node] : survivors.placements) {
+      if (name != comp) continue;
+      factor = std::min(factor,
+                        node == act.node ? costs.reconnect_factor : costs.migrate_factor);
+    }
+    if (factor < 1.0) {
+      act.cost_lb = std::max(act.cost_lb * factor, 1e-6);
+      act.cost_ub = std::max(act.cost_ub * factor, act.cost_lb);
+    }
+  }
+}
+
+model::CppProblem repair_problem(const model::CppProblem& base, const net::Network& damaged_net,
+                                 const Survivors& survivors) {
+  model::CppProblem out;
+  out.network = &damaged_net;
+  out.domain = base.domain;
+  // Original source streams keep their full production choice; surviving
+  // mid-deployment streams come in at their executed concrete values.
+  out.initial_streams = base.initial_streams;
+  for (const model::InitialStream& s : survivors.streams) {
+    bool is_source = false;
+    for (const model::InitialStream& b : base.initial_streams) {
+      if (b.iface == s.iface && b.node == s.node) is_source = true;
+    }
+    if (!is_source) out.initial_streams.push_back(s);
+  }
+  out.preplaced = base.preplaced;  // e.g. the Server
+  for (const auto& pl : survivors.placements) {
+    if (std::find(out.preplaced.begin(), out.preplaced.end(), pl) == out.preplaced.end()) {
+      out.preplaced.push_back(pl);
+    }
+  }
+  out.placement_rule = base.placement_rule;
+  out.goal_component = base.goal_component;
+  out.goal_node = base.goal_node;
+  return out;
+}
+
+}  // namespace sekitei::repair

@@ -1,0 +1,95 @@
+#include "sim/report.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace sekitei::sim {
+
+namespace {
+
+/// Components placed per node and stream names crossing per link.
+struct DeploymentView {
+  std::map<std::uint32_t, std::vector<std::string>> node_components;
+  std::map<std::uint32_t, std::set<std::string>> link_streams;
+};
+
+DeploymentView view_of(const model::CompiledProblem& cp, const core::Plan& plan) {
+  DeploymentView v;
+  for (ActionId a : plan.steps) {
+    const model::GroundAction& act = cp.actions[a.index()];
+    if (act.kind == model::ActionKind::Place) {
+      v.node_components[act.node.index()].push_back(
+          cp.domain->component_at(act.spec_index).name);
+    } else {
+      v.link_streams[act.link.index()].insert(cp.iface_names[act.spec_index]);
+    }
+  }
+  return v;
+}
+
+double link_reserved(const ExecutionReport& rep, LinkId l) {
+  for (const LinkUse& u : rep.link_use) {
+    if (u.link == l) return u.used;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::string deployment_to_dot(const model::CompiledProblem& cp, const core::Plan& plan,
+                              const ExecutionReport& report) {
+  const DeploymentView v = view_of(cp, plan);
+  std::ostringstream os;
+  os << "graph deployment {\n  node [shape=box fontsize=9];\n";
+  for (NodeId n : cp.net->node_ids()) {
+    auto it = v.node_components.find(n.index());
+    os << "  \"" << cp.net->node(n).name << "\" [label=\"" << cp.net->node(n).name;
+    if (it != v.node_components.end()) {
+      for (const std::string& c : it->second) os << "\\n" << c;
+    }
+    os << "\"";
+    if (it != v.node_components.end()) os << " style=filled fillcolor=lightblue";
+    os << "];\n";
+  }
+  for (LinkId l : cp.net->link_ids()) {
+    const net::Link& link = cp.net->link(l);
+    os << "  \"" << cp.net->node(link.a).name << "\" -- \"" << cp.net->node(link.b).name
+       << "\"";
+    auto it = v.link_streams.find(l.index());
+    if (it != v.link_streams.end()) {
+      os << " [label=\"";
+      bool first = true;
+      for (const std::string& s : it->second) {
+        os << (first ? "" : "+") << s;
+        first = false;
+      }
+      os << " (" << link_reserved(report, l) << ")\" penwidth=2 color=blue]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string deployment_summary(const model::CompiledProblem& cp, const core::Plan& plan,
+                               const ExecutionReport& report) {
+  const DeploymentView v = view_of(cp, plan);
+  std::ostringstream os;
+  os << "deployment of " << plan.size() << " actions, realized cost " << report.actual_cost
+     << "\n";
+  for (const auto& [node, comps] : v.node_components) {
+    os << "  " << cp.net->node(NodeId(node)).name << ":";
+    for (const std::string& c : comps) os << ' ' << c;
+    os << "\n";
+  }
+  for (const auto& [link, streams] : v.link_streams) {
+    const net::Link& l = cp.net->link(LinkId(link));
+    os << "  " << cp.net->node(l.a).name << "-" << cp.net->node(l.b).name << ":";
+    for (const std::string& s : streams) os << ' ' << s;
+    os << "  (" << link_reserved(report, LinkId(link)) << " reserved)\n";
+  }
+  return os.str();
+}
+
+}  // namespace sekitei::sim

@@ -1,0 +1,26 @@
+// Deployment rendering: turn an executed plan into operator-facing artifacts
+// — a Graphviz diagram of the deployment (components on nodes, streams on
+// links, reservations as labels) and a plain-text summary table.
+#pragma once
+
+#include <string>
+
+#include "core/plan.hpp"
+#include "model/compile.hpp"
+#include "sim/executor.hpp"
+
+namespace sekitei::sim {
+
+/// Graphviz digraph: network nodes annotated with the components the plan
+/// places on them, link edges labelled with the streams crossing and the
+/// bandwidth reserved.
+[[nodiscard]] std::string deployment_to_dot(const model::CompiledProblem& cp,
+                                            const core::Plan& plan,
+                                            const ExecutionReport& report);
+
+/// Multi-line text summary: placements, crossings, reservations, cost.
+[[nodiscard]] std::string deployment_summary(const model::CompiledProblem& cp,
+                                             const core::Plan& plan,
+                                             const ExecutionReport& report);
+
+}  // namespace sekitei::sim

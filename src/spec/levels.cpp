@@ -1,0 +1,64 @@
+#include "spec/levels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace sekitei::spec {
+
+LevelSet::LevelSet(std::vector<double> cutpoints) : cutpoints_(std::move(cutpoints)) {
+  for (std::size_t i = 0; i < cutpoints_.size(); ++i) {
+    if (cutpoints_[i] <= 0) raise("level cutpoints must be positive");
+    if (i > 0 && cutpoints_[i] <= cutpoints_[i - 1]) {
+      raise("level cutpoints must be strictly increasing");
+    }
+  }
+}
+
+Interval LevelSet::interval(std::uint32_t k) const {
+  SEKITEI_ASSERT(k < count());
+  const double lo = k == 0 ? 0.0 : cutpoints_[k - 1];
+  if (k == cutpoints_.size()) return {lo, kInf};
+  return {lo, cutpoints_[k], /*hi_open=*/true};
+}
+
+std::uint32_t LevelSet::level_of(double v) const {
+  SEKITEI_ASSERT(v >= 0.0);
+  const auto it = std::upper_bound(cutpoints_.begin(), cutpoints_.end(), v);
+  return static_cast<std::uint32_t>(it - cutpoints_.begin());
+}
+
+LevelSet LevelSet::scaled(double factor) const {
+  SEKITEI_ASSERT(factor > 0.0);
+  std::vector<double> cuts = cutpoints_;
+  for (double& c : cuts) {
+    // Snap to a 1e-9 grid: proportional level sets must line up *exactly*
+    // with the formulae that relate the streams (e.g. T = 0.7 * M), or
+    // floating-point crumbs open hairline satisfiability windows between
+    // levels that are disjoint over the reals.
+    c = std::round(c * factor * 1e9) / 1e9;
+  }
+  return LevelSet(std::move(cuts));
+}
+
+std::string LevelSet::str() const {
+  std::ostringstream os;
+  for (std::uint32_t k = 0; k < count(); ++k) {
+    if (k) os << ' ';
+    os << interval(k).str();
+  }
+  return os.str();
+}
+
+const char* level_tag_name(LevelTag t) {
+  switch (t) {
+    case LevelTag::None: return "none";
+    case LevelTag::Degradable: return "degradable";
+    case LevelTag::Upgradable: return "upgradable";
+  }
+  return "?";
+}
+
+}  // namespace sekitei::spec

@@ -1,0 +1,87 @@
+// Resource levels (Section 3.1).
+//
+// A LevelSet partitions [0, inf) into disjoint intervals by strictly
+// increasing cutpoints: cutpoints {30,70,90,100} yield the paper's five
+// intervals [0,30) [30,70) [70,90) [90,100) [100,inf).  The empty cutpoint
+// list is the trivial single level [0,inf) — scenario A / unleveled
+// resources.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/interval.hpp"
+
+namespace sekitei::spec {
+
+class LevelSet {
+ public:
+  LevelSet() = default;
+  explicit LevelSet(std::vector<double> cutpoints);
+
+  /// Number of level intervals (cutpoints + 1).
+  [[nodiscard]] std::uint32_t count() const {
+    return static_cast<std::uint32_t>(cutpoints_.size()) + 1;
+  }
+
+  [[nodiscard]] bool trivial() const { return cutpoints_.empty(); }
+
+  /// The k-th interval, 0-based from [0, c0).
+  [[nodiscard]] Interval interval(std::uint32_t k) const;
+
+  /// Index of the level containing `v` (v >= 0).
+  [[nodiscard]] std::uint32_t level_of(double v) const;
+
+  [[nodiscard]] const std::vector<double>& cutpoints() const { return cutpoints_; }
+
+  /// A level set with every cutpoint multiplied by `factor` — the paper's
+  /// "bandwidth levels of interfaces T, I, and Z are proportional to those of
+  /// the M stream" (Table 1 caption).
+  [[nodiscard]] LevelSet scaled(double factor) const;
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const LevelSet& a, const LevelSet& b) {
+    return a.cutpoints_ == b.cutpoints_;
+  }
+
+ private:
+  std::vector<double> cutpoints_;  // strictly increasing, all > 0
+};
+
+/// Half-open matching of a computed value range against a level interval.
+/// Levels are conceptually [lo, hi): a computed range C can land in level L
+/// iff C reaches at least L.lo and starts strictly below L.hi.  Using this
+/// (instead of closed intersection) when assigning output levels avoids
+/// spurious boundary actions: a splitter output computed as [63, 70] belongs
+/// to level [63, 70) but not to [49, 63).
+/// Can a computed value range land inside a level interval [lo, hi)?
+///
+/// `strict_floor` is used when assigning *output* levels during leveling:
+/// the computed range must reach strictly past the level's floor, so a
+/// capacity sitting exactly at a cutpoint (e.g. min(M.ibw, 70) against level
+/// [70, 90)) cannot claim the level — this reproduces Fig. 7's pruning of
+/// "levels above 1" over the 70-unit link.
+[[nodiscard]] inline bool level_matches(Interval level, Interval computed,
+                                        bool strict_floor = false) {
+  if (computed.is_empty() || level.is_empty()) return false;
+  // Reach the floor: sup(computed) must be >= level.lo, attainably.
+  const bool reaches = computed.hi > level.lo || (computed.hi == level.lo && !computed.hi_open);
+  if (!reaches) return false;
+  if (strict_floor && level.lo > 0.0 && computed.hi <= level.lo) return false;
+  // Start below the ceiling (level upper bounds are open unless infinite).
+  if (level.hi == kInf) return true;
+  return level.hi_open ? computed.lo < level.hi : computed.lo <= level.hi;
+}
+
+/// Degradability tags (Section 3.1).  A *degradable* resource available at a
+/// higher value is also usable at any lower value (link bandwidth, stream
+/// bandwidth).  An *upgradable* resource available at a lower value also
+/// satisfies demands for higher values (e.g. accumulated latency: a stream
+/// that arrived early satisfies any looser deadline level).
+enum class LevelTag : unsigned char { None, Degradable, Upgradable };
+
+[[nodiscard]] const char* level_tag_name(LevelTag t);
+
+}  // namespace sekitei::spec

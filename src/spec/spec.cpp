@@ -1,0 +1,376 @@
+#include "spec/spec.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "expr/lexer.hpp"
+#include "expr/monotonicity.hpp"
+#include "support/error.hpp"
+
+namespace sekitei::spec {
+
+const PropertySpec* InterfaceSpec::find_property(const std::string& prop) const {
+  for (const PropertySpec& p : properties) {
+    if (p.name == prop) return &p;
+  }
+  return nullptr;
+}
+
+LevelTag InterfaceSpec::tag_of(const std::string& prop) const {
+  const PropertySpec* p = find_property(prop);
+  return p ? p->tag : LevelTag::None;
+}
+
+InterfaceSpec& DomainSpec::add_interface(InterfaceSpec spec) {
+  if (find_interface(spec.name)) raise("duplicate interface spec: " + spec.name);
+  interfaces_.push_back(std::move(spec));
+  return interfaces_.back();
+}
+
+ComponentSpec& DomainSpec::add_component(ComponentSpec spec) {
+  if (find_component(spec.name)) raise("duplicate component spec: " + spec.name);
+  components_.push_back(std::move(spec));
+  return components_.back();
+}
+
+const InterfaceSpec* DomainSpec::find_interface(const std::string& name) const {
+  for (const InterfaceSpec& s : interfaces_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const ComponentSpec* DomainSpec::find_component(const std::string& name) const {
+  for (const ComponentSpec& s : components_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+void DomainSpec::set_levels(const std::string& iface, const std::string& prop,
+                            LevelSet levels) {
+  for (InterfaceSpec& s : interfaces_) {
+    if (s.name == iface) {
+      if (!s.find_property(prop)) raise("set_levels: unknown property " + iface + "." + prop);
+      s.levels[prop] = std::move(levels);
+      return;
+    }
+  }
+  raise("set_levels: unknown interface " + iface);
+}
+
+void DomainSpec::clear_levels() {
+  for (InterfaceSpec& s : interfaces_) s.levels.clear();
+}
+
+namespace {
+
+/// Checks that every role reference in `ast` resolves against the spec.
+void check_roles(const expr::Node& ast, const DomainSpec& dom,
+                 const std::vector<std::string>& iface_scopes, bool allow_link,
+                 const std::string& where) {
+  if (ast.kind == expr::NodeKind::Var) {
+    const expr::RoleRef& r = ast.ref;
+    if (r.scope == "node") return;  // any node resource name is allowed
+    if (r.scope == "link") {
+      if (!allow_link) raise(where + ": 'link' resources are only available in cross blocks");
+      return;
+    }
+    for (const std::string& s : iface_scopes) {
+      if (s == r.scope) {
+        const InterfaceSpec* ispec = dom.find_interface(r.scope);
+        SEKITEI_ASSERT(ispec != nullptr);
+        if (!ispec->find_property(r.prop)) {
+          raise(where + ": interface " + r.scope + " has no property '" + r.prop + "'");
+        }
+        return;
+      }
+    }
+    raise(where + ": unknown scope '" + r.scope + "' in " + r.str());
+  }
+  if (ast.a) check_roles(*ast.a, dom, iface_scopes, allow_link, where);
+  if (ast.b) check_roles(*ast.b, dom, iface_scopes, allow_link, where);
+}
+
+void check_monotone(const expr::Node& ast, const std::string& where) {
+  if (!expr::is_monotone(ast)) {
+    raise(where + ": formula is not syntactically monotone: " + ast.str() +
+          " (Sekitei's soundness premise, Section 2.2)");
+  }
+}
+
+}  // namespace
+
+void DomainSpec::validate() const {
+  std::set<std::string> produced;
+  for (const ComponentSpec& c : components_) {
+    std::vector<std::string> scopes;
+    for (const std::string& i : c.inputs) {
+      if (!find_interface(i)) raise("component " + c.name + " requires unknown interface " + i);
+      scopes.push_back(i);
+    }
+    for (const std::string& i : c.outputs) {
+      if (!find_interface(i)) raise("component " + c.name + " implements unknown interface " + i);
+      scopes.push_back(i);
+      produced.insert(i);
+    }
+    const std::string where = "component " + c.name;
+    for (const auto& cond : c.conditions) {
+      check_roles(*cond.lhs, *this, scopes, false, where);
+      check_roles(*cond.rhs, *this, scopes, false, where);
+      check_monotone(*cond.lhs, where);
+      check_monotone(*cond.rhs, where);
+    }
+    for (const auto& eff : c.effects) {
+      check_roles(*eff.value, *this, scopes, false, where);
+      check_monotone(*eff.value, where);
+      // Effect targets must be an output property or a node resource.
+      if (eff.target.scope != "node") {
+        bool is_output = false;
+        for (const std::string& o : c.outputs) is_output = is_output || o == eff.target.scope;
+        if (!is_output) {
+          raise(where + ": effect target " + eff.target.str() +
+                " is not an implemented interface or node resource");
+        }
+      }
+    }
+    if (c.cost) {
+      check_roles(*c.cost, *this, scopes, false, where + " cost");
+      check_monotone(*c.cost, where + " cost");
+    }
+  }
+  for (const InterfaceSpec& s : interfaces_) {
+    const std::string where = "interface " + s.name;
+    const std::vector<std::string> scopes{s.name};
+    for (const auto& cond : s.cross_conditions) {
+      check_roles(*cond.lhs, *this, scopes, true, where);
+      check_roles(*cond.rhs, *this, scopes, true, where);
+    }
+    for (const auto& eff : s.cross_effects) {
+      check_roles(*eff.value, *this, scopes, true, where);
+      check_monotone(*eff.value, where);
+      if (eff.target.scope != "link" && eff.target.scope != s.name) {
+        raise(where + ": cross effect target " + eff.target.str() +
+              " must be the interface itself or a link resource");
+      }
+    }
+    if (s.cross_cost) {
+      check_roles(*s.cross_cost, *this, scopes, true, where + " cost");
+      check_monotone(*s.cross_cost, where + " cost");
+    }
+    for (const auto& [prop, lv] : s.levels) {
+      if (!s.find_property(prop)) {
+        raise(where + ": levels given for unknown property '" + prop + "'");
+      }
+      (void)lv;
+    }
+  }
+}
+
+void DomainSpec::auto_tag_properties() {
+  // Conservative syntactic rule: look at every consumer condition that
+  // mentions interface property P.  If increasing P only ever makes the
+  // conditions (weakly) easier to satisfy, P behaves like bandwidth =>
+  // Degradable; if it only makes them harder, it behaves like latency =>
+  // Upgradable.  Conflicting or equality usage leaves the tag unset.
+  for (InterfaceSpec& iface : interfaces_) {
+    for (PropertySpec& prop : iface.properties) {
+      if (prop.tag != LevelTag::None) continue;  // explicit tags win
+      const std::string var = iface.name + "." + prop.name;
+      bool easier = false, harder = false, mixed = false;
+      auto classify = [&](const expr::ConditionAst& cond) {
+        // Direction of (lhs - rhs) with respect to var.
+        auto dl = expr::analyze(*cond.lhs);
+        auto dr = expr::analyze(*cond.rhs);
+        const auto itl = dl.find(var);
+        const auto itr = dr.find(var);
+        if (itl == dl.end() && itr == dr.end()) return;
+        using expr::Direction;
+        Direction d = expr::combine_add(
+            itl == dl.end() ? Direction::Constant : itl->second,
+            expr::flip(itr == dr.end() ? Direction::Constant : itr->second));
+        if (cond.op == expr::CmpOp::Eq || cond.op == expr::CmpOp::Ne ||
+            d == Direction::Unknown) {
+          mixed = true;
+          return;
+        }
+        const bool ge_like = cond.op == expr::CmpOp::Ge || cond.op == expr::CmpOp::Gt;
+        // ge-like condition gets easier when (lhs - rhs) grows.
+        if (d == Direction::Constant) return;
+        const bool grows = d == Direction::NonDecreasing;
+        if (ge_like == grows) {
+          easier = true;
+        } else {
+          harder = true;
+        }
+      };
+      for (const ComponentSpec& c : components_) {
+        bool consumes = false;
+        for (const std::string& in : c.inputs) consumes = consumes || in == iface.name;
+        if (!consumes) continue;
+        for (const auto& cond : c.conditions) classify(cond);
+      }
+      for (const auto& cond : iface.cross_conditions) classify(cond);
+      if (mixed || (easier && harder)) continue;
+      if (easier) prop.tag = LevelTag::Degradable;
+      if (harder) prop.tag = LevelTag::Upgradable;
+    }
+  }
+}
+
+const LevelSet* LevelScenario::find_iface_levels(const std::string& iface,
+                                                 const std::string& prop) const {
+  auto it = iface_levels.find({iface, prop});
+  return it == iface_levels.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// DSL parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using expr::Lexer;
+using expr::Tok;
+
+/// True when the upcoming tokens look like an effect statement
+/// (IDENT '.' IDENT ['] (:=|+=|-=)).
+bool at_effect(const Lexer& lex) {
+  if (lex.peek(0).kind != Tok::Ident || lex.peek(1).kind != Tok::Dot ||
+      lex.peek(2).kind != Tok::Ident) {
+    return false;
+  }
+  std::size_t i = 3;
+  if (lex.peek(i).kind == Tok::Prime) ++i;
+  const Tok k = lex.peek(i).kind;
+  return k == Tok::Assign || k == Tok::PlusEq || k == Tok::MinusEq;
+}
+
+LevelSet parse_level_block(Lexer& lex) {
+  lex.expect(Tok::LBrace);
+  std::vector<double> cuts;
+  if (lex.peek().kind != Tok::RBrace) {
+    do {
+      cuts.push_back(lex.expect(Tok::Number).number);
+    } while (lex.accept(Tok::Comma));
+  }
+  lex.expect(Tok::RBrace);
+  return LevelSet(std::move(cuts));
+}
+
+InterfaceSpec parse_interface(Lexer& lex, const expr::ParamTable& params) {
+  InterfaceSpec spec;
+  spec.name = lex.expect(Tok::Ident).text;
+  lex.expect(Tok::LBrace);
+  while (!lex.accept(Tok::RBrace)) {
+    if (lex.accept_keyword("property")) {
+      PropertySpec p;
+      p.name = lex.expect(Tok::Ident).text;
+      for (;;) {
+        if (lex.accept_keyword("degradable")) {
+          p.tag = LevelTag::Degradable;
+        } else if (lex.accept_keyword("upgradable")) {
+          p.tag = LevelTag::Upgradable;
+        } else if (lex.accept_keyword("init")) {
+          p.initial = lex.expect(Tok::Number).number;
+        } else {
+          break;
+        }
+      }
+      lex.expect(Tok::Semi);
+      spec.properties.push_back(std::move(p));
+    } else if (lex.accept_keyword("cross")) {
+      lex.expect(Tok::LBrace);
+      while (!lex.accept(Tok::RBrace)) {
+        if (at_effect(lex)) {
+          spec.cross_effects.push_back(expr::parse_effect(lex, params));
+        } else {
+          spec.cross_conditions.push_back(expr::parse_condition(lex, params));
+        }
+        lex.expect(Tok::Semi);
+      }
+    } else if (lex.accept_keyword("cost")) {
+      spec.cross_cost = expr::parse_expr(lex, params);
+      lex.expect(Tok::Semi);
+    } else if (lex.accept_keyword("levels")) {
+      const std::string prop = lex.expect(Tok::Ident).text;
+      spec.levels[prop] = parse_level_block(lex);
+    } else {
+      raise("parse error at line " + std::to_string(lex.line()) +
+            ": expected property/cross/cost/levels in interface " + spec.name);
+    }
+  }
+  return spec;
+}
+
+ComponentSpec parse_component(Lexer& lex, const expr::ParamTable& params) {
+  ComponentSpec spec;
+  spec.name = lex.expect(Tok::Ident).text;
+  lex.expect(Tok::LBrace);
+  while (!lex.accept(Tok::RBrace)) {
+    if (lex.accept_keyword("requires")) {
+      do {
+        spec.inputs.push_back(lex.expect(Tok::Ident).text);
+      } while (lex.accept(Tok::Comma));
+      lex.expect(Tok::Semi);
+    } else if (lex.accept_keyword("implements")) {
+      do {
+        spec.outputs.push_back(lex.expect(Tok::Ident).text);
+      } while (lex.accept(Tok::Comma));
+      lex.expect(Tok::Semi);
+    } else if (lex.accept_keyword("conditions")) {
+      lex.expect(Tok::LBrace);
+      while (!lex.accept(Tok::RBrace)) {
+        spec.conditions.push_back(expr::parse_condition(lex, params));
+        lex.expect(Tok::Semi);
+      }
+    } else if (lex.accept_keyword("effects")) {
+      lex.expect(Tok::LBrace);
+      while (!lex.accept(Tok::RBrace)) {
+        if (!at_effect(lex)) {
+          raise("parse error at line " + std::to_string(lex.line()) +
+                ": expected an effect assignment in component " + spec.name);
+        }
+        spec.effects.push_back(expr::parse_effect(lex, params));
+        lex.expect(Tok::Semi);
+      }
+    } else if (lex.accept_keyword("cost")) {
+      spec.cost = expr::parse_expr(lex, params);
+      lex.expect(Tok::Semi);
+    } else {
+      raise("parse error at line " + std::to_string(lex.line()) +
+            ": expected requires/implements/conditions/effects/cost in component " + spec.name);
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+DomainSpec parse_domain(const std::string& text, const expr::ParamTable& params) {
+  Lexer lex(text);
+  DomainSpec dom;
+  expr::ParamTable table = params;  // `param` defaults may extend this
+  while (!lex.at_end()) {
+    if (lex.accept_keyword("param")) {
+      const std::string name = lex.expect(Tok::Ident).text;
+      if (!lex.accept(Tok::Eq)) lex.accept(Tok::Assign);
+      double sign = lex.accept(Tok::Minus) ? -1.0 : 1.0;
+      const double v = sign * lex.expect(Tok::Number).number;
+      lex.expect(Tok::Semi);
+      // Caller-supplied values override spec defaults.
+      table.emplace(name, v);
+    } else if (lex.accept_keyword("interface")) {
+      dom.add_interface(parse_interface(lex, table));
+    } else if (lex.accept_keyword("component")) {
+      dom.add_component(parse_component(lex, table));
+    } else {
+      raise("parse error at line " + std::to_string(lex.line()) +
+            ": expected 'interface', 'component' or 'param'");
+    }
+  }
+  dom.validate();
+  return dom;
+}
+
+}  // namespace sekitei::spec

@@ -1,0 +1,140 @@
+// Component and interface specifications (the paper's Fig. 2 and Fig. 6).
+//
+// A DomainSpec is the network-independent half of a CPP instance: the
+// component library of an application (Server, Client, Splitter, Merger,
+// Zip, Unzip, ...), the stream interfaces they exchange, the non-reversible
+// formulae describing conditions/effects/costs, and optional level sets.
+//
+// Text syntax (see spec/parser.hpp for the grammar; this replaces the
+// paper's XML with an equivalent, more readable DSL):
+//
+//   interface M {
+//     property ibw degradable;
+//     cross {
+//       M.ibw' := min(M.ibw, link.lbw);
+//       link.lbw -= min(M.ibw, link.lbw);
+//     }
+//     cost 1 + M.ibw / 10;
+//   }
+//   component Merger {
+//     requires T, I;
+//     implements M;
+//     conditions {
+//       node.cpu >= (T.ibw + I.ibw) / 5;
+//       T.ibw * 3 == I.ibw * 7;
+//     }
+//     effects {
+//       M.ibw := T.ibw + I.ibw;
+//       node.cpu -= (T.ibw + I.ibw) / 5;
+//     }
+//     cost 1 + (T.ibw + I.ibw) / 10;
+//   }
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/ast.hpp"
+#include "expr/parser.hpp"
+#include "spec/levels.hpp"
+
+namespace sekitei::spec {
+
+struct PropertySpec {
+  std::string name;              // "ibw", "lat", ...
+  LevelTag tag = LevelTag::None;
+  double initial = 0.0;          // value a freshly produced stream starts with
+};
+
+struct InterfaceSpec {
+  std::string name;  // "M"
+  std::vector<PropertySpec> properties;
+  /// Conditions checked when the stream crosses a link (e.g. link security).
+  std::vector<expr::ConditionAst> cross_conditions;
+  /// Effects of a link crossing (Fig. 6): primed refs are post-crossing
+  /// values of the stream's own properties; `link.*` effects consume link
+  /// resources.
+  std::vector<expr::EffectAst> cross_effects;
+  /// Cost formula of the cross action (may reference the stream's pre-cross
+  /// properties and link resources); nullptr = unit cost.
+  expr::NodePtr cross_cost;
+  /// Level sets baked into the spec text (can be overridden per scenario).
+  std::map<std::string, LevelSet> levels;
+
+  [[nodiscard]] const PropertySpec* find_property(const std::string& prop) const;
+  [[nodiscard]] LevelTag tag_of(const std::string& prop) const;
+};
+
+struct ComponentSpec {
+  std::string name;  // "Merger"
+  std::vector<std::string> inputs;   // `requires` clause: consumed interfaces
+  std::vector<std::string> outputs;  // `implements` clause: produced interfaces
+  std::vector<expr::ConditionAst> conditions;
+  std::vector<expr::EffectAst> effects;
+  expr::NodePtr cost;  // nullptr = unit cost
+
+  [[nodiscard]] bool is_source() const { return inputs.empty() && !outputs.empty(); }
+  [[nodiscard]] bool is_sink() const { return outputs.empty() && !inputs.empty(); }
+};
+
+class DomainSpec {
+ public:
+  /// Adds specs programmatically (the domains/ builders use this).
+  InterfaceSpec& add_interface(InterfaceSpec spec);
+  ComponentSpec& add_component(ComponentSpec spec);
+
+  [[nodiscard]] const InterfaceSpec* find_interface(const std::string& name) const;
+  [[nodiscard]] const ComponentSpec* find_component(const std::string& name) const;
+  [[nodiscard]] const InterfaceSpec& interface_at(std::size_t i) const { return interfaces_[i]; }
+  [[nodiscard]] const ComponentSpec& component_at(std::size_t i) const { return components_[i]; }
+  [[nodiscard]] std::size_t interface_count() const { return interfaces_.size(); }
+  [[nodiscard]] std::size_t component_count() const { return components_.size(); }
+
+  /// Replaces the level set of an interface property (scenario overrides).
+  void set_levels(const std::string& iface, const std::string& prop, LevelSet levels);
+  /// Drops all interface level sets (scenario A).
+  void clear_levels();
+
+  /// Raises unless every formula is syntactically monotone and every
+  /// referenced interface/property exists — the spec-sanity pass Sekitei
+  /// assumes ("assuming that the specifications provided to it are correct").
+  void validate() const;
+
+  /// Derives missing degradable/upgradable tags by syntactic analysis of the
+  /// formulae (Section 3.1: "can be obtained automatically by syntactic
+  /// analysis of the problem specification").  A property whose produced
+  /// value only ever feeds non-decreasing consumption/output formulae is
+  /// degradable; one feeding only non-increasing ones is upgradable.
+  void auto_tag_properties();
+
+ private:
+  std::vector<InterfaceSpec> interfaces_;
+  std::vector<ComponentSpec> components_;
+};
+
+/// Level assignment for one planning run (Table 1 rows).  Interface property
+/// levels default to the ones in the DomainSpec; network resource levels
+/// (link bandwidth in scenario E) are per-scenario only.
+struct LevelScenario {
+  std::string name;  // "A" ... "E"
+  /// (interface, property) -> cutpoints; overrides the spec's level sets.
+  std::map<std::pair<std::string, std::string>, LevelSet> iface_levels;
+  /// link resource -> cutpoints (e.g. {"lbw": {31, 62}}).
+  std::map<std::string, LevelSet> link_levels;
+  /// node resource -> cutpoints.
+  std::map<std::string, LevelSet> node_levels;
+
+  [[nodiscard]] const LevelSet* find_iface_levels(const std::string& iface,
+                                                  const std::string& prop) const;
+};
+
+/// Parses a textual domain spec.  `params` supplies values for named
+/// parameters referenced in formulae (e.g. a cost weight swept by an
+/// experiment).
+[[nodiscard]] DomainSpec parse_domain(const std::string& text,
+                                      const expr::ParamTable& params = {});
+
+}  // namespace sekitei::spec

@@ -1,0 +1,13 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace sekitei::detail {
+
+void assert_fail(const char* expr, const char* file, int line) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << expr << " at " << file << ":" << line;
+  throw Error(os.str());
+}
+
+}  // namespace sekitei::detail

@@ -1,0 +1,32 @@
+// Error handling primitives.
+//
+// The library throws `sekitei::Error` (a std::runtime_error) for user-input
+// problems (bad specs, malformed networks) and uses SEKITEI_ASSERT for
+// internal invariants.  Planner "failure to find a plan" is NOT an error; it
+// is reported through result types.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sekitei {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void raise(const std::string& what) { throw Error(what); }
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+}  // namespace detail
+
+}  // namespace sekitei
+
+/// Internal invariant check; active in all build types (the planner is cheap
+/// relative to the cost of silently wrong plans).
+#define SEKITEI_ASSERT(expr)                                         \
+  do {                                                               \
+    if (!(expr)) ::sekitei::detail::assert_fail(#expr, __FILE__, __LINE__); \
+  } while (false)

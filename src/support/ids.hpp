@@ -1,0 +1,68 @@
+// Strong integer identifiers.
+//
+// Every entity in the system (node, link, interface, component, variable,
+// proposition, action, ...) is referred to by a dense 32-bit index.  Using a
+// distinct C++ type per entity kind makes it impossible to pass a NodeId
+// where a LinkId is expected (C++ Core Guidelines: prefer compile-time
+// checking to run-time checking).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace sekitei {
+
+/// A strongly typed dense index.  `Tag` is an empty struct that only serves
+/// to distinguish id spaces at compile time.
+template <class Tag>
+struct Id {
+  static constexpr std::uint32_t kInvalid = std::numeric_limits<std::uint32_t>::max();
+
+  std::uint32_t value = kInvalid;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+  [[nodiscard]] constexpr std::uint32_t index() const { return value; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value != b.value; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value < b.value; }
+  friend constexpr bool operator>(Id a, Id b) { return a.value > b.value; }
+  friend constexpr bool operator<=(Id a, Id b) { return a.value <= b.value; }
+  friend constexpr bool operator>=(Id a, Id b) { return a.value >= b.value; }
+};
+
+struct NodeTag {};
+struct LinkTag {};
+struct InterfaceTag {};
+struct ComponentTag {};
+struct PropertyTag {};   // a named property/resource (e.g. "ibw", "cpu", "lbw")
+struct VarTag {};        // a located real-valued variable
+struct PropTag {};       // a logical proposition
+struct ActionTag {};     // a ground, leveled planning action
+struct NameTag {};       // interned string
+
+using NodeId = Id<NodeTag>;
+using LinkId = Id<LinkTag>;
+using InterfaceId = Id<InterfaceTag>;
+using ComponentId = Id<ComponentTag>;
+using PropertyId = Id<PropertyTag>;
+using VarId = Id<VarTag>;
+using PropId = Id<PropTag>;
+using ActionId = Id<ActionTag>;
+using NameId = Id<NameTag>;
+
+}  // namespace sekitei
+
+namespace std {
+template <class Tag>
+struct hash<sekitei::Id<Tag>> {
+  size_t operator()(sekitei::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,45 @@
+// String interning: maps names to dense NameId values so that the hot planner
+// paths compare 32-bit integers instead of strings.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/ids.hpp"
+
+namespace sekitei {
+
+class Interner {
+ public:
+  /// Returns the id for `name`, creating it on first use.
+  NameId intern(std::string_view name) {
+    auto it = index_.find(std::string(name));
+    if (it != index_.end()) return it->second;
+    NameId id(static_cast<std::uint32_t>(names_.size()));
+    names_.emplace_back(name);
+    index_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name` or an invalid id when unknown.
+  [[nodiscard]] NameId find(std::string_view name) const {
+    auto it = index_.find(std::string(name));
+    return it == index_.end() ? NameId{} : it->second;
+  }
+
+  [[nodiscard]] const std::string& str(NameId id) const {
+    SEKITEI_ASSERT(id.valid() && id.index() < names_.size());
+    return names_[id.index()];
+  }
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NameId> index_;
+};
+
+}  // namespace sekitei

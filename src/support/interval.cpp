@@ -1,0 +1,19 @@
+#include "support/interval.hpp"
+
+#include <sstream>
+
+namespace sekitei {
+
+std::string Interval::str() const {
+  if (is_empty()) return "(empty)";
+  std::ostringstream os;
+  os << '[' << lo << ", ";
+  if (hi == kInf) {
+    os << "inf)";
+  } else {
+    os << hi << (hi_open ? ')' : ']');
+  }
+  return os.str();
+}
+
+}  // namespace sekitei

@@ -1,0 +1,192 @@
+// Real intervals with optionally *open* upper bounds, and monotone-safe
+// interval arithmetic.
+//
+// Resource levels in the paper are half-open intervals [m, M).  The upper
+// bound being unattainable is semantically load-bearing: a level [0, 90) can
+// never satisfy a ">= 90" demand, while the greedy-within-level reservation
+// of a [90, 100) level approaches (and reports as) 100.  We therefore track
+// a `hi_open` flag through the arithmetic.  Lower bounds stay closed: level
+// intervals are closed below, and the few operations that would create an
+// open lower bound (subtracting an open-topped interval) conservatively
+// treat it as closed — that only ever makes optimistic maps marginally more
+// optimistic at a measure-zero boundary, and the concrete executor re-checks
+// every candidate plan anyway.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace sekitei {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Interval {
+  double lo = 0.0;
+  double hi = kInf;
+  bool hi_open = false;  // true => [lo, hi), false => [lo, hi]
+
+  constexpr Interval() = default;
+  constexpr Interval(double l, double h) : lo(l), hi(h) {}
+  constexpr Interval(double l, double h, bool open) : lo(l), hi(h), hi_open(open) {}
+
+  /// Degenerate single-point interval.
+  [[nodiscard]] static constexpr Interval point(double v) { return {v, v}; }
+  /// The whole non-negative ray [0, inf) used for unleveled resources.
+  [[nodiscard]] static constexpr Interval nonneg() { return {0.0, kInf}; }
+  /// The empty interval.
+  [[nodiscard]] static constexpr Interval empty() { return {1.0, 0.0}; }
+
+  [[nodiscard]] constexpr bool is_empty() const {
+    return lo > hi || (lo == hi && hi_open);
+  }
+  [[nodiscard]] constexpr bool is_point() const { return lo == hi && !hi_open; }
+  [[nodiscard]] constexpr bool contains(double v) const {
+    return lo <= v && (hi_open ? v < hi : v <= hi);
+  }
+  [[nodiscard]] constexpr bool contains(Interval o) const {
+    if (o.is_empty()) return true;
+    if (o.lo < lo) return false;
+    if (o.hi < hi) return true;
+    if (o.hi > hi) return false;
+    return !hi_open || o.hi_open;
+  }
+
+  /// The largest concretely usable value: the bound itself when attained,
+  /// else a hair below it (relative margin, robust under propagation through
+  /// scalings and comparisons downstream).
+  [[nodiscard]] double sup_value() const {
+    if (!hi_open || hi == kInf) return hi;
+    const double margin = std::max(1e-9, std::abs(hi) * 1e-9);
+    return hi - margin;
+  }
+
+  friend constexpr bool operator==(Interval a, Interval b) {
+    return (a.is_empty() && b.is_empty()) ||
+           (a.lo == b.lo && a.hi == b.hi && a.hi_open == b.hi_open);
+  }
+
+  [[nodiscard]] std::string str() const;
+};
+
+namespace detail {
+/// Upper bound of the meet: the smaller bound wins; on ties openness is
+/// contagious (the bound is attainable only if attainable in both).
+constexpr void min_upper(Interval a, Interval b, double& hi, bool& open) {
+  if (a.hi < b.hi) {
+    hi = a.hi;
+    open = a.hi_open;
+  } else if (b.hi < a.hi) {
+    hi = b.hi;
+    open = b.hi_open;
+  } else {
+    hi = a.hi;
+    open = a.hi_open || b.hi_open;
+  }
+}
+
+/// Upper bound of the join: the larger bound wins; on ties the bound is
+/// attainable if attainable in either.
+constexpr void max_upper(Interval a, Interval b, double& hi, bool& open) {
+  if (a.hi > b.hi) {
+    hi = a.hi;
+    open = a.hi_open;
+  } else if (b.hi > a.hi) {
+    hi = b.hi;
+    open = b.hi_open;
+  } else {
+    hi = a.hi;
+    open = a.hi_open && b.hi_open;
+  }
+}
+
+// 0 * inf arises when an unleveled [0, inf) variable is scaled; the planner's
+// intent is always "range of products over finite samples", so map nan to 0.
+constexpr double mul_safe(double a, double b) {
+  double r = a * b;
+  return (r != r) ? 0.0 : r;
+}
+}  // namespace detail
+
+[[nodiscard]] constexpr Interval intersect(Interval a, Interval b) {
+  Interval r;
+  r.lo = std::max(a.lo, b.lo);
+  detail::min_upper(a, b, r.hi, r.hi_open);
+  return r;
+}
+
+/// Smallest interval containing both (used when merging execution results
+/// with prior optimistic values, Fig. 8).
+[[nodiscard]] constexpr Interval hull(Interval a, Interval b) {
+  if (a.is_empty()) return b;
+  if (b.is_empty()) return a;
+  Interval r;
+  r.lo = std::min(a.lo, b.lo);
+  detail::max_upper(a, b, r.hi, r.hi_open);
+  return r;
+}
+
+// ---- arithmetic (exact range semantics for monotone use) -------------------
+
+[[nodiscard]] constexpr Interval operator+(Interval a, Interval b) {
+  return {a.lo + b.lo, a.hi + b.hi, a.hi_open || b.hi_open};
+}
+
+[[nodiscard]] constexpr Interval operator-(Interval a, Interval b) {
+  // The open upper bound of `b` would make the *lower* bound of the result
+  // open; lower bounds are conservatively closed (see file comment).
+  return {a.lo - b.hi, a.hi - b.lo, a.hi_open};
+}
+
+[[nodiscard]] constexpr Interval operator-(Interval a) {
+  return {-a.hi, -a.lo, false};
+}
+
+[[nodiscard]] constexpr Interval operator*(Interval a, Interval b) {
+  const double p1 = detail::mul_safe(a.lo, b.lo);
+  const double p2 = detail::mul_safe(a.lo, b.hi);
+  const double p3 = detail::mul_safe(a.hi, b.lo);
+  const double p4 = detail::mul_safe(a.hi, b.hi);
+  Interval r{std::min(std::min(p1, p2), std::min(p3, p4)),
+             std::max(std::max(p1, p2), std::max(p3, p4))};
+  // Openness propagates exactly in the common non-negative case: the upper
+  // product bound comes from hi*hi, unattained iff either factor bound is.
+  if (a.lo >= 0 && b.lo >= 0) {
+    r.hi_open = (a.hi_open || b.hi_open) && r.hi > 0;
+  }
+  return r;
+}
+
+/// Interval division.  If the divisor straddles zero the result is the whole
+/// real line (conservative); division by the exact point 0 yields empty.
+[[nodiscard]] constexpr Interval operator/(Interval a, Interval b) {
+  if (b.lo <= 0.0 && b.hi >= 0.0) {
+    if (b.lo == 0.0 && b.hi == 0.0) return Interval::empty();
+    return {-kInf, kInf};
+  }
+  const double p1 = a.lo / b.lo, p2 = a.lo / b.hi, p3 = a.hi / b.lo, p4 = a.hi / b.hi;
+  Interval r{std::min(std::min(p1, p2), std::min(p3, p4)),
+             std::max(std::max(p1, p2), std::max(p3, p4))};
+  if (a.lo >= 0 && b.lo > 0) {
+    // Upper bound is a.hi / b.lo; it is unattained iff a.hi is.
+    r.hi_open = a.hi_open && r.hi > 0;
+  }
+  return r;
+}
+
+[[nodiscard]] constexpr Interval imin(Interval a, Interval b) {
+  Interval r;
+  r.lo = std::min(a.lo, b.lo);
+  detail::min_upper(a, b, r.hi, r.hi_open);
+  return r;
+}
+
+[[nodiscard]] constexpr Interval imax(Interval a, Interval b) {
+  Interval r;
+  r.lo = std::max(a.lo, b.lo);
+  detail::max_upper(a, b, r.hi, r.hi_open);
+  return r;
+}
+
+}  // namespace sekitei

@@ -1,0 +1,43 @@
+// Deterministic pseudo-random numbers (SplitMix64).
+//
+// All stochastic pieces of the library (topology generation, property-test
+// inputs, workload synthesis) draw from this generator so every experiment is
+// reproducible from a seed.  No global RNG state exists anywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace sekitei {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  constexpr std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Bernoulli draw with probability p.
+  constexpr bool chance(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace sekitei

@@ -1,0 +1,24 @@
+// Wall-clock stopwatch used only for *reporting* planning times; no planning
+// decision ever depends on the clock (determinism).
+#pragma once
+
+#include <chrono>
+
+namespace sekitei {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sekitei

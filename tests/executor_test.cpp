@@ -1,0 +1,160 @@
+// Unit tests for the concrete executor (sim/executor): greedy-within-level
+// choice resolution, bisection, level containment, degradable clamping, and
+// resource accounting.
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "domains/media.hpp"
+#include "model/compile.hpp"
+#include "sim/executor.hpp"
+
+namespace sekitei::sim {
+namespace {
+
+using domains::media::scenario;
+
+struct Solved {
+  std::unique_ptr<domains::media::Instance> inst;
+  model::CompiledProblem cp;
+  core::Plan plan;
+};
+
+Solved solve_tiny(char sc) {
+  Solved s;
+  s.inst = domains::media::tiny();
+  s.cp = model::compile(s.inst->problem, scenario(sc));
+  core::Sekitei planner(s.cp);
+  Executor exec(s.cp);
+  auto r = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+  EXPECT_TRUE(r.ok()) << r.failure;
+  if (r.ok()) s.plan = *r.plan;
+  return s;
+}
+
+TEST(Executor, ChoiceCountMatchesProblem) {
+  Solved s = solve_tiny('C');
+  Executor exec(s.cp);
+  EXPECT_EQ(exec.choice_count(), 1u);  // the server's [0,200] production
+}
+
+TEST(Executor, AttemptRespectsChoiceBounds) {
+  Solved s = solve_tiny('C');
+  Executor exec(s.cp);
+  const double too_much[] = {250.0};
+  auto rep = exec.attempt(s.plan, too_much);
+  EXPECT_FALSE(rep.feasible);
+  EXPECT_NE(rep.failure.find("choice"), std::string::npos);
+}
+
+TEST(Executor, AttemptBelowLevelFloorFails) {
+  // The plan's Splitter runs at level [90,100); producing only 50 units
+  // violates the level containment check.
+  Solved s = solve_tiny('C');
+  Executor exec(s.cp);
+  const double x[] = {50.0};
+  EXPECT_FALSE(exec.attempt(s.plan, x).feasible);
+}
+
+TEST(Executor, AttemptAtLevelMaxSucceeds) {
+  Solved s = solve_tiny('C');
+  Executor exec(s.cp);
+  const double x[] = {99.0};
+  auto rep = exec.attempt(s.plan, x);
+  ASSERT_TRUE(rep.feasible) << rep.failure;
+  // 99 units: Z + I = 0.35*99 + 0.3*99 = 64.35 over the WAN.
+  EXPECT_NEAR(rep.max_reserved(net::LinkClass::Wan), 64.35, 1e-6);
+}
+
+TEST(Executor, ExecuteMaximizesWithinLevel) {
+  Solved s = solve_tiny('C');
+  Executor exec(s.cp);
+  auto rep = exec.execute(s.plan);
+  ASSERT_TRUE(rep.feasible);
+  // Greedy-within-level: reservation at the level's supremum (100 units up
+  // to the level epsilon), possibly satisfied by degrading a larger choice.
+  EXPECT_NEAR(rep.max_reserved(net::LinkClass::Wan), 65.0, 1e-3);
+}
+
+TEST(Executor, NodeAccountingMatchesProfile) {
+  Solved s = solve_tiny('C');
+  Executor exec(s.cp);
+  auto rep = exec.execute(s.plan);
+  ASSERT_TRUE(rep.feasible);
+  // Splitter (M/5 = 20) + Zip (T/10 = 7) on the server; Unzip (Z/5 = 7) +
+  // Merger (M/5 = 20) on the client: 27 CPU each at M = 100.
+  ASSERT_EQ(rep.node_use.size(), 2u);
+  for (const NodeUse& nu : rep.node_use) EXPECT_NEAR(nu.used, 27.0, 1e-3);
+}
+
+TEST(Executor, ActualCostIsConsistentAndAboveLowerBound) {
+  Solved s = solve_tiny('C');
+  Executor exec(s.cp);
+  auto rep = exec.execute(s.plan);
+  ASSERT_TRUE(rep.feasible);
+  EXPECT_GE(rep.actual_cost, s.plan.cost_lb - 1e-9);
+  // At M = 100: Sp 11 + Zip 8 + crossZ 4.5 + crossI 4 + Unzip 4.5 + Mr 11
+  // + Client 1 = 44.
+  EXPECT_NEAR(rep.actual_cost, 44.0, 1e-2);
+}
+
+TEST(Executor, RejectsOutOfOrderPlan) {
+  // Reversing the plan consumes streams before they are produced.
+  Solved s = solve_tiny('C');
+  core::Plan reversed = s.plan;
+  std::reverse(reversed.steps.begin(), reversed.steps.end());
+  Executor exec(s.cp);
+  auto rep = exec.execute(reversed);
+  EXPECT_FALSE(rep.feasible);
+  EXPECT_NE(rep.failure.find("never produced"), std::string::npos);
+}
+
+TEST(Executor, RejectsTruncatedPlan) {
+  Solved s = solve_tiny('C');
+  core::Plan cut = s.plan;
+  cut.steps.pop_back();          // drop the client
+  cut.steps.erase(cut.steps.begin());  // and the splitter
+  Executor exec(s.cp);
+  EXPECT_FALSE(exec.execute(cut).feasible);
+}
+
+TEST(Executor, FinalVarsExposeDeliveredStream) {
+  Solved s = solve_tiny('C');
+  Executor exec(s.cp);
+  auto rep = exec.execute(s.plan);
+  ASSERT_TRUE(rep.feasible);
+  bool found = false;
+  for (const auto& [var, val] : rep.final_vars) {
+    const model::VarKey& k = s.cp.vars.key(var);
+    if (k.kind == model::VarKind::IfaceProp && s.cp.iface_names[k.a] == "M" &&
+        NodeId(k.b) == s.inst->client) {
+      EXPECT_NEAR(val, 100.0, 1e-3);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(std::isnan(rep.final_value(rep.final_vars.front().first)));
+}
+
+TEST(Executor, ScenarioBReservesHundredOnLans) {
+  auto inst = domains::media::small();
+  auto cp = model::compile(inst->problem, scenario('B'));
+  core::Sekitei planner(cp);
+  Executor exec(cp);
+  auto r = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+  ASSERT_TRUE(r.ok());
+  auto rep = exec.execute(*r.plan);
+  ASSERT_TRUE(rep.feasible);
+  // Every LAN link on the forwarding path carries the full reservation.
+  int lan_links_used = 0;
+  for (const LinkUse& lu : rep.link_use) {
+    if (lu.cls == net::LinkClass::Lan) {
+      ++lan_links_used;
+      EXPECT_NEAR(lu.used, 100.0, 1e-3);
+    }
+  }
+  EXPECT_EQ(lan_links_used, 3);
+  EXPECT_NEAR(rep.total_reserved(net::LinkClass::Lan), 300.0, 1e-2);
+}
+
+}  // namespace
+}  // namespace sekitei::sim

@@ -1,0 +1,118 @@
+// Tests for the grid workflow domain: task mapping, replica selection, and
+// deadline-driven tradeoffs (the paper's Section 1 motivating scenario).
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "domains/grid.hpp"
+#include "model/compile.hpp"
+#include "sim/executor.hpp"
+
+namespace sekitei {
+namespace {
+
+using domains::grid::Params;
+
+struct Solved {
+  core::PlanResult result;
+  double out_lat = -1;
+  double out_size = -1;
+  bool used_far = false;
+  bool used_near = false;
+};
+
+Solved solve(const Params& p) {
+  Solved s;
+  auto inst = domains::grid::two_cluster(p);
+  auto cp = model::compile(inst->problem, domains::grid::scenario(p));
+  core::Sekitei planner(cp);
+  sim::Executor exec(cp);
+  s.result = planner.plan([&](const core::Plan& pl) { return exec.execute(pl).feasible; });
+  if (!s.result.ok()) return s;
+
+  for (ActionId a : s.result.plan->steps) {
+    const model::GroundAction& act = cp.actions[a.index()];
+    if (act.kind == model::ActionKind::Cross && cp.iface_names[act.spec_index] == "Raw") {
+      if (act.node == inst->storage_far) s.used_far = true;
+      if (act.node == inst->storage_near) s.used_near = true;
+    }
+  }
+  auto rep = exec.execute(*s.result.plan);
+  EXPECT_TRUE(rep.feasible) << rep.failure;
+  for (const auto& [var, val] : rep.final_vars) {
+    const model::VarKey& k = cp.vars.key(var);
+    if (k.kind != model::VarKind::IfaceProp) continue;
+    if (cp.iface_names[k.a] != "Out" || NodeId(k.b) != inst->portal) continue;
+    const std::string& prop = cp.names.str(NameId(k.c));
+    if (prop == "lat") s.out_lat = val;
+    if (prop == "size") s.out_size = val;
+  }
+  return s;
+}
+
+TEST(GridWorkflow, DeploysPipelineUnderLooseDeadline) {
+  Params p;
+  p.deadline = 60;
+  Solved s = solve(p);
+  ASSERT_TRUE(s.result.ok()) << s.result.failure;
+  // The full pipeline must appear: two task placements plus the portal.
+  EXPECT_GE(s.result.plan->size(), 5u);
+  EXPECT_LE(s.out_lat, p.deadline + 1e-6);
+  EXPECT_GE(s.out_size, p.quality - 1e-6);
+}
+
+TEST(GridWorkflow, LooseDeadlinePicksNearReplica) {
+  Params p;
+  p.deadline = 60;
+  Solved s = solve(p);
+  ASSERT_TRUE(s.result.ok());
+  // The near replica needs fewer (cheaper) transfers despite its slow link.
+  EXPECT_TRUE(s.used_near);
+  EXPECT_FALSE(s.used_far);
+}
+
+TEST(GridWorkflow, TightDeadlineSwitchesToFastReplica) {
+  Params p;
+  p.deadline = 30;
+  Solved s = solve(p);
+  ASSERT_TRUE(s.result.ok()) << s.result.failure;
+  // The slow access link (delay 25) cannot meet a 30-unit deadline once
+  // compute time is added; the planner must fetch the far replica instead.
+  EXPECT_TRUE(s.used_far);
+  EXPECT_FALSE(s.used_near);
+  EXPECT_LE(s.out_lat, p.deadline + 1e-6);
+}
+
+TEST(GridWorkflow, ImpossibleDeadlineYieldsNoPlan) {
+  Params p;
+  p.deadline = 8;  // below even the fast replica's transfer + compute time
+  Solved s = solve(p);
+  EXPECT_FALSE(s.result.ok());
+  EXPECT_FALSE(s.result.stats.logically_unreachable)
+      << "failure must be resource/QoS-driven, not logical";
+}
+
+TEST(GridWorkflow, TighterDeadlineNeverImprovesQuality) {
+  Params loose, tight;
+  loose.deadline = 80;
+  tight.deadline = 30;
+  Solved sl = solve(loose), st = solve(tight);
+  ASSERT_TRUE(sl.result.ok());
+  ASSERT_TRUE(st.result.ok());
+  // Less time => the plan can afford at most as much data volume.
+  EXPECT_GE(sl.out_size + 1e-9, st.out_size);
+}
+
+TEST(GridWorkflow, QualityDemandAboveReplicaCapacityIsInfeasible) {
+  Params p;
+  p.quality = 20.0;  // Out = Raw/8, Raw <= 100 => Out <= 12.5
+  Solved s = solve(p);
+  EXPECT_FALSE(s.result.ok());
+}
+
+TEST(GridWorkflow, DomainSpecValidates) {
+  // The tabled congestion formulae must pass the monotonicity analysis.
+  EXPECT_NO_THROW(domains::grid::make_domain());
+}
+
+}  // namespace
+}  // namespace sekitei

@@ -1,0 +1,180 @@
+// Unit and property tests for interval arithmetic (support/interval.hpp).
+//
+// The property suites verify the fundamental soundness contract the planner
+// leans on: for any concrete values inside the operand intervals, the result
+// of a scalar operation lies inside the interval result.
+#include <gtest/gtest.h>
+
+#include "support/interval.hpp"
+#include "support/rng.hpp"
+
+namespace sekitei {
+namespace {
+
+TEST(Interval, PointAndEmptyBasics) {
+  const Interval p = Interval::point(5.0);
+  EXPECT_TRUE(p.is_point());
+  EXPECT_FALSE(p.is_empty());
+  EXPECT_TRUE(p.contains(5.0));
+  EXPECT_FALSE(p.contains(5.0001));
+
+  const Interval e = Interval::empty();
+  EXPECT_TRUE(e.is_empty());
+  EXPECT_FALSE(e.contains(0.0));
+
+  const Interval r = Interval::nonneg();
+  EXPECT_TRUE(r.contains(0.0));
+  EXPECT_TRUE(r.contains(1e18));
+}
+
+TEST(Interval, IntersectOverlapping) {
+  const Interval a{0, 100};
+  const Interval b{90, 150};
+  const Interval c = intersect(a, b);
+  EXPECT_DOUBLE_EQ(c.lo, 90);
+  EXPECT_DOUBLE_EQ(c.hi, 100);
+}
+
+TEST(Interval, IntersectDisjointIsEmpty) {
+  EXPECT_TRUE(intersect(Interval{0, 30}, Interval{70, 90}).is_empty());
+}
+
+TEST(Interval, IntersectTouchingAtCutpointIsPoint) {
+  // Closed-interval semantics: levels touching at a cutpoint intersect in a
+  // point.  Documented in interval.hpp; the planner relies on reserving the
+  // supremum of half-open paper levels.
+  const Interval c = intersect(Interval{0, 90}, Interval{90, 100});
+  EXPECT_FALSE(c.is_empty());
+  EXPECT_TRUE(c.is_point());
+}
+
+TEST(Interval, HullCoversBoth) {
+  const Interval h = hull(Interval{0, 10}, Interval{20, 30});
+  EXPECT_DOUBLE_EQ(h.lo, 0);
+  EXPECT_DOUBLE_EQ(h.hi, 30);
+  EXPECT_EQ(hull(Interval::empty(), Interval{1, 2}), (Interval{1, 2}));
+}
+
+TEST(Interval, AddSub) {
+  const Interval a{1, 2}, b{10, 20};
+  EXPECT_EQ(a + b, (Interval{11, 22}));
+  EXPECT_EQ(b - a, (Interval{8, 19}));
+  EXPECT_EQ(-a, (Interval{-2, -1}));
+}
+
+TEST(Interval, MulWithNegatives) {
+  const Interval a{-2, 3}, b{-5, 4};
+  // extrema: -2*-5=10, -2*4=-8, 3*-5=-15, 3*4=12
+  EXPECT_EQ(a * b, (Interval{-15, 12}));
+}
+
+TEST(Interval, MulWithInfinityUpperBound) {
+  // [0,inf) * [0.3, 0.3]: the 0*inf corner must not poison the result.
+  const Interval a{0, kInf};
+  const Interval b = Interval::point(0.3);
+  const Interval r = a * b;
+  EXPECT_DOUBLE_EQ(r.lo, 0);
+  EXPECT_EQ(r.hi, kInf);
+}
+
+TEST(Interval, DivByPositive) {
+  EXPECT_EQ((Interval{10, 20} / Interval::point(5.0)), (Interval{2, 4}));
+}
+
+TEST(Interval, DivByIntervalStraddlingZeroIsWholeLine) {
+  const Interval r = Interval{1, 2} / Interval{-1, 1};
+  EXPECT_EQ(r.lo, -kInf);
+  EXPECT_EQ(r.hi, kInf);
+}
+
+TEST(Interval, DivByZeroPointIsEmpty) {
+  EXPECT_TRUE((Interval{1, 2} / Interval::point(0.0)).is_empty());
+}
+
+TEST(Interval, MinMax) {
+  const Interval a{10, 100}, b{70, 70};
+  EXPECT_EQ(imin(a, b), (Interval{10, 70}));
+  EXPECT_EQ(imax(a, b), (Interval{70, 100}));
+}
+
+TEST(Interval, CrossEffectShape) {
+  // The canonical Fig. 6 cross effect: M.ibw' = min(M.ibw, Link.lbw) for an
+  // M level [90, 100] over a 70-unit link gives [70, 70]; intersecting with
+  // the [90, 100] output level must be empty -> the leveling prunes the
+  // action (Fig. 7 caption).
+  const Interval m{90, 100};
+  const Interval lbw{0, 70};
+  const Interval out = imin(m, lbw);
+  EXPECT_TRUE(intersect(out, Interval{90, 100}).is_empty());
+}
+
+TEST(Interval, StrFormatting) {
+  EXPECT_EQ((Interval{0, 30}).str(), "[0, 30]");
+  EXPECT_EQ(Interval::nonneg().str(), "[0, inf)");
+  EXPECT_EQ(Interval::empty().str(), "(empty)");
+}
+
+// ---- property tests --------------------------------------------------------
+
+struct BinCase {
+  const char* name;
+  Interval (*iop)(Interval, Interval);
+  double (*sop)(double, double);
+};
+
+class IntervalSoundness : public ::testing::TestWithParam<BinCase> {};
+
+TEST_P(IntervalSoundness, ScalarResultInsideIntervalResult) {
+  const BinCase& bc = GetParam();
+  SplitMix64 rng(0xC0FFEE ^ std::hash<std::string>{}(bc.name));
+  for (int iter = 0; iter < 2000; ++iter) {
+    double a1 = rng.uniform(-50, 150), a2 = rng.uniform(-50, 150);
+    double b1 = rng.uniform(-50, 150), b2 = rng.uniform(-50, 150);
+    Interval A{std::min(a1, a2), std::max(a1, a2)};
+    Interval B{std::min(b1, b2), std::max(b1, b2)};
+    if (bc.sop(1.0, 0.0) == 1.0 / 0.0) continue;  // unreachable; silence lints
+    const double x = rng.uniform(A.lo, A.hi);
+    const double y = rng.uniform(B.lo, B.hi);
+    // Skip division cases where the divisor interval straddles zero: the
+    // interval op answers "whole line", trivially sound.
+    const Interval R = bc.iop(A, B);
+    const double r = bc.sop(x, y);
+    if (std::isfinite(r)) {
+      EXPECT_LE(R.lo, r + 1e-9) << bc.name << " A=" << A.str() << " B=" << B.str();
+      EXPECT_GE(R.hi, r - 1e-9) << bc.name << " A=" << A.str() << " B=" << B.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, IntervalSoundness,
+    ::testing::Values(
+        BinCase{"add", [](Interval a, Interval b) { return a + b; },
+                [](double x, double y) { return x + y; }},
+        BinCase{"sub", [](Interval a, Interval b) { return a - b; },
+                [](double x, double y) { return x - y; }},
+        BinCase{"mul", [](Interval a, Interval b) { return a * b; },
+                [](double x, double y) { return x * y; }},
+        BinCase{"div", [](Interval a, Interval b) { return a / b; },
+                [](double x, double y) { return x / y; }},
+        BinCase{"min", [](Interval a, Interval b) { return imin(a, b); },
+                [](double x, double y) { return std::min(x, y); }},
+        BinCase{"max", [](Interval a, Interval b) { return imax(a, b); },
+                [](double x, double y) { return std::max(x, y); }}),
+    [](const ::testing::TestParamInfo<BinCase>& info) { return info.param.name; });
+
+TEST(IntervalProperty, IntersectIsTightest) {
+  SplitMix64 rng(42);
+  for (int iter = 0; iter < 2000; ++iter) {
+    double a1 = rng.uniform(0, 100), a2 = rng.uniform(0, 100);
+    double b1 = rng.uniform(0, 100), b2 = rng.uniform(0, 100);
+    Interval A{std::min(a1, a2), std::max(a1, a2)};
+    Interval B{std::min(b1, b2), std::max(b1, b2)};
+    const Interval I = intersect(A, B);
+    const double x = rng.uniform(0, 100);
+    EXPECT_EQ(I.contains(x), A.contains(x) && B.contains(x));
+  }
+}
+
+}  // namespace
+}  // namespace sekitei

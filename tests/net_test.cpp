@@ -1,0 +1,178 @@
+// Tests for the network substrate: model invariants, topology generators
+// (the GT-ITM stand-in), path queries, and serialization.
+#include <gtest/gtest.h>
+
+#include "net/export.hpp"
+#include "net/generator.hpp"
+#include "net/network.hpp"
+#include "net/paths.hpp"
+#include "support/error.hpp"
+
+namespace sekitei::net {
+namespace {
+
+Network triangle() {
+  Network n;
+  NodeId a = n.add_node("a", {{"cpu", 10}});
+  NodeId b = n.add_node("b", {{"cpu", 20}});
+  NodeId c = n.add_node("c", {{"cpu", 30}});
+  n.add_link(a, b, LinkClass::Lan, {{"lbw", 100}, {"delay", 1}});
+  n.add_link(b, c, LinkClass::Wan, {{"lbw", 50}, {"delay", 10}});
+  n.add_link(a, c, LinkClass::Wan, {{"lbw", 10}, {"delay", 3}});
+  return n;
+}
+
+TEST(Network, NodeAndLinkAccessors) {
+  Network n = triangle();
+  EXPECT_EQ(n.node_count(), 3u);
+  EXPECT_EQ(n.link_count(), 3u);
+  EXPECT_DOUBLE_EQ(n.node(NodeId(1)).resource("cpu"), 20);
+  EXPECT_DOUBLE_EQ(n.node(NodeId(1)).resource("unknown"), 0.0);
+  EXPECT_EQ(n.find_node("c"), NodeId(2));
+  EXPECT_FALSE(n.find_node("zzz").valid());
+}
+
+TEST(Network, LinkEndpointHelpers) {
+  Network n = triangle();
+  const Link& l = n.link(LinkId(0));
+  EXPECT_TRUE(l.connects(NodeId(0)));
+  EXPECT_EQ(l.other(NodeId(0)), NodeId(1));
+  EXPECT_EQ(l.other(NodeId(1)), NodeId(0));
+}
+
+TEST(Network, IncidenceLists) {
+  Network n = triangle();
+  EXPECT_EQ(n.links_at(NodeId(0)).size(), 2u);
+  EXPECT_EQ(n.links_at(NodeId(1)).size(), 2u);
+  EXPECT_TRUE(n.find_link(NodeId(0), NodeId(2)).valid());
+  EXPECT_FALSE(n.find_link(NodeId(0), NodeId(0)).valid());
+}
+
+TEST(Network, SelfLoopRejected) {
+  Network n;
+  NodeId a = n.add_node("a");
+  EXPECT_THROW(n.add_link(a, a, LinkClass::Lan), Error);
+}
+
+TEST(Network, Connectivity) {
+  Network n = triangle();
+  EXPECT_TRUE(n.connected());
+  n.add_node("island");
+  EXPECT_FALSE(n.connected());
+}
+
+TEST(Generator, ChainShape) {
+  Network n = chain({{LinkClass::Lan, 150, 1}, {LinkClass::Wan, 70, 10}}, 30);
+  EXPECT_EQ(n.node_count(), 3u);
+  EXPECT_EQ(n.link_count(), 2u);
+  EXPECT_EQ(n.link(LinkId(0)).cls, LinkClass::Lan);
+  EXPECT_EQ(n.link(LinkId(1)).cls, LinkClass::Wan);
+  EXPECT_DOUBLE_EQ(n.link(LinkId(1)).resource("lbw"), 70);
+}
+
+TEST(Generator, TransitStubMatchesPaperScale) {
+  TransitStubParams p;  // 3 transit + 9 stubs x 10 hosts
+  Network n = transit_stub(p, 7);
+  EXPECT_EQ(n.node_count(), 93u);  // the paper's Fig. 10 network size
+  EXPECT_TRUE(n.connected());
+}
+
+TEST(Generator, TransitStubLinkClasses) {
+  Network n = transit_stub({}, 7);
+  std::size_t lan = 0, wan = 0;
+  for (LinkId l : n.link_ids()) {
+    if (n.link(l).cls == LinkClass::Lan) ++lan;
+    if (n.link(l).cls == LinkClass::Wan) ++wan;
+  }
+  EXPECT_GT(lan, wan) << "stub LANs dominate";
+  // Backbone + one access link per stub at minimum.
+  EXPECT_GE(wan, 3u + 9u);
+  for (LinkId l : n.link_ids()) {
+    const double bw = n.link(l).resource("lbw");
+    EXPECT_DOUBLE_EQ(bw, n.link(l).cls == LinkClass::Lan ? 150 : 70);
+  }
+}
+
+TEST(Generator, TransitStubDeterministicPerSeed) {
+  Network a = transit_stub({}, 42);
+  Network b = transit_stub({}, 42);
+  EXPECT_EQ(a.link_count(), b.link_count());
+  Network c = transit_stub({}, 43);
+  // Different seed, (almost surely) different wiring.
+  bool differs = a.link_count() != c.link_count();
+  for (std::size_t i = 0; !differs && i < a.link_count() && i < c.link_count(); ++i) {
+    differs = !(a.link(LinkId(i)).a == c.link(LinkId(i)).a &&
+                a.link(LinkId(i)).b == c.link(LinkId(i)).b);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, WaxmanConnectedAcrossSeeds) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    WaxmanParams p;
+    p.nodes = 40;
+    Network n = waxman(p, seed);
+    EXPECT_EQ(n.node_count(), 40u);
+    EXPECT_TRUE(n.connected()) << "seed " << seed;
+  }
+}
+
+TEST(Paths, HopDistances) {
+  Network n = chain({{LinkClass::Lan, 100, 1},
+                     {LinkClass::Lan, 100, 1},
+                     {LinkClass::Lan, 100, 1}},
+                    10);
+  auto d = hop_distances(n, NodeId(0));
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[3], 3u);
+}
+
+TEST(Paths, FewestHopsReturnsOrderedPath) {
+  Network n = triangle();
+  auto p = fewest_hops(n, NodeId(0), NodeId(2));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->nodes.front(), NodeId(0));
+  EXPECT_EQ(p->nodes.back(), NodeId(2));
+  EXPECT_EQ(p->links.size(), p->nodes.size() - 1);
+  EXPECT_DOUBLE_EQ(p->weight, 1.0);  // direct a-c link
+}
+
+TEST(Paths, WeightedShortestPathPrefersLowDelay) {
+  Network n = triangle();
+  auto p = shortest_path(n, NodeId(0), NodeId(2),
+                         [](const Link& l) { return l.resource("delay"); });
+  ASSERT_TRUE(p.has_value());
+  // direct a-c: delay 3; via b: 1 + 10 = 11.
+  EXPECT_DOUBLE_EQ(p->weight, 3.0);
+}
+
+TEST(Paths, UnreachableReturnsNullopt) {
+  Network n = triangle();
+  NodeId island = n.add_node("island");
+  EXPECT_FALSE(fewest_hops(n, NodeId(0), island).has_value());
+}
+
+TEST(Paths, WidestPathBandwidth) {
+  Network n = triangle();
+  // a->c direct: 10; a->b->c: min(100, 50) = 50.
+  EXPECT_DOUBLE_EQ(widest_path_bandwidth(n, NodeId(0), NodeId(2)), 50.0);
+}
+
+TEST(Export, DotContainsAllNodesAndLinks) {
+  Network n = triangle();
+  const std::string dot = to_dot(n, "tri");
+  EXPECT_NE(dot.find("graph tri"), std::string::npos);
+  EXPECT_NE(dot.find("\"a\" -- \"b\""), std::string::npos);
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);  // WAN styling
+}
+
+TEST(Export, JsonRoundTripStructure) {
+  Network n = triangle();
+  const std::string js = to_json(n);
+  EXPECT_NE(js.find("\"nodes\":["), std::string::npos);
+  EXPECT_NE(js.find("\"class\":\"WAN\""), std::string::npos);
+  EXPECT_NE(js.find("\"lbw\":50"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sekitei::net

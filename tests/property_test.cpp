@@ -1,0 +1,161 @@
+// Cross-cutting randomized property tests over generated problem instances.
+//
+// For random chain/diamond topologies with random demands, capacities and
+// level choices, the planner stack must uphold its core contracts:
+//   * every returned plan executes concretely (the executor re-proves it);
+//   * the realized cost never undercuts the plan's lower bound;
+//   * the delivered stream meets the demand;
+//   * the leveled planner succeeds whenever the greedy baseline does
+//     (levels only ever *add* plans, Section 3's central claim);
+//   * per-link reservations never exceed capacity.
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "domains/media.hpp"
+#include "model/compile.hpp"
+#include "sim/executor.hpp"
+#include "support/rng.hpp"
+
+namespace sekitei {
+namespace {
+
+struct RandomCase {
+  domains::media::Params params;
+  std::uint32_t lan_before = 1;
+  std::uint32_t lan_after = 1;
+  std::vector<double> cuts;
+};
+
+RandomCase draw(SplitMix64& rng) {
+  RandomCase c;
+  c.params.client_demand = 40.0 + 10.0 * static_cast<double>(rng.next_below(10));  // 40..130
+  c.params.server_cap = c.params.client_demand + 20.0 + rng.uniform(0, 100);
+  c.params.wan_bw = rng.uniform(30, 160);
+  c.params.lan_bw = rng.uniform(80, 200);
+  c.params.node_cpu = rng.uniform(10, 60);
+  c.lan_before = static_cast<std::uint32_t>(rng.next_below(3));
+  c.lan_after = static_cast<std::uint32_t>(rng.next_below(2));
+  // Levels bracketing the demand plus one coarser cut.
+  c.cuts = {c.params.client_demand, c.params.client_demand + 10.0 + rng.uniform(0, 30)};
+  return c;
+}
+
+struct Outcome {
+  bool planned = false;
+  bool executed = false;
+  double cost_lb = 0;
+  double actual = 0;
+  double delivered = 0;
+  bool capacity_ok = true;
+};
+
+Outcome run(const RandomCase& c, core::PlannerOptions::Mode mode) {
+  Outcome out;
+  auto inst = domains::media::chain_instance(c.lan_before, c.lan_after, c.params);
+  const auto scenario = mode == core::PlannerOptions::Mode::Greedy
+                            ? domains::media::scenario('A')
+                            : domains::media::scenario_with_cuts(c.cuts);
+  auto cp = model::compile(inst->problem, scenario);
+  core::PlannerOptions opt;
+  opt.mode = mode;
+  // Bounded search keeps the randomized sweep fast; instances here are tiny
+  // (<= 6 nodes), so the budget is generous relative to the real need.
+  opt.max_rg_expansions = 60000;
+  opt.max_slrg_sets = 120000;
+  core::Sekitei planner(cp, opt);
+  sim::Executor exec(cp);
+  auto r = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+  out.planned = r.ok();
+  if (!r.ok()) return out;
+  out.cost_lb = r.plan->cost_lb;
+
+  auto rep = exec.execute(*r.plan);
+  out.executed = rep.feasible;
+  out.actual = rep.actual_cost;
+  for (const auto& [var, val] : rep.final_vars) {
+    const model::VarKey& k = cp.vars.key(var);
+    if (k.kind == model::VarKind::IfaceProp && cp.iface_names[k.a] == "M" &&
+        NodeId(k.b) == inst->client) {
+      out.delivered = val;
+    }
+  }
+  for (const auto& lu : rep.link_use) {
+    const double cap = inst->net.link(lu.link).resource("lbw");
+    if (lu.used > cap + 1e-6) out.capacity_ok = false;
+  }
+  return out;
+}
+
+TEST(RandomInstances, PlansAlwaysExecuteAndMeetDemand) {
+  SplitMix64 rng(2024);
+  int planned = 0;
+  for (int iter = 0; iter < 40; ++iter) {
+    RandomCase c = draw(rng);
+    Outcome o = run(c, core::PlannerOptions::Mode::Leveled);
+    if (!o.planned) continue;  // infeasible instances are fine
+    ++planned;
+    EXPECT_TRUE(o.executed) << "iter " << iter;
+    EXPECT_GE(o.actual + 1e-6, o.cost_lb) << "iter " << iter;
+    EXPECT_GE(o.delivered + 1e-6, c.params.client_demand) << "iter " << iter;
+    EXPECT_TRUE(o.capacity_ok) << "iter " << iter;
+  }
+  // The generator parameters make a healthy fraction feasible.
+  EXPECT_GE(planned, 10);
+}
+
+TEST(RandomInstances, LeveledDominatesGreedy) {
+  // "This extension allows the planner to find a solution in some resource
+  //  constrained situations where the traditional approach fails" — and
+  //  never the other way around.
+  SplitMix64 rng(77);
+  int greedy_ok = 0, leveled_ok = 0;
+  for (int iter = 0; iter < 30; ++iter) {
+    RandomCase c = draw(rng);
+    Outcome greedy = run(c, core::PlannerOptions::Mode::Greedy);
+    Outcome leveled = run(c, core::PlannerOptions::Mode::Leveled);
+    greedy_ok += greedy.planned;
+    leveled_ok += leveled.planned;
+    if (greedy.planned) {
+      EXPECT_TRUE(leveled.planned)
+          << "iter " << iter << ": greedy found a plan but the leveled planner did not";
+    }
+  }
+  EXPECT_GE(leveled_ok, greedy_ok);
+}
+
+TEST(RandomInstances, TighterDemandNeverCheapens) {
+  // Raising the client demand (with the same bracketed levels) can only
+  // raise — never lower — the optimal cost.
+  SplitMix64 rng(5);
+  for (int iter = 0; iter < 12; ++iter) {
+    RandomCase base = draw(rng);
+    RandomCase tight = base;
+    tight.params.client_demand += 10.0;
+    tight.cuts = {tight.params.client_demand, tight.params.client_demand + 20.0};
+    Outcome lo = run(base, core::PlannerOptions::Mode::Leveled);
+    Outcome hi = run(tight, core::PlannerOptions::Mode::Leveled);
+    if (lo.planned && hi.planned) {
+      EXPECT_GE(hi.actual + 1e-6, lo.cost_lb) << "iter " << iter;
+    }
+    if (!lo.planned) {
+      EXPECT_FALSE(hi.planned) << "iter " << iter
+                               << ": higher demand cannot be feasible when lower is not";
+    }
+  }
+}
+
+TEST(RandomInstances, DeterministicAcrossRuns) {
+  SplitMix64 rng(99);
+  const RandomCase c = draw(rng);
+  Outcome a = run(c, core::PlannerOptions::Mode::Leveled);
+  Outcome b = run(c, core::PlannerOptions::Mode::Leveled);
+  EXPECT_EQ(a.planned, b.planned);
+  if (a.planned) {
+    EXPECT_DOUBLE_EQ(a.cost_lb, b.cost_lb);
+    EXPECT_DOUBLE_EQ(a.actual, b.actual);
+    EXPECT_DOUBLE_EQ(a.delivered, b.delivered);
+  }
+}
+
+}  // namespace
+}  // namespace sekitei

@@ -1,0 +1,186 @@
+// Tests for deployment repair and adaptation (src/repair): surviving-state
+// extraction, damaged-network rebuilding, and reconnect/migrate costing.
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "domains/media.hpp"
+#include "model/compile.hpp"
+#include "repair/repair.hpp"
+#include "sim/executor.hpp"
+
+namespace sekitei {
+namespace {
+
+struct Pipeline {
+  std::unique_ptr<domains::media::Instance> inst;
+  model::CompiledProblem cp;
+  core::PlanResult result;
+  sim::ExecutionReport report;
+};
+
+Pipeline solve_diamond() {
+  Pipeline p;
+  p.inst = domains::media::diamond();
+  p.cp = model::compile(p.inst->problem, domains::media::scenario('C'));
+  core::Sekitei planner(p.cp);
+  sim::Executor exec(p.cp);
+  p.result = planner.plan([&](const core::Plan& pl) { return exec.execute(pl).feasible; });
+  if (p.result.ok()) p.report = exec.execute(*p.result.plan);
+  return p;
+}
+
+int count_place(const model::CompiledProblem& cp, const core::Plan& plan,
+                const std::string& comp) {
+  int n = 0;
+  for (ActionId a : plan.steps) {
+    const model::GroundAction& act = cp.actions[a.index()];
+    if (act.kind == model::ActionKind::Place &&
+        cp.domain->component_at(act.spec_index).name == comp) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+/// The WAN link the original plan crosses (the one we fail).
+LinkId used_wan_link(const Pipeline& p) {
+  for (ActionId a : p.result.plan->steps) {
+    const model::GroundAction& act = p.cp.actions[a.index()];
+    if (act.kind == model::ActionKind::Cross &&
+        p.inst->net.link(act.link).cls == net::LinkClass::Wan) {
+      return act.link;
+    }
+  }
+  return LinkId{};
+}
+
+TEST(Repair, DamagedCopyDropsFailedLinksKeepsNodes) {
+  auto inst = domains::media::diamond();
+  repair::Damage dmg;
+  dmg.failed_links.push_back(LinkId(1));  // a-b WAN
+  net::Network damaged = repair::damaged_copy(inst->net, dmg);
+  EXPECT_EQ(damaged.node_count(), inst->net.node_count());
+  EXPECT_EQ(damaged.link_count(), inst->net.link_count() - 1);
+  EXPECT_TRUE(damaged.connected());
+}
+
+TEST(Repair, FailedNodeLosesLinksAndResources) {
+  auto inst = domains::media::diamond();
+  repair::Damage dmg;
+  const NodeId b = inst->net.find_node("b");
+  dmg.failed_nodes.push_back(b);
+  net::Network damaged = repair::damaged_copy(inst->net, dmg);
+  EXPECT_TRUE(damaged.links_at(b).empty());
+  EXPECT_DOUBLE_EQ(damaged.node(b).resource("cpu"), 0.0);
+}
+
+TEST(Repair, SurvivorsExcludeDownstreamOfFailedLink) {
+  Pipeline p = solve_diamond();
+  ASSERT_TRUE(p.result.ok()) << p.result.failure;
+  const LinkId wan = used_wan_link(p);
+  ASSERT_TRUE(wan.valid());
+  repair::Damage dmg;
+  dmg.failed_links.push_back(wan);
+  repair::Survivors dep =
+      repair::compute_survivors(p.cp, *p.result.plan, p.report.choices, dmg);
+
+  // Components on the source side survive; the goal component is dropped.
+  bool client_survives = false;
+  for (const auto& [name, node] : dep.placements) client_survives |= name == "Client";
+  EXPECT_FALSE(client_survives);
+
+  // The split + zipped streams at the server side survive.
+  bool z_at_source_side = false;
+  for (const model::InitialStream& s : dep.streams) {
+    if (s.iface == "Z") z_at_source_side = true;
+  }
+  EXPECT_TRUE(z_at_source_side);
+  // Residual consumption is accounted for the surviving crossings only.
+  EXPECT_FALSE(dep.residual.link_use.empty());
+}
+
+TEST(Repair, RepairPlanReroutesAndReusesComponents) {
+  Pipeline p = solve_diamond();
+  ASSERT_TRUE(p.result.ok()) << p.result.failure;
+  const LinkId wan = used_wan_link(p);
+  repair::Damage dmg;
+  dmg.failed_links.push_back(wan);
+
+  repair::Survivors dep =
+      repair::compute_survivors(p.cp, *p.result.plan, p.report.choices, dmg);
+  net::Network damaged = repair::damaged_copy(p.inst->net, dmg, &dep.residual);
+  model::CppProblem rp = repair::repair_problem(p.inst->problem, damaged, dep);
+  auto rcp = model::compile(rp, domains::media::scenario('C'));
+  repair::apply_adaptation_costs(rcp, dep, {});
+
+  core::Sekitei planner(rcp);
+  sim::Executor exec(rcp);
+  auto rr = planner.plan([&](const core::Plan& pl) { return exec.execute(pl).feasible; });
+  ASSERT_TRUE(rr.ok()) << rr.failure;
+
+  // The repair must not redo the upstream transformation: the split/zipped
+  // streams survived at the source side.
+  EXPECT_EQ(count_place(rcp, *rr.plan, "Splitter"), 0);
+  EXPECT_EQ(count_place(rcp, *rr.plan, "Zip"), 0);
+  // It must be much cheaper than the original full deployment.
+  EXPECT_LT(rr.plan->cost_lb, p.result.plan->cost_lb);
+  // And executable on the damaged network.
+  EXPECT_TRUE(exec.execute(*rr.plan).feasible);
+}
+
+TEST(Repair, RepairCheaperThanPlanningFromScratch) {
+  Pipeline p = solve_diamond();
+  ASSERT_TRUE(p.result.ok());
+  const LinkId wan = used_wan_link(p);
+  repair::Damage dmg;
+  dmg.failed_links.push_back(wan);
+  // Repair with reuse (residual capacities deducted).
+  repair::Survivors dep =
+      repair::compute_survivors(p.cp, *p.result.plan, p.report.choices, dmg);
+  net::Network damaged = repair::damaged_copy(p.inst->net, dmg, &dep.residual);
+  model::CppProblem rp = repair::repair_problem(p.inst->problem, damaged, dep);
+  auto rcp = model::compile(rp, domains::media::scenario('C'));
+  repair::apply_adaptation_costs(rcp, dep, {});
+  core::Sekitei rplanner(rcp);
+  sim::Executor rexec(rcp);
+  auto rr = rplanner.plan([&](const core::Plan& pl) { return rexec.execute(pl).feasible; });
+
+  // From-scratch on the damaged network (full capacities: the old
+  // deployment is torn down entirely).
+  net::Network bare = repair::damaged_copy(p.inst->net, dmg);
+  model::CppProblem sp = p.inst->problem;
+  sp.network = &bare;
+  auto scp = model::compile(sp, domains::media::scenario('C'));
+  core::Sekitei splanner(scp);
+  sim::Executor sexec(scp);
+  auto sr = splanner.plan([&](const core::Plan& pl) { return sexec.execute(pl).feasible; });
+
+  ASSERT_TRUE(rr.ok() && sr.ok());
+  EXPECT_LT(rr.plan->cost_lb, sr.plan->cost_lb);
+  EXPECT_LT(rr.plan->size(), sr.plan->size());
+}
+
+TEST(Repair, ReconnectCheaperThanMigrate) {
+  Pipeline p = solve_diamond();
+  ASSERT_TRUE(p.result.ok());
+  repair::Survivors dep;
+  dep.placements.emplace_back("Merger", p.inst->client);
+
+  auto cp2 = model::compile(p.inst->problem, domains::media::scenario('C'));
+  repair::apply_adaptation_costs(cp2, dep, {});
+  double reconnect_cost = -1, migrate_cost = -1, fresh_cost = -1;
+  for (const model::GroundAction& act : cp2.actions) {
+    if (act.kind != model::ActionKind::Place) continue;
+    const std::string& name = cp2.domain->component_at(act.spec_index).name;
+    if (name == "Merger" && act.node == p.inst->client) reconnect_cost = act.cost_lb;
+    if (name == "Merger" && act.node != p.inst->client) migrate_cost = act.cost_lb;
+    if (name == "Splitter") fresh_cost = act.cost_lb;
+  }
+  ASSERT_GT(reconnect_cost, 0);
+  ASSERT_GT(migrate_cost, 0);
+  EXPECT_LT(reconnect_cost, migrate_cost);
+  EXPECT_LT(migrate_cost, fresh_cost + 1e-9);
+}
+
+}  // namespace
+}  // namespace sekitei

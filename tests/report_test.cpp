@@ -1,0 +1,73 @@
+// Tests for deployment rendering (sim/report).
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "domains/media.hpp"
+#include "model/compile.hpp"
+#include "sim/executor.hpp"
+#include "sim/report.hpp"
+
+namespace sekitei::sim {
+namespace {
+
+struct Solved {
+  std::unique_ptr<domains::media::Instance> inst;
+  model::CompiledProblem cp;
+  core::Plan plan;
+  ExecutionReport report;
+};
+
+Solved solve_tiny() {
+  Solved s;
+  s.inst = domains::media::tiny();
+  s.cp = model::compile(s.inst->problem, domains::media::scenario('C'));
+  core::Sekitei planner(s.cp);
+  Executor exec(s.cp);
+  auto r = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+  EXPECT_TRUE(r.ok());
+  s.plan = *r.plan;
+  s.report = exec.execute(s.plan);
+  return s;
+}
+
+TEST(Report, DotContainsPlacementsAndStreams) {
+  Solved s = solve_tiny();
+  const std::string dot = deployment_to_dot(s.cp, s.plan, s.report);
+  EXPECT_NE(dot.find("graph deployment"), std::string::npos);
+  EXPECT_NE(dot.find("Splitter"), std::string::npos);
+  EXPECT_NE(dot.find("Merger"), std::string::npos);
+  // The WAN link carries both compressed streams with their reservation.
+  EXPECT_NE(dot.find("I+Z"), std::string::npos);
+  EXPECT_NE(dot.find("(65"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=lightblue"), std::string::npos);
+}
+
+TEST(Report, SummaryListsEveryParticipant) {
+  Solved s = solve_tiny();
+  const std::string sum = deployment_summary(s.cp, s.plan, s.report);
+  EXPECT_NE(sum.find("n0: Splitter Zip"), std::string::npos);
+  for (const char* comp : {"Unzip", "Merger", "Client"}) {
+    EXPECT_NE(sum.find(comp), std::string::npos) << comp;
+  }
+  EXPECT_NE(sum.find("n0-n1:"), std::string::npos);
+  EXPECT_NE(sum.find("realized cost"), std::string::npos);
+}
+
+TEST(Report, UntouchedNodesRenderPlain) {
+  Solved s = solve_tiny();
+  // Add an inert node network-wise: solve on Small instead, where n_off
+  // never participates.
+  auto inst = domains::media::small();
+  auto cp = model::compile(inst->problem, domains::media::scenario('C'));
+  core::Sekitei planner(cp);
+  Executor exec(cp);
+  auto r = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+  ASSERT_TRUE(r.ok());
+  auto rep = exec.execute(*r.plan);
+  const std::string dot = deployment_to_dot(cp, *r.plan, rep);
+  // n_off appears as a node but with no component annotation.
+  EXPECT_NE(dot.find("\"n_off\" [label=\"n_off\"]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sekitei::sim

@@ -1,0 +1,238 @@
+// Tests for the specification DSL, level sets, validation, and automatic
+// degradability tagging (Section 3.1's syntactic analysis).
+#include <gtest/gtest.h>
+
+#include "domains/media.hpp"
+#include "spec/levels.hpp"
+#include "spec/spec.hpp"
+#include "support/error.hpp"
+
+namespace sekitei::spec {
+namespace {
+
+TEST(LevelSet, TrivialHasOneInterval) {
+  LevelSet ls;
+  EXPECT_TRUE(ls.trivial());
+  EXPECT_EQ(ls.count(), 1u);
+  EXPECT_DOUBLE_EQ(ls.interval(0).lo, 0.0);
+  EXPECT_EQ(ls.interval(0).hi, kInf);
+}
+
+TEST(LevelSet, PaperScenarioDIntervals) {
+  // Table 1 row D: [0,30) [30,70) [70,90) [90,100) [100,inf).
+  LevelSet ls({30, 70, 90, 100});
+  ASSERT_EQ(ls.count(), 5u);
+  EXPECT_DOUBLE_EQ(ls.interval(0).lo, 0);
+  EXPECT_DOUBLE_EQ(ls.interval(0).hi, 30);
+  EXPECT_TRUE(ls.interval(0).hi_open);
+  EXPECT_DOUBLE_EQ(ls.interval(3).lo, 90);
+  EXPECT_DOUBLE_EQ(ls.interval(3).hi, 100);
+  EXPECT_TRUE(ls.interval(3).hi_open);
+  EXPECT_EQ(ls.interval(4).hi, kInf);
+  EXPECT_FALSE(ls.interval(4).hi_open);
+  EXPECT_FALSE(ls.interval(3).contains(100.0));
+  EXPECT_TRUE(ls.interval(3).contains(99.9999999));
+}
+
+TEST(LevelSet, LevelOfRespectsCutpoints) {
+  LevelSet ls({30, 70, 90, 100});
+  EXPECT_EQ(ls.level_of(0), 0u);
+  EXPECT_EQ(ls.level_of(29.9), 0u);
+  EXPECT_EQ(ls.level_of(30), 1u);  // cutpoints open the next level
+  EXPECT_EQ(ls.level_of(99.999), 3u);
+  EXPECT_EQ(ls.level_of(100), 4u);
+  EXPECT_EQ(ls.level_of(1e9), 4u);
+}
+
+TEST(LevelSet, ScaledProportionalLevels) {
+  // Table 1 caption: T/I/Z levels proportional to M's.
+  LevelSet m({90, 100});
+  LevelSet i = m.scaled(0.3);
+  EXPECT_DOUBLE_EQ(i.cutpoints()[0], 27);
+  EXPECT_DOUBLE_EQ(i.cutpoints()[1], 30);
+}
+
+TEST(LevelSet, RejectsBadCutpoints) {
+  EXPECT_THROW(LevelSet({-1}), Error);
+  EXPECT_THROW(LevelSet({10, 10}), Error);
+  EXPECT_THROW(LevelSet({10, 5}), Error);
+}
+
+TEST(LevelMatches, HalfOpenSemantics) {
+  LevelSet ls({90, 100});
+  const Interval lvl0 = ls.interval(0);  // [0, 90)
+  const Interval lvl1 = ls.interval(1);  // [90, 100)
+  // A computed range starting exactly at 90 belongs to level 1 only.
+  EXPECT_FALSE(level_matches(lvl0, Interval{90, 95}));
+  EXPECT_TRUE(level_matches(lvl1, Interval{90, 95}));
+  // A reservation just below a level's supremum still matches that level.
+  EXPECT_TRUE(level_matches(lvl0, Interval::point(89.9999999)));
+  // A computed range whose open supremum is the level floor cannot reach it.
+  EXPECT_FALSE(level_matches(lvl1, Interval{0, 90, /*hi_open=*/true}));
+  EXPECT_TRUE(level_matches(lvl1, Interval{0, 90, /*hi_open=*/false}));
+  // Ranges reaching into the level from below match.
+  EXPECT_TRUE(level_matches(lvl1, Interval{0, 92}));
+  // Ranges that cannot reach the level's floor do not.
+  EXPECT_FALSE(level_matches(lvl1, Interval{0, 70}));
+  // strict_floor (output-level assignment): touching the floor exactly is
+  // not enough — Fig. 7's pruning over the 70-unit link.
+  EXPECT_FALSE(level_matches(Interval{70, 90, true}, Interval{0, 70}, true));
+  EXPECT_TRUE(level_matches(Interval{70, 90, true}, Interval{0, 71}, true));
+}
+
+TEST(Parser, MediaDomainRoundTrip) {
+  DomainSpec dom = domains::media::make_domain();
+  EXPECT_EQ(dom.interface_count(), 4u);   // M T I Z
+  EXPECT_EQ(dom.component_count(), 7u);   // Server Client TClient Sp Zip Unzip Mr
+  const ComponentSpec* merger = dom.find_component("Merger");
+  ASSERT_NE(merger, nullptr);
+  EXPECT_EQ(merger->inputs.size(), 2u);
+  EXPECT_EQ(merger->outputs.size(), 1u);
+  EXPECT_EQ(merger->conditions.size(), 2u);
+  EXPECT_EQ(merger->effects.size(), 2u);
+  ASSERT_TRUE(merger->cost != nullptr);
+}
+
+TEST(Parser, InterfacePropertiesAndTags) {
+  DomainSpec dom = domains::media::make_domain();
+  const InterfaceSpec* m = dom.find_interface("M");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->tag_of("ibw"), LevelTag::Degradable);
+  EXPECT_EQ(m->cross_effects.size(), 2u);
+  ASSERT_TRUE(m->cross_cost != nullptr);
+}
+
+TEST(Parser, BakedInLevels) {
+  DomainSpec dom = parse_domain(R"(
+    interface X {
+      property v;
+      levels v { 10, 20 }
+    }
+  )");
+  const InterfaceSpec* x = dom.find_interface("X");
+  ASSERT_NE(x, nullptr);
+  ASSERT_TRUE(x->levels.count("v"));
+  EXPECT_EQ(x->levels.at("v").count(), 3u);
+}
+
+TEST(Parser, ParamDefaultsAndOverrides) {
+  const std::string text = "param k = 5;\ninterface X { property v; cost k * X.v; }";
+  DomainSpec d1 = parse_domain(text);
+  EXPECT_NE(d1.find_interface("X")->cross_cost->str().find("5"), std::string::npos);
+  DomainSpec d2 = parse_domain(text, {{"k", 9.0}});
+  EXPECT_NE(d2.find_interface("X")->cross_cost->str().find("9"), std::string::npos);
+}
+
+TEST(Validation, UnknownInterfaceInRequires) {
+  EXPECT_THROW(parse_domain("component C { requires Nope; }"), Error);
+}
+
+TEST(Validation, EffectTargetMustBeOutputOrNode) {
+  EXPECT_THROW(parse_domain(R"(
+    interface A { property v; }
+    interface B { property v; }
+    component C {
+      requires A;
+      implements B;
+      effects { A.v := 1; }
+    }
+  )"),
+               Error);
+}
+
+TEST(Validation, NonMonotoneFormulaRejected) {
+  EXPECT_THROW(parse_domain(R"(
+    interface A { property v; }
+    component C {
+      requires A;
+      conditions { node.cpu >= A.v * (A.v - 2); }
+    }
+  )"),
+               Error);
+}
+
+TEST(Validation, CrossMayOnlyTouchOwnInterfaceAndLink) {
+  EXPECT_THROW(parse_domain(R"(
+    interface A { property v; cross { A.v' := A.v; node.cpu -= 1; } }
+  )"),
+               Error);
+}
+
+TEST(Validation, UnknownPropertyInFormula) {
+  EXPECT_THROW(parse_domain(R"(
+    interface A { property v; }
+    component C { requires A; conditions { A.nope >= 1; } }
+  )"),
+               Error);
+}
+
+TEST(Validation, DuplicateSpecsRejected) {
+  EXPECT_THROW(parse_domain("interface A { property v; } interface A { property v; }"),
+               Error);
+  EXPECT_THROW(parse_domain("component C { } component C { }"), Error);
+}
+
+TEST(AutoTag, BandwidthLikePropertyBecomesDegradable) {
+  DomainSpec dom = parse_domain(R"(
+    interface S { property bw; }
+    component Sink { requires S; conditions { S.bw >= 10; } }
+  )");
+  dom.auto_tag_properties();
+  EXPECT_EQ(dom.find_interface("S")->tag_of("bw"), LevelTag::Degradable);
+}
+
+TEST(AutoTag, LatencyLikePropertyBecomesUpgradable) {
+  DomainSpec dom = parse_domain(R"(
+    interface S { property lat; }
+    component Sink { requires S; conditions { S.lat <= 100; } }
+  )");
+  dom.auto_tag_properties();
+  EXPECT_EQ(dom.find_interface("S")->tag_of("lat"), LevelTag::Upgradable);
+}
+
+TEST(AutoTag, ConflictingUsageStaysUntagged) {
+  DomainSpec dom = parse_domain(R"(
+    interface S { property v; }
+    component A { requires S; conditions { S.v >= 10; } }
+    component B { requires S; conditions { S.v <= 20; } }
+  )");
+  dom.auto_tag_properties();
+  EXPECT_EQ(dom.find_interface("S")->tag_of("v"), LevelTag::None);
+}
+
+TEST(AutoTag, ExplicitTagWins) {
+  DomainSpec dom = parse_domain(R"(
+    interface S { property v upgradable; }
+    component A { requires S; conditions { S.v >= 10; } }
+  )");
+  dom.auto_tag_properties();
+  EXPECT_EQ(dom.find_interface("S")->tag_of("v"), LevelTag::Upgradable);
+}
+
+TEST(Scenario, TableOneDefinitions) {
+  using domains::media::scenario;
+  EXPECT_EQ(scenario('A').iface_levels.size(), 0u);
+  EXPECT_EQ(scenario('B').find_iface_levels("M", "ibw")->count(), 2u);
+  EXPECT_EQ(scenario('C').find_iface_levels("M", "ibw")->count(), 3u);
+  EXPECT_EQ(scenario('D').find_iface_levels("M", "ibw")->count(), 5u);
+  EXPECT_EQ(scenario('E').find_iface_levels("M", "ibw")->count(), 5u);
+  EXPECT_EQ(scenario('D').link_levels.size(), 0u);
+  ASSERT_TRUE(scenario('E').link_levels.count("lbw"));
+  EXPECT_EQ(scenario('E').link_levels.at("lbw").count(), 3u);
+  // Proportional stream levels (Table 1 caption).
+  EXPECT_DOUBLE_EQ(scenario('C').find_iface_levels("Z", "ibw")->cutpoints()[0], 31.5);
+  EXPECT_THROW(scenario('X'), Error);
+}
+
+TEST(Scenario, SetAndClearLevelsOnSpec) {
+  DomainSpec dom = domains::media::make_domain();
+  dom.set_levels("M", "ibw", LevelSet({50}));
+  EXPECT_EQ(dom.find_interface("M")->levels.at("ibw").count(), 2u);
+  EXPECT_THROW(dom.set_levels("M", "nope", LevelSet({1})), Error);
+  EXPECT_THROW(dom.set_levels("Nope", "ibw", LevelSet({1})), Error);
+  dom.clear_levels();
+  EXPECT_TRUE(dom.find_interface("M")->levels.empty());
+}
+
+}  // namespace
+}  // namespace sekitei::spec

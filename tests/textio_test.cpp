@@ -1,0 +1,123 @@
+// Tests for the file-driven problem format (model/textio).
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "domains/media.hpp"
+#include "model/compile.hpp"
+#include "model/textio.hpp"
+#include "sim/executor.hpp"
+#include "support/error.hpp"
+
+namespace sekitei::model {
+namespace {
+
+const char* kTinyProblem = R"(
+network {
+  node n0 { cpu 30; }
+  node n1 { cpu 30; }
+  link n0 n1 wan { lbw 70; delay 10; }
+}
+problem {
+  stream M.ibw at n0 = [0, 200];
+  preplaced Server at n0;
+  forbid Server;
+  restrict Client to n1;
+  goal Client at n1;
+}
+scenario {
+  levels M.ibw { 90, 100 }
+  levels T.ibw { 63, 70 }
+  levels I.ibw { 27, 30 }
+  levels Z.ibw { 31.5, 35 }
+}
+)";
+
+std::string media_domain_text() { return domains::media::domain_text(); }
+
+TEST(TextIo, LoadsNetworkProblemAndScenario) {
+  auto lp = load_problem(media_domain_text(), kTinyProblem);
+  EXPECT_EQ(lp->net.node_count(), 2u);
+  EXPECT_EQ(lp->net.link_count(), 1u);
+  EXPECT_EQ(lp->net.link(LinkId(0)).cls, net::LinkClass::Wan);
+  EXPECT_DOUBLE_EQ(lp->net.link(LinkId(0)).resource("lbw"), 70);
+  EXPECT_EQ(lp->problem.initial_streams.size(), 1u);
+  EXPECT_EQ(lp->problem.goal_component, "Client");
+  EXPECT_FALSE(lp->problem.placeable_at("Server", NodeId(0)));
+  EXPECT_TRUE(lp->problem.placeable_at("Client", NodeId(1)));
+  EXPECT_FALSE(lp->problem.placeable_at("Client", NodeId(0)));
+  ASSERT_NE(lp->scenario.find_iface_levels("M", "ibw"), nullptr);
+  EXPECT_EQ(lp->scenario.find_iface_levels("M", "ibw")->count(), 3u);
+}
+
+TEST(TextIo, LoadedProblemPlansLikeTheBuiltInTiny) {
+  auto lp = load_problem(media_domain_text(), kTinyProblem);
+  auto cp = compile(lp->problem, lp->scenario);
+  core::Sekitei planner(cp);
+  sim::Executor exec(cp);
+  auto r = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+  ASSERT_TRUE(r.ok()) << r.failure;
+  EXPECT_EQ(r.plan->size(), 7u);
+  EXPECT_NEAR(r.plan->cost_lb, 40.30, 1e-6);
+}
+
+TEST(TextIo, FixedReplicaStreamIsPoint) {
+  const std::string text = R"(
+network { node a { cpu 5; } node b { cpu 5; } link a b lan { lbw 10; } }
+problem {
+  stream M.ibw at a = 42;
+  goal Client at b;
+}
+)";
+  auto lp = load_problem(media_domain_text(), text);
+  ASSERT_EQ(lp->problem.initial_streams.size(), 1u);
+  EXPECT_TRUE(lp->problem.initial_streams[0].value.is_point());
+  EXPECT_DOUBLE_EQ(lp->problem.initial_streams[0].value.lo, 42);
+}
+
+TEST(TextIo, LinkAndNodeLevelScenarios) {
+  const std::string text = R"(
+network { node a; node b; link a b wan { lbw 70; } }
+problem { goal Client at b; }
+scenario {
+  levels link lbw { 31, 62 }
+  levels node cpu { 10 }
+}
+)";
+  auto lp = load_problem(media_domain_text(), text);
+  ASSERT_TRUE(lp->scenario.link_levels.count("lbw"));
+  EXPECT_EQ(lp->scenario.link_levels.at("lbw").count(), 3u);
+  ASSERT_TRUE(lp->scenario.node_levels.count("cpu"));
+}
+
+TEST(TextIo, ErrorsAreDescriptive) {
+  const std::string dom = media_domain_text();
+  EXPECT_THROW(load_problem(dom, "problem { goal Client at x; }"), Error);  // no network
+  EXPECT_THROW(load_problem(dom, "network { node a; } problem { goal Client at zzz; }"),
+               Error);  // unknown node
+  EXPECT_THROW(load_problem(dom, "network { node a; } problem { goal Nope at a; }"),
+               Error);  // unknown component
+  EXPECT_THROW(load_problem(dom, "network { node a; node a; }"), Error);  // duplicate node
+  EXPECT_THROW(load_problem(dom, "network { link a b lan; }"), Error);    // undefined nodes
+  EXPECT_THROW(load_problem(dom, "network { node a; }"), Error);          // missing goal
+  EXPECT_THROW(load_problem(dom,
+                            "network { node a; } problem { stream Nope.x at a = 1; "
+                            "goal Client at a; }"),
+               Error);  // unknown interface
+}
+
+TEST(TextIo, NetworkRoundTrip) {
+  auto inst = domains::media::small();
+  const std::string text = network_to_text(inst->net) + R"(
+problem { goal Client at n4; }
+)";
+  auto lp = load_problem(media_domain_text(), text);
+  EXPECT_EQ(lp->net.node_count(), inst->net.node_count());
+  EXPECT_EQ(lp->net.link_count(), inst->net.link_count());
+  for (LinkId l : inst->net.link_ids()) {
+    EXPECT_EQ(lp->net.link(l).cls, inst->net.link(l).cls);
+    EXPECT_DOUBLE_EQ(lp->net.link(l).resource("lbw"), inst->net.link(l).resource("lbw"));
+  }
+}
+
+}  // namespace
+}  // namespace sekitei::model
