@@ -8,6 +8,7 @@
 // and at what cost — the crossover is the figure's point.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "core/planner.hpp"
 #include "domains/media.hpp"
 #include "model/compile.hpp"
@@ -45,6 +46,11 @@ int main() {
     std::printf("%7.2f | %9.3f | %5zu | %9s | %d%s\n", w, r.plan->cost_lb, r.plan->size(),
                 kind, crossings,
                 (!prev_kind.empty() && prev_kind != kind) ? "   <-- crossover" : "");
+    benchjson::emit("fig5_tradeoff",
+                    {benchjson::kv("w_link", w), benchjson::kv("plan_kind", kind),
+                     benchjson::kv("cost_lb", r.plan->cost_lb),
+                     benchjson::kv("plan_actions", r.plan->size())},
+                    &r.stats);
     prev_kind = kind;
   }
 

@@ -6,6 +6,7 @@
 // Z + I = 65 units of LAN bandwidth.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "core/planner.hpp"
 #include "domains/media.hpp"
 #include "model/compile.hpp"
@@ -30,6 +31,13 @@ void run(char sc, const char* label) {
               "reserved LAN bandwidth %.1f, reserved WAN bandwidth %.1f\n",
               label, r.plan->size(), r.plan->cost_lb, rep.actual_cost,
               rep.max_reserved(net::LinkClass::Lan), rep.max_reserved(net::LinkClass::Wan));
+  const char scenario[2] = {sc, '\0'};
+  benchjson::emit("fig9_plans",
+                  {benchjson::kv("scenario", scenario),
+                   benchjson::kv("cost_lb", r.plan->cost_lb),
+                   benchjson::kv("plan_actions", r.plan->size()),
+                   benchjson::kv("reserved_lan", rep.max_reserved(net::LinkClass::Lan))},
+                  &r.stats);
   std::printf("%s\n", r.plan->str(cp).c_str());
 }
 

@@ -8,6 +8,7 @@
 // infeasibility frontier are the series of interest.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "core/planner.hpp"
 #include "domains/grid.hpp"
 #include "model/compile.hpp"
@@ -28,6 +29,11 @@ int main() {
     core::Sekitei planner(cp);
     sim::Executor exec(cp);
     auto r = planner.plan([&](const core::Plan& pl) { return exec.execute(pl).feasible; });
+    benchjson::emit("grid_deadline",
+                    {benchjson::kv("deadline", deadline), benchjson::kv("plan_found", r.ok()),
+                     benchjson::kv("cost_lb", r.ok() ? r.plan->cost_lb : 0.0),
+                     benchjson::kv("plan_actions", r.ok() ? r.plan->size() : 0)},
+                    &r.stats);
     if (!r.ok()) {
       std::printf("%9.0f | %8s | %8s | %9s | %9s | %9s\n", deadline, "none", "-", "-", "-", "-");
       continue;

@@ -1,0 +1,67 @@
+// Shared helper for the bench harness: one machine-readable JSON line per
+// planner run, printed to stdout alongside the human tables.  Lines start
+// with `{"bench":` so a trajectory collector can extract them with a plain
+// `grep '^{"bench"'`.  The planner-work counters ride along via
+// core::stats_to_json(), so every bench reports the same schema.
+#pragma once
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+
+#include "core/stats.hpp"
+#include "support/json.hpp"
+
+namespace sekitei::benchjson {
+
+/// One extra key/value on the run record; `value` is already-rendered JSON.
+struct Kv {
+  const char* key;
+  std::string value;
+};
+
+[[nodiscard]] inline Kv kv(const char* key, const char* v) {
+  std::string rendered;
+  json::append_escaped(rendered, v);
+  return {key, std::move(rendered)};
+}
+[[nodiscard]] inline Kv kv(const char* key, const std::string& v) { return kv(key, v.c_str()); }
+[[nodiscard]] inline Kv kv(const char* key, double v) {
+  std::string rendered;
+  json::append_number(rendered, v);
+  return {key, std::move(rendered)};
+}
+[[nodiscard]] inline Kv kv(const char* key, std::uint64_t v) {
+  std::string rendered;
+  json::append_number(rendered, v);
+  return {key, std::move(rendered)};
+}
+[[nodiscard]] inline Kv kv(const char* key, int v) {
+  return kv(key, static_cast<std::uint64_t>(v < 0 ? 0 : v));
+}
+[[nodiscard]] inline Kv kv(const char* key, bool v) {
+  return Kv{key, v ? "true" : "false"};
+}
+
+/// Prints the run record:
+///   {"bench":"table2","net":"Tiny",...,"stats":{...}}
+/// Pass nullptr for `stats` on runs that never reached the planner.
+inline void emit(const char* bench, std::initializer_list<Kv> fields,
+                 const core::PlannerStats* stats) {
+  std::string line = "{\"bench\":";
+  json::append_escaped(line, bench);
+  for (const Kv& f : fields) {
+    line.push_back(',');
+    json::append_escaped(line, f.key);
+    line.push_back(':');
+    line += f.value;
+  }
+  if (stats != nullptr) {
+    line += ",\"stats\":";
+    line += core::stats_to_json(*stats);
+  }
+  line.push_back('}');
+  std::printf("%s\n", line.c_str());
+}
+
+}  // namespace sekitei::benchjson

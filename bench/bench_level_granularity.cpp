@@ -13,6 +13,7 @@
 // reserved LAN bandwidth falls to the ideal 58.5.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "core/planner.hpp"
 #include "domains/media.hpp"
 #include "model/compile.hpp"
@@ -41,6 +42,10 @@ int main() {
     const double lan = rep.max_reserved(net::LinkClass::Lan);
     std::printf("      {90, %6.1f} | %7zu | %12.2f | %12.1f | %+6.1f%%\n", upper,
                 r.plan->size(), lan, ideal, 100.0 * (lan - ideal) / ideal);
+    benchjson::emit("level_granularity",
+                    {benchjson::kv("upper_cut", upper), benchjson::kv("reserved_lan", lan),
+                     benchjson::kv("plan_actions", r.plan->size())},
+                    &r.stats);
   }
 
   std::printf("\npaper reference: scenario C (cuts {90,100}) reserves 65 LAN units — an\n"

@@ -2,8 +2,15 @@
 // evaluation, interval evaluation, plan-tail replay, problem leveling, and
 // the PLRG/SLRG construction.  These guard the constant factors behind
 // Table 2's planning-time column.
+//
+// The BM_Trace* group guards the observability layer's idle cost: with the
+// instrumentation compiled in but no collector installed, a span or counter
+// must stay in the low-nanosecond range so end-to-end planning keeps well
+// under the 2% overhead budget (compare BM_EndToEndPlanSmall against
+// BM_EndToEndPlanSmallTraced for the *enabled* cost).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "core/planner.hpp"
 #include "core/plrg.hpp"
 #include "core/replay.hpp"
@@ -12,6 +19,7 @@
 #include "expr/parser.hpp"
 #include "expr/program.hpp"
 #include "model/compile.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -121,6 +129,73 @@ void BM_EndToEndPlanSmall(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndPlanSmall)->Unit(benchmark::kMillisecond);
 
+// ---- observability-layer overhead guards ------------------------------
+
+void BM_TraceSpanNoCollector(benchmark::State& state) {
+  // The idle fast path: one relaxed load + branch per span end-to-end.
+  for (auto _ : state) {
+    trace::Span span("bench.noop");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_TraceSpanNoCollector);
+
+void BM_TraceCounterNoCollector(benchmark::State& state) {
+  double x = 0;
+  for (auto _ : state) {
+    trace::counter("bench.noop", x);
+    x += 1;
+  }
+}
+BENCHMARK(BM_TraceCounterNoCollector);
+
+void BM_TraceSpanWithCollector(benchmark::State& state) {
+  trace::Collector collector;
+  trace::install(&collector);
+  for (auto _ : state) {
+    trace::Span span("bench.noop");
+    benchmark::DoNotOptimize(&span);
+  }
+  trace::uninstall();
+  state.SetLabel(std::to_string(collector.event_count()) + " events recorded");
+}
+BENCHMARK(BM_TraceSpanWithCollector);
+
+void BM_EndToEndPlanSmallTraced(benchmark::State& state) {
+  // Same workload as BM_EndToEndPlanSmall but with a live collector; the
+  // difference between the two is the *enabled* tracing cost.
+  auto inst = domains::media::small();
+  const auto scenario = domains::media::scenario('C');
+  trace::Collector collector;
+  trace::install(&collector);
+  for (auto _ : state) {
+    auto cp = model::compile(inst->problem, scenario);
+    core::Sekitei planner(cp);
+    auto r = planner.plan();
+    benchmark::DoNotOptimize(r.ok());
+  }
+  trace::uninstall();
+}
+BENCHMARK(BM_EndToEndPlanSmallTraced)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // One machine-readable planner-run record for the trajectory, matching
+  // the schema the table/figure benches emit.
+  auto inst = sekitei::domains::media::small();
+  auto cp = sekitei::model::compile(inst->problem, sekitei::domains::media::scenario('C'));
+  sekitei::core::Sekitei planner(cp);
+  auto r = planner.plan();
+  sekitei::benchjson::emit("micro",
+                           {sekitei::benchjson::kv("net", "Small"),
+                            sekitei::benchjson::kv("scenario", "C"),
+                            sekitei::benchjson::kv("plan_found", r.ok())},
+                           &r.stats);
+  return 0;
+}

@@ -4,6 +4,7 @@
 // against planning from scratch on the damaged network.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "core/planner.hpp"
 #include "domains/media.hpp"
 #include "model/compile.hpp"
@@ -68,6 +69,13 @@ int main() {
       std::snprintf(save, sizeof save, "-");
     }
     std::printf("%12s | %16s | %16s | %9s\n", name.c_str(), rbuf, sbuf, save);
+    benchjson::emit("repair",
+                    {benchjson::kv("failed_link", name),
+                     benchjson::kv("repair_found", rr.ok()),
+                     benchjson::kv("repair_cost_lb", rr.ok() ? rr.plan->cost_lb : 0.0),
+                     benchjson::kv("scratch_found", sr.ok()),
+                     benchjson::kv("scratch_cost_lb", sr.ok() ? sr.plan->cost_lb : 0.0)},
+                    &rr.stats);
   }
 
   std::printf("\nexpected shape: failures on the used route are repaired by rerouting\n"

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/planner.hpp"
 #include "domains/media.hpp"
 #include "model/compile.hpp"
@@ -29,7 +30,8 @@ struct Row {
   bool ok = false;
 };
 
-Row run(const domains::media::Instance& inst, const spec::LevelScenario& sc) {
+Row run(const domains::media::Instance& inst, const spec::LevelScenario& sc,
+        const char* series, double x) {
   Row row;
   Stopwatch watch;
   auto cp = model::compile(inst.problem, sc);
@@ -43,6 +45,12 @@ Row run(const domains::media::Instance& inst, const spec::LevelScenario& sc) {
     row.plan_len = r.plan->size();
     row.cost = r.plan->cost_lb;
   }
+  benchjson::emit("scaling",
+                  {benchjson::kv("series", series), benchjson::kv("x", x),
+                   benchjson::kv("plan_found", row.ok), benchjson::kv("cost_lb", row.cost),
+                   benchjson::kv("plan_actions", row.plan_len),
+                   benchjson::kv("total_ms", row.ms)},
+                  &r.stats);
   return row;
 }
 
@@ -65,7 +73,8 @@ int main() {
     std::sort(cuts.begin(), cuts.end());
     if (n == 1) cuts = {100};
     auto inst = domains::media::small();
-    Row row = run(*inst, domains::media::scenario_with_cuts(cuts));
+    Row row = run(*inst, domains::media::scenario_with_cuts(cuts), "levels",
+                  static_cast<double>(cuts.size() + 1));
     std::printf("%8zu | %8zu | %6zu | %9.2f | %9.1f %s\n", cuts.size() + 1, row.actions,
                 row.plan_len, row.cost, row.ms, row.ok ? "" : "(no plan)");
   }
@@ -75,7 +84,8 @@ int main() {
               "time ms");
   for (std::uint32_t hops : {1u, 2u, 4u, 8u, 12u, 16u}) {
     auto inst = domains::media::chain_instance(hops, 1);
-    Row row = run(*inst, domains::media::scenario('C'));
+    Row row = run(*inst, domains::media::scenario('C'), "chain_nodes",
+                  static_cast<double>(inst->net.node_count()));
     std::printf("%8zu | %8zu | %6zu | %9.2f | %9.1f %s\n", inst->net.node_count(), row.actions,
                 row.plan_len, row.cost, row.ms, row.ok ? "" : "(no plan)");
   }
@@ -89,7 +99,8 @@ int main() {
   for (std::uint64_t seed : {13u, 17u, 19u, 23u, 29u, 31u}) {
     try {
       auto inst = domains::media::large({}, seed);
-      Row row = run(*inst, domains::media::scenario('C'));
+      Row row = run(*inst, domains::media::scenario('C'), "transit_stub_seed",
+                    static_cast<double>(seed));
       std::printf("%8zu | %8zu | %6zu | %9.2f | %9.1f %s (seed %llu)\n",
                   inst->net.node_count(), row.actions, row.plan_len, row.cost, row.ms,
                   row.ok ? "" : "(no plan)", (unsigned long long)seed);

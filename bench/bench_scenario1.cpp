@@ -9,6 +9,7 @@
 //  even though one exists."
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "core/planner.hpp"
 #include "domains/media.hpp"
 #include "model/compile.hpp"
@@ -29,6 +30,10 @@ void run(const char* name, const domains::media::Instance& inst) {
     auto r = planner.plan();
     std::printf("  greedy (worst-case reservation): %s\n",
                 r.ok() ? "FOUND A PLAN (unexpected)" : "no plan  [matches the paper]");
+    benchjson::emit("scenario1",
+                    {benchjson::kv("net", name), benchjson::kv("mode", "greedy"),
+                     benchjson::kv("plan_found", r.ok())},
+                    &r.stats);
   }
   // Leveled planner, scenario C.
   {
@@ -36,6 +41,12 @@ void run(const char* name, const domains::media::Instance& inst) {
     core::Sekitei planner(cp);
     sim::Executor exec(cp);
     auto r = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+    benchjson::emit("scenario1",
+                    {benchjson::kv("net", name), benchjson::kv("mode", "leveled"),
+                     benchjson::kv("plan_found", r.ok()),
+                     benchjson::kv("cost_lb", r.ok() ? r.plan->cost_lb : 0.0),
+                     benchjson::kv("plan_actions", r.ok() ? r.plan->size() : 0)},
+                    &r.stats);
     if (!r.ok()) {
       std::printf("  leveled: UNEXPECTED FAILURE: %s\n", r.failure.c_str());
       return;

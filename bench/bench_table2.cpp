@@ -5,11 +5,16 @@
 // sizes, planning time).  Scenario A (the greedy original Sekitei) is also
 // run on every network to demonstrate that it finds no plan.
 //
+// The time column follows the paper's two-part split (column 9): regression
+// graph construction (PLRG build + SLRG goal seeding) vs the RG search.
 // Times are wall-clock on the current machine; the paper's were measured in
 // 2004 — compare shapes, not milliseconds (see EXPERIMENTS.md).
+//
+// Each row additionally emits one machine-readable JSON line (grep '^{"bench"').
 #include <cstdio>
 #include <memory>
 
+#include "bench_json.hpp"
 #include "core/planner.hpp"
 #include "domains/media.hpp"
 #include "model/compile.hpp"
@@ -20,7 +25,8 @@ namespace {
 
 using namespace sekitei;
 
-void run_row(const domains::media::Instance& inst, char sc_name, bool has_lan) {
+void run_row(const char* net_name, const domains::media::Instance& inst, char sc_name,
+             bool has_lan) {
   Stopwatch total;
   auto cp = model::compile(inst.problem, domains::media::scenario(sc_name));
 
@@ -30,34 +36,51 @@ void run_row(const domains::media::Instance& inst, char sc_name, bool has_lan) {
   sim::Executor exec(cp);
   auto r = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
   const double total_ms = total.elapsed_ms();
+  const char scenario[2] = {sc_name, '\0'};
 
   if (!r.ok()) {
-    std::printf("  %c | %11s | %7s | %8s | %7llu | %6llu/%-6llu | %7llu | %8llu/%-8llu | %7.0f/%-7.0f\n",
+    std::printf("  %c | %11s | %7s | %8s | %7llu | %6llu/%-6llu | %7llu | %8llu/%-8llu |"
+                " %7.1f+%-7.1f (%.1f)\n",
                 sc_name, "no plan", "-", "-", (unsigned long long)r.stats.total_actions,
                 (unsigned long long)r.stats.plrg_props, (unsigned long long)r.stats.plrg_actions,
                 (unsigned long long)r.stats.slrg_sets, (unsigned long long)r.stats.rg_nodes,
-                (unsigned long long)r.stats.rg_open_left, total_ms, r.stats.time_search_ms);
+                (unsigned long long)r.stats.rg_open_left, r.stats.time_graph_ms,
+                r.stats.time_search_ms, total_ms);
+    benchjson::emit("table2",
+                    {benchjson::kv("net", net_name), benchjson::kv("scenario", scenario),
+                     benchjson::kv("plan_found", false), benchjson::kv("total_ms", total_ms)},
+                    &r.stats);
     return;
   }
   auto rep = exec.execute(*r.plan);
   char lan_buf[32];
+  const double lan = rep.feasible ? rep.max_reserved(net::LinkClass::Lan) : 0.0;
   if (has_lan && rep.feasible) {
-    std::snprintf(lan_buf, sizeof lan_buf, "%.0f", rep.max_reserved(net::LinkClass::Lan));
+    std::snprintf(lan_buf, sizeof lan_buf, "%.0f", lan);
   } else {
     std::snprintf(lan_buf, sizeof lan_buf, "N/A");
   }
-  std::printf("  %c | %11.2f | %7zu | %8s | %7llu | %6llu/%-6llu | %7llu | %8llu/%-8llu | %7.0f/%-7.0f\n",
+  std::printf("  %c | %11.2f | %7zu | %8s | %7llu | %6llu/%-6llu | %7llu | %8llu/%-8llu |"
+              " %7.1f+%-7.1f (%.1f)\n",
               sc_name, r.plan->cost_lb, r.plan->size(), lan_buf,
               (unsigned long long)r.stats.total_actions,
               (unsigned long long)r.stats.plrg_props, (unsigned long long)r.stats.plrg_actions,
               (unsigned long long)r.stats.slrg_sets, (unsigned long long)r.stats.rg_nodes,
-              (unsigned long long)r.stats.rg_open_left, total_ms, r.stats.time_search_ms);
+              (unsigned long long)r.stats.rg_open_left, r.stats.time_graph_ms,
+              r.stats.time_search_ms, total_ms);
+  benchjson::emit("table2",
+                  {benchjson::kv("net", net_name), benchjson::kv("scenario", scenario),
+                   benchjson::kv("plan_found", true), benchjson::kv("cost_lb", r.plan->cost_lb),
+                   benchjson::kv("plan_actions", r.plan->size()),
+                   benchjson::kv("reserved_lan", has_lan && rep.feasible ? lan : 0.0),
+                   benchjson::kv("total_ms", total_ms)},
+                  &r.stats);
 }
 
 void run_network(const char* name, const domains::media::Instance& inst, bool has_lan) {
   std::printf("%s (%zu nodes, %zu links)\n", name, inst.net.node_count(),
               inst.net.link_count());
-  for (char sc : {'A', 'B', 'C', 'D', 'E'}) run_row(inst, sc, has_lan);
+  for (char sc : {'A', 'B', 'C', 'D', 'E'}) run_row(name, inst, sc, has_lan);
 }
 
 }  // namespace
@@ -65,7 +88,8 @@ void run_network(const char* name, const domains::media::Instance& inst, bool ha
 int main() {
   std::printf("Table 2: Scalability evaluation (reproduction)\n");
   std::printf("columns: scenario | cost lower bound | actions in plan | reserved LAN bw |"
-              " total actions | PLRG p/a | SLRG sets | RG nodes/queued | time ms total/search\n\n");
+              " total actions | PLRG p/a | SLRG sets | RG nodes/queued |"
+              " time ms graph+search (total)\n\n");
 
   run_network("Tiny", *domains::media::tiny(), /*has_lan=*/false);
   std::printf("\n");

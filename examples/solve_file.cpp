@@ -3,6 +3,13 @@
 // writing a line of C++.
 //
 //   $ ./example_solve_file <domain.sk> <problem.sk> [--greedy] [--plan-only]
+//                          [--trace <file>] [--stats-json] [--log <level>]
+//
+// --trace writes a Chrome trace-event JSON file (load in chrome://tracing or
+// https://ui.perfetto.dev) covering compile, the planner phases and the
+// validating executor.  --stats-json prints the PlannerStats record as one
+// JSON line.  --log installs a stderr text sink at the given level
+// (trace|debug|info|warn|error).
 //
 // Sample inputs live in examples/data/ (the paper's Fig. 3 scenario):
 //
@@ -10,14 +17,18 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "core/planner.hpp"
+#include "core/stats.hpp"
 #include "model/compile.hpp"
 #include "model/textio.hpp"
 #include "sim/executor.hpp"
 #include "support/error.hpp"
+#include "support/log.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -34,15 +45,45 @@ std::string slurp(const char* path) {
 int main(int argc, char** argv) {
   using namespace sekitei;
   if (argc < 3) {
-    std::fprintf(stderr, "usage: %s <domain.sk> <problem.sk> [--greedy] [--plan-only]\n",
+    std::fprintf(stderr,
+                 "usage: %s <domain.sk> <problem.sk> [--greedy] [--plan-only]\n"
+                 "          [--trace <file>] [--stats-json] [--log <level>]\n",
                  argv[0]);
     return 2;
   }
-  bool greedy = false, plan_only = false;
+  bool greedy = false, plan_only = false, stats_json = false;
+  const char* trace_path = nullptr;
   for (int i = 3; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--greedy") == 0) greedy = true;
-    if (std::strcmp(argv[i], "--plan-only") == 0) plan_only = true;
+    if (std::strcmp(argv[i], "--greedy") == 0) {
+      greedy = true;
+    } else if (std::strcmp(argv[i], "--plan-only") == 0) {
+      plan_only = true;
+    } else if (std::strcmp(argv[i], "--stats-json") == 0) {
+      stats_json = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
+      const char* name = argv[++i];
+#ifndef SEKITEI_LOG_DISABLED
+      const log::Level lvl = log::parse_level(name);
+      log::set_level(lvl);
+      if (lvl != log::Level::Off) {
+        log::add_sink(std::make_shared<log::StreamSink>(stderr));
+      } else if (std::strcmp(name, "off") != 0) {
+        std::fprintf(stderr, "unknown log level '%s'\n", name);
+        return 2;
+      }
+#else
+      std::fprintf(stderr, "--log %s ignored: built with SEKITEI_LOG_DISABLED\n", name);
+#endif
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return 2;
+    }
   }
+
+  trace::Collector collector;
+  if (trace_path) trace::install(&collector);
 
   try {
     auto lp = model::load_problem(slurp(argv[1]), slurp(argv[2]));
@@ -51,7 +92,10 @@ int main(int argc, char** argv) {
                 lp->net.node_count(), lp->net.link_count());
 
     Stopwatch watch;
-    auto cp = model::compile(lp->problem, lp->scenario);
+    auto cp = [&] {
+      trace::Span span("model.compile", "compile");
+      return model::compile(lp->problem, lp->scenario);
+    }();
     std::printf("leveling: %zu ground actions (%llu combos, %llu pruned)\n", cp.actions.size(),
                 (unsigned long long)cp.combos_considered,
                 (unsigned long long)cp.combos_pruned);
@@ -61,9 +105,20 @@ int main(int argc, char** argv) {
     core::Sekitei planner(cp, opt);
     sim::Executor exec(cp);
     auto r = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
-    std::printf("planning: %.1f ms (PLRG %llu/%llu, SLRG %llu, RG %llu)\n", watch.elapsed_ms(),
+    std::printf("planning: %.1f ms — graph %.1f ms + search %.1f ms "
+                "(PLRG %llu/%llu, SLRG %llu, RG %llu)\n",
+                watch.elapsed_ms(), r.stats.time_graph_ms, r.stats.time_search_ms,
                 (unsigned long long)r.stats.plrg_props, (unsigned long long)r.stats.plrg_actions,
                 (unsigned long long)r.stats.slrg_sets, (unsigned long long)r.stats.rg_nodes);
+    if (stats_json) std::printf("%s\n", core::stats_to_json(r.stats).c_str());
+    if (trace_path) {
+      trace::uninstall();
+      if (!collector.write_json(trace_path)) {
+        std::fprintf(stderr, "error: cannot write trace to %s\n", trace_path);
+        return 2;
+      }
+      std::printf("trace: %zu events written to %s\n", collector.event_count(), trace_path);
+    }
     if (!r.ok()) {
       std::printf("no plan: %s\n", r.failure.c_str());
       return 1;
@@ -88,6 +143,7 @@ int main(int argc, char** argv) {
     }
     return 0;
   } catch (const Error& e) {
+    if (trace_path) trace::uninstall();
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }

@@ -3,7 +3,9 @@
 #include "core/plrg.hpp"
 #include "core/rg.hpp"
 #include "core/slrg.hpp"
+#include "support/log.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace sekitei::core {
 
@@ -13,6 +15,7 @@ Sekitei::Sekitei(const model::CompiledProblem& cp, PlannerOptions options)
 PlanResult Sekitei::plan(const std::function<bool(const Plan&)>& validate) {
   PlanResult result;
   result.stats.total_actions = cp_.actions.size();
+  trace::Span plan_span("planner.plan");
   Stopwatch watch;
 
   const CostFn cost = options_.mode == PlannerOptions::Mode::Greedy
@@ -22,49 +25,83 @@ PlanResult Sekitei::plan(const std::function<bool(const Plan&)>& validate) {
   // Phase 1: per-proposition logical regression graph (all goals at once).
   Plrg plrg(cp_, cost);
   plrg.build(std::span<const PropId>(cp_.goal_props));
-  result.stats.plrg_props = plrg.prop_nodes();
-  result.stats.plrg_actions = plrg.action_nodes();
+
+  // Phase 2 oracle; constructed up front so that every exit path below can
+  // report the same stats snapshot through `finish`.
+  Slrg slrg(cp_, plrg, cost, {options_.max_slrg_sets});
+
+  // Single exit point: whatever path ends the plan() call, the stats carry
+  // the same complete snapshot (graph sizes, memo counters, limit flags).
+  auto finish = [&](std::string failure) -> PlanResult {
+    result.stats.plrg_props = plrg.prop_nodes();
+    result.stats.plrg_actions = plrg.action_nodes();
+    result.stats.slrg_sets = slrg.set_count();
+    result.stats.slrg_memo_hits = slrg.memo_hits();
+    result.stats.slrg_memo_misses = slrg.memo_misses();
+    result.stats.hit_search_limit = result.stats.hit_search_limit || slrg.hit_limit();
+    result.failure = std::move(failure);
+    SEKITEI_LOG_INFO("core.planner", result.ok() ? "plan found" : "no plan",
+                     log::kv("mode", options_.mode == PlannerOptions::Mode::Greedy
+                                         ? "greedy"
+                                         : "leveled"),
+                     log::kv("plan_actions", result.ok() ? result.plan->size() : 0),
+                     log::kv("rg_expansions", result.stats.rg_expansions),
+                     log::kv("graph_ms", result.stats.time_graph_ms),
+                     log::kv("search_ms", result.stats.time_search_ms));
+    return std::move(result);
+  };
+
   for (PropId g : cp_.goal_props) {
     if (!plrg.reachable(g)) {
       result.stats.logically_unreachable = true;
-      result.stats.time_search_ms = watch.elapsed_ms();
-      result.failure = "goal " + cp_.describe(g) + " is logically unreachable";
-      return result;
+      result.stats.time_graph_ms = watch.elapsed_ms();
+      return finish("goal " + cp_.describe(g) + " is logically unreachable");
     }
   }
 
-  // Phase 2: set costs (the memoized SLRG oracle).
+  // Phase 2: set costs (the memoized SLRG oracle), seeded by the goal query.
   const std::vector<PropId>& goal_set = cp_.goal_props;
-  Slrg slrg(cp_, plrg, cost, {options_.max_slrg_sets});
-  const double logical_cost = slrg.c_logical(goal_set);
+  double logical_cost;
+  {
+    trace::Span span("slrg.seed_goal_query", "graph");
+    logical_cost = slrg.c_logical(goal_set);
+  }
+  result.stats.time_graph_ms = watch.elapsed_ms();
+  SEKITEI_LOG_DEBUG("core.planner", "graph construction complete",
+                    log::kv("plrg_props", plrg.prop_nodes()),
+                    log::kv("plrg_actions", plrg.action_nodes()),
+                    log::kv("slrg_sets", slrg.set_count()),
+                    log::kv("c_logical", logical_cost),
+                    log::kv("ms", result.stats.time_graph_ms));
   if (logical_cost == kInf) {
-    result.stats.slrg_sets = slrg.set_count();
     result.stats.logically_unreachable = true;
-    result.stats.time_search_ms = watch.elapsed_ms();
-    result.failure = "no logically consistent action sequence reaches the goal";
-    return result;
+    return finish("no logically consistent action sequence reaches the goal");
   }
 
   // Phase 3: the main regression graph with optimistic-map replay.
+  watch.restart();
   Rg rg(cp_, slrg, plrg, cost);
   Rg::Options rg_opts;
   rg_opts.max_expansions = options_.max_rg_expansions;
   rg_opts.forbid_repeated_actions = options_.forbid_repeated_actions;
   rg_opts.replay_mode = options_.mode == PlannerOptions::Mode::Greedy ? ReplayMode::WorstCase
                                                                       : ReplayMode::Optimistic;
-  std::optional<Plan> plan = rg.search(goal_set, rg_opts, validate, result.stats);
-  result.stats.slrg_sets = slrg.set_count();
-  result.stats.hit_search_limit = result.stats.hit_search_limit || slrg.hit_limit();
+  rg_opts.progress = options_.progress;
+  rg_opts.progress_every = options_.progress_every;
+  std::optional<Plan> plan;
+  {
+    trace::Span span("rg.search", "search");
+    plan = rg.search(goal_set, rg_opts, validate, result.stats);
+  }
   result.stats.time_search_ms = watch.elapsed_ms();
 
   if (plan) {
     result.plan = std::move(plan);
-  } else {
-    result.failure = result.stats.hit_search_limit
-                         ? "search limit exhausted before finding a plan"
-                         : "no resource-feasible plan exists under the given levels";
+    return finish({});
   }
-  return result;
+  return finish(result.stats.hit_search_limit || slrg.hit_limit()
+                    ? "search limit exhausted before finding a plan"
+                    : "no resource-feasible plan exists under the given levels");
 }
 
 }  // namespace sekitei::core

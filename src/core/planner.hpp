@@ -28,6 +28,14 @@ struct PlannerOptions {
   std::uint64_t max_rg_expansions = 1u << 21;
   std::uint64_t max_slrg_sets = 2u << 20;
   bool forbid_repeated_actions = true;
+
+  /// Progress observer: invoked from inside the RG search every
+  /// `progress_every` expansions with a live snapshot of the statistics so
+  /// far (rg_open_left reflects the current open list).  The reference is
+  /// only valid during the call.  Observation only — the callback cannot
+  /// influence the search.
+  std::function<void(const PlannerStats&)> progress;
+  std::uint64_t progress_every = 8192;
 };
 
 struct PlanResult {

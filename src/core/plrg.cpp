@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <queue>
 
+#include "support/log.hpp"
+#include "support/trace.hpp"
+
 namespace sekitei::core {
 
 Plrg::Plrg(const model::CompiledProblem& cp, CostFn cost) : cp_(cp), cost_fn_(std::move(cost)) {}
@@ -13,6 +16,7 @@ void Plrg::build(PropId goal) {
 }
 
 void Plrg::build(std::span<const PropId> goals) {
+  trace::Span span("plrg.build", "graph");
   const std::size_t np = cp_.props.size();
   const std::size_t na = cp_.actions.size();
   prop_cost_.assign(np, kInf);
@@ -48,9 +52,11 @@ void Plrg::build(std::span<const PropId> goals) {
   for (PropId p : rel_props_) {
     if (cp_.init_holds(p)) prop_cost_[p.index()] = 0.0;
   }
+  std::uint64_t sweeps = 0;
   bool changed = true;
   while (changed) {
     changed = false;
+    ++sweeps;
     for (ActionId a : rel_actions_) {
       const model::GroundAction& act = cp_.actions[a.index()];
       double pre_max = 0.0;
@@ -90,6 +96,10 @@ void Plrg::build(std::span<const PropId> goals) {
       }
     }
   }
+  trace::counter("plrg.props", static_cast<double>(rel_props_.size()));
+  trace::counter("plrg.actions", static_cast<double>(rel_actions_.size()));
+  SEKITEI_LOG_DEBUG("core.plrg", "built", log::kv("props", rel_props_.size()),
+                    log::kv("actions", rel_actions_.size()), log::kv("sweeps", sweeps));
 }
 
 double Plrg::cost(PropId p) const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.hpp"
+#include "support/log.hpp"
 
 namespace sekitei::core {
 
@@ -11,6 +12,7 @@ using model::SlotRole;
 using spec::LevelTag;
 
 bool Replayer::replay(std::span<const ActionId> steps, bool from_init, ReplayMode mode) {
+  ++calls_;
   failure_.clear();
   map_.reset(cp_.vars.size());
   if (from_init) {
@@ -25,7 +27,13 @@ bool Replayer::replay(std::span<const ActionId> steps, bool from_init, ReplayMod
     }
   }
   for (ActionId a : steps) {
-    if (!step(cp_.actions[a.index()], mode)) return false;
+    if (!step(cp_.actions[a.index()], mode)) {
+      // Trace-level because this is the RG's *normal* pruning mechanism,
+      // not an anomaly; the level gate keeps the hot path at one load.
+      SEKITEI_LOG_TRACE("core.replay", "tail pruned", log::kv("action", cp_.describe(a)),
+                        log::kv("reason", failure_), log::kv("steps", steps.size()));
+      return false;
+    }
   }
   return true;
 }

@@ -74,6 +74,10 @@ class Replayer {
   /// Why the last replay failed (empty when it succeeded).
   [[nodiscard]] const std::string& failure() const { return failure_; }
 
+  /// Total replay() invocations over this replayer's lifetime — the RG's
+  /// dominant inner-loop work item, folded into PlannerStats::replay_calls.
+  [[nodiscard]] std::uint64_t calls() const { return calls_; }
+
  private:
   [[nodiscard]] bool step(const model::GroundAction& act, ReplayMode mode);
 
@@ -81,6 +85,7 @@ class Replayer {
   ResourceMap map_;
   std::vector<Interval> scratch_;
   std::string failure_;
+  std::uint64_t calls_ = 0;
 };
 
 }  // namespace sekitei::core

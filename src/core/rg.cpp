@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <queue>
 
+#include "support/log.hpp"
 #include "support/sorted_vec.hpp"
+#include "support/trace.hpp"
 
 namespace sekitei::core {
 
@@ -63,6 +65,12 @@ std::optional<Plan> Rg::search(const std::vector<PropId>& goal_set, const Option
   pool_.push_back(Node{ActionId{}, 0, goal_set, 0.0});
   open.push({slrg_.estimate(goal_set), 0.0, 0});
   stats.rg_nodes = 1;
+  stats.rg_peak_open = 1;
+
+  // One combined cadence for the progress observer and the trace counters;
+  // checked with a single comparison per expansion so an idle observer adds
+  // nothing measurable to the search.
+  const std::uint64_t tick_every = std::max<std::uint64_t>(1, options.progress_every);
 
   while (!open.empty()) {
     const Open cur = open.top();
@@ -73,6 +81,20 @@ std::optional<Plan> Rg::search(const std::vector<PropId>& goal_set, const Option
       stats.hit_search_limit = true;
       break;
     }
+    if (stats.rg_expansions % tick_every == 0) {
+      stats.rg_open_left = open.size();
+      stats.replay_calls = replayer.calls();
+      if (trace::collector()) {
+        trace::counter("rg.expansions", static_cast<double>(stats.rg_expansions));
+        trace::counter("rg.nodes", static_cast<double>(stats.rg_nodes));
+        trace::counter("rg.open", static_cast<double>(open.size()));
+        trace::counter("rg.pruned_by_replay", static_cast<double>(stats.rg_pruned_by_replay));
+      }
+      SEKITEI_LOG_TRACE("core.rg", "progress", log::kv("expansions", stats.rg_expansions),
+                        log::kv("nodes", stats.rg_nodes), log::kv("open", stats.rg_open_left),
+                        log::kv("f", cur.f));
+      if (options.progress) options.progress(stats);
+    }
 
     // Goal test: all propositions hold initially and the tail executes in
     // the initial-state resource map.
@@ -82,11 +104,20 @@ std::optional<Plan> Rg::search(const std::vector<PropId>& goal_set, const Option
         Plan plan;
         plan.steps = std::move(steps);
         plan.cost_lb = cur.g;
-        if (!validate || validate(plan)) {
+        bool accepted = true;
+        if (validate) {
+          trace::Span vspan("rg.validate", "search");
+          accepted = validate(plan);
+        }
+        if (accepted) {
           stats.rg_open_left = open.size();
+          stats.replay_calls = replayer.calls();
           return plan;
         }
         ++stats.sim_rejections;
+        SEKITEI_LOG_DEBUG("core.rg", "validator rejected candidate",
+                          log::kv("steps", plan.steps.size()), log::kv("cost_lb", plan.cost_lb),
+                          log::kv("rejections", stats.sim_rejections));
       } else {
         ++stats.rg_pruned_by_replay;
       }
@@ -139,9 +170,11 @@ std::optional<Plan> Rg::search(const std::vector<PropId>& goal_set, const Option
       }
       ++stats.rg_nodes;
       open.push({pool_[child].g + h, pool_[child].g, child});
+      if (open.size() > stats.rg_peak_open) stats.rg_peak_open = open.size();
     }
   }
   stats.rg_open_left = open.size();
+  stats.replay_calls = replayer.calls();
   return std::nullopt;
 }
 

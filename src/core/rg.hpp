@@ -43,6 +43,10 @@ class Rg {
     /// Replay semantics for both search-time tail replays and the final
     /// initial-state check.  WorstCase reproduces the greedy baseline.
     ReplayMode replay_mode = ReplayMode::Optimistic;
+    /// Observer invoked every `progress_every` expansions with the live
+    /// stats snapshot (see PlannerOptions::progress).
+    std::function<void(const PlannerStats&)> progress;
+    std::uint64_t progress_every = 8192;
   };
 
   /// `validate` (optional) gets the candidate plan after it replays from the

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "support/sorted_vec.hpp"
+#include "support/trace.hpp"
 
 namespace sekitei::core {
 
@@ -46,14 +47,25 @@ void Slrg::harvest(std::unordered_map<std::vector<PropId>, double, SetHash>& bes
 }
 
 double Slrg::estimate(const std::vector<PropId>& set) {
-  if (sorted_subset(set, cp_.init_props)) return 0.0;
-  if (auto it = exact_.find(set); it != exact_.end()) return it->second;
+  if (sorted_subset(set, cp_.init_props)) {
+    ++memo_hits_;
+    return 0.0;
+  }
+  if (auto it = exact_.find(set); it != exact_.end()) {
+    ++memo_hits_;
+    return it->second;
+  }
   const double base = plrg_.set_cost(set);
   if (base == kInf) {
+    ++memo_misses_;
     exact_.emplace(set, kInf);
     return kInf;
   }
-  if (auto it = weak_.find(set); it != weak_.end()) return std::max(base, it->second);
+  if (auto it = weak_.find(set); it != weak_.end()) {
+    ++memo_hits_;
+    return std::max(base, it->second);
+  }
+  ++memo_misses_;
   if (generated_ >= limits_.max_sets) {
     hit_limit_ = true;
     return base;  // admissible fallback, not memoized as exact
@@ -171,6 +183,9 @@ double Slrg::estimate(const std::vector<PropId>& set) {
       pool.push_back(Node{std::move(nxt), g, cur.node});
       ++generated_;
       ++query_generated;
+      // Sampled, not per-node: counter events are for trend lines, and the
+      // sampling keeps the trace file (and the no-collector cost) small.
+      if ((generated_ & 0x3ffu) == 0) trace::counter("slrg.sets", static_cast<double>(generated_));
       open.push({g + h, g, idx});
     }
   }

@@ -62,6 +62,11 @@ class Slrg {
   /// Number of distinct set nodes ever generated (Table 2, column 7).
   [[nodiscard]] std::size_t set_count() const { return generated_; }
 
+  /// Oracle memoization effectiveness: queries answered from the exact/weak
+  /// caches (or trivially) vs queries that ran an A* regression search.
+  [[nodiscard]] std::uint64_t memo_hits() const { return memo_hits_; }
+  [[nodiscard]] std::uint64_t memo_misses() const { return memo_misses_; }
+
  private:
   struct SetHash {
     std::size_t operator()(const std::vector<PropId>& v) const noexcept;
@@ -80,6 +85,8 @@ class Slrg {
   /// Admissible lower bounds for sets whose search hit the per-query budget.
   std::unordered_map<std::vector<PropId>, double, SetHash> weak_;
   std::uint64_t generated_ = 0;
+  std::uint64_t memo_hits_ = 0;
+  std::uint64_t memo_misses_ = 0;
   bool first_query_ = true;
   bool hit_limit_ = false;
 };

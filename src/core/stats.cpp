@@ -1,0 +1,54 @@
+#include "core/stats.hpp"
+
+#include "support/json.hpp"
+
+namespace sekitei::core {
+
+std::string stats_to_json(const PlannerStats& stats) {
+  std::string out;
+  out.reserve(512);
+  out.push_back('{');
+  auto num = [&out](const char* key, std::uint64_t v, bool last = false) {
+    out.push_back('"');
+    out += key;
+    out += "\":";
+    json::append_number(out, v);
+    if (!last) out.push_back(',');
+  };
+  auto dbl = [&out](const char* key, double v) {
+    out.push_back('"');
+    out += key;
+    out += "\":";
+    json::append_number(out, v);
+    out.push_back(',');
+  };
+  auto boolean = [&out](const char* key, bool v, bool last = false) {
+    out.push_back('"');
+    out += key;
+    out += "\":";
+    out += v ? "true" : "false";
+    if (!last) out.push_back(',');
+  };
+  num("total_actions", stats.total_actions);
+  num("plrg_props", stats.plrg_props);
+  num("plrg_actions", stats.plrg_actions);
+  num("slrg_sets", stats.slrg_sets);
+  num("rg_nodes", stats.rg_nodes);
+  num("rg_open_left", stats.rg_open_left);
+  dbl("time_graph_ms", stats.time_graph_ms);
+  dbl("time_search_ms", stats.time_search_ms);
+  dbl("time_total_ms", stats.time_total_ms());
+  num("rg_expansions", stats.rg_expansions);
+  num("rg_pruned_by_replay", stats.rg_pruned_by_replay);
+  num("rg_peak_open", stats.rg_peak_open);
+  num("slrg_memo_hits", stats.slrg_memo_hits);
+  num("slrg_memo_misses", stats.slrg_memo_misses);
+  num("replay_calls", stats.replay_calls);
+  num("sim_rejections", stats.sim_rejections);
+  boolean("logically_unreachable", stats.logically_unreachable);
+  boolean("hit_search_limit", stats.hit_search_limit, /*last=*/true);
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace sekitei::core

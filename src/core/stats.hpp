@@ -1,7 +1,9 @@
-// Planner work statistics — exactly the quantities Table 2 reports.
+// Planner work statistics — the quantities Table 2 reports, plus the
+// per-phase diagnostics the observability layer exposes.
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace sekitei::core {
 
@@ -20,15 +22,29 @@ struct PlannerStats {
   std::uint64_t rg_nodes = 0;
   std::uint64_t rg_open_left = 0;
 
-  // Column 9 (second number): search + graph construction time.
+  // Column 9: the paper reports the planning time as *two* numbers —
+  // regression-graph construction (PLRG build + seeding the SLRG oracle)
+  // and the RG search proper.
+  double time_graph_ms = 0.0;
   double time_search_ms = 0.0;
+  [[nodiscard]] double time_total_ms() const { return time_graph_ms + time_search_ms; }
 
   // Extra diagnostics (not in the paper's table).
   std::uint64_t rg_expansions = 0;
   std::uint64_t rg_pruned_by_replay = 0;
+  std::uint64_t rg_peak_open = 0;
+  std::uint64_t slrg_memo_hits = 0;    // estimate() served from exact/weak caches
+  std::uint64_t slrg_memo_misses = 0;  // estimate() that ran an A* query
+  std::uint64_t replay_calls = 0;
   std::uint64_t sim_rejections = 0;
   bool logically_unreachable = false;
   bool hit_search_limit = false;
 };
+
+/// Serializes the stats as one compact JSON object with a fixed key order
+/// (machine-readable run records; every bench emits one per planner run).
+/// Times are rendered with fixed three-decimal precision so the output is
+/// byte-stable for a given stats value.
+[[nodiscard]] std::string stats_to_json(const PlannerStats& stats);
 
 }  // namespace sekitei::core

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/trace.hpp"
 
 namespace sekitei::sim {
 
@@ -73,6 +75,7 @@ constexpr double kEps = 1e-9;
 }  // namespace
 
 ExecutionReport Executor::attempt(const core::Plan& plan, std::span<const double> choices) {
+  ++attempts_;
   ExecutionReport rep;
   ValueMap values;
   values.reset(cp_.vars.size());
@@ -198,6 +201,16 @@ ExecutionReport Executor::attempt(const core::Plan& plan, std::span<const double
 }
 
 ExecutionReport Executor::execute(const core::Plan& plan) {
+  trace::Span span("sim.execute", "sim");
+  // Counts the grid/bisection probes this call made, whichever return path
+  // ends it.
+  struct AttemptGuard {
+    const std::uint64_t& attempts;
+    std::uint64_t before;
+    ~AttemptGuard() {
+      trace::counter("sim.attempts", static_cast<double>(attempts - before));
+    }
+  } guard{attempts_, attempts_};
   // Collect choice ranges from the initial map.
   std::vector<Interval> ranges;
   for (const model::InitMapEntry& e : cp_.init_map) {
@@ -264,6 +277,10 @@ ExecutionReport Executor::execute(const core::Plan& plan) {
   }
   if (!best.feasible && best.failure.empty()) {
     best.failure = "no feasible choice of production amounts";
+  }
+  if (!best.feasible) {
+    SEKITEI_LOG_DEBUG("sim.executor", "plan infeasible", log::kv("steps", plan.steps.size()),
+                      log::kv("reason", best.failure));
   }
   return best;
 }

@@ -76,8 +76,13 @@ class Executor {
   /// Number of choice variables in the problem's initial state.
   [[nodiscard]] std::size_t choice_count() const;
 
+  /// Total attempt() invocations (the grid/bisection probes behind
+  /// execute()) over this executor's lifetime.
+  [[nodiscard]] std::uint64_t attempts() const { return attempts_; }
+
  private:
   const model::CompiledProblem& cp_;
+  std::uint64_t attempts_ = 0;
 };
 
 }  // namespace sekitei::sim

@@ -1,0 +1,52 @@
+// Minimal JSON writing helpers shared by the observability modules (the
+// structured log sink, the trace exporter, and the stats serializer).  Only
+// *writing* lives here; the library never parses JSON.
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace sekitei::json {
+
+/// Appends `s` to `out` as a JSON string literal (quotes included).
+inline void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Appends a double with a fixed, locale-independent rendering (three
+/// decimals — milliseconds resolve to microseconds, counter values to
+/// thousandths), so serialized output is byte-stable across runs.
+inline void append_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out += buf;
+}
+
+inline void append_number(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace sekitei::json

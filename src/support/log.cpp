@@ -1,0 +1,162 @@
+#include "support/log.hpp"
+
+#include <mutex>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace sekitei::log {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Sink>> sinks;
+  std::atomic<unsigned char> threshold{static_cast<unsigned char>(Level::Info)};
+  // `gate` is what enabled() reads: the threshold when sinks exist, Off
+  // otherwise.  Kept denormalized so the hot path is one load.
+  std::atomic<unsigned char> gate{static_cast<unsigned char>(Level::Off)};
+
+  void refresh_gate() {
+    gate.store(sinks.empty() ? static_cast<unsigned char>(Level::Off) : threshold.load(),
+               std::memory_order_relaxed);
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+void append_field_value(std::string& out, const Field& f, bool quote_strings) {
+  switch (f.kind) {
+    case Field::Kind::F64: json::append_number(out, f.f64); break;
+    case Field::Kind::I64: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(f.i64));
+      out += buf;
+      break;
+    }
+    case Field::Kind::U64: json::append_number(out, f.u64); break;
+    case Field::Kind::Bool: out += f.boolean ? "true" : "false"; break;
+    case Field::Kind::Str:
+      if (quote_strings) {
+        json::append_escaped(out, f.str);
+      } else {
+        out += f.str;
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::Trace: return "trace";
+    case Level::Debug: return "debug";
+    case Level::Info: return "info";
+    case Level::Warn: return "warn";
+    case Level::Error: return "error";
+    case Level::Off: return "off";
+  }
+  return "?";
+}
+
+Level parse_level(std::string_view name) {
+  for (Level l : {Level::Trace, Level::Debug, Level::Info, Level::Warn, Level::Error}) {
+    if (name == level_name(l)) return l;
+  }
+  return Level::Off;
+}
+
+void StreamSink::write(const Record& record) {
+  std::string line;
+  line.reserve(64);
+  char head[8];
+  std::snprintf(head, sizeof head, "%-5s", level_name(record.level));
+  line += head;
+  line += " [";
+  line += record.component;
+  line += "] ";
+  line += record.message;
+  for (std::size_t i = 0; i < record.field_count; ++i) {
+    const Field& f = record.fields[i];
+    line.push_back(' ');
+    line += f.key;
+    line.push_back('=');
+    append_field_value(line, f, /*quote_strings=*/false);
+  }
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), out_);
+}
+
+std::string JsonLinesSink::render(const Record& record) {
+  std::string line = "{\"level\":";
+  json::append_escaped(line, level_name(record.level));
+  line += ",\"component\":";
+  json::append_escaped(line, record.component);
+  line += ",\"message\":";
+  json::append_escaped(line, record.message);
+  for (std::size_t i = 0; i < record.field_count; ++i) {
+    const Field& f = record.fields[i];
+    line.push_back(',');
+    json::append_escaped(line, f.key);
+    line.push_back(':');
+    append_field_value(line, f, /*quote_strings=*/true);
+  }
+  line.push_back('}');
+  return line;
+}
+
+void JsonLinesSink::write(const Record& record) {
+  const std::string line = render(record);
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fputc('\n', out_);
+}
+
+void set_level(Level level) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.threshold.store(static_cast<unsigned char>(level), std::memory_order_relaxed);
+  r.refresh_gate();
+}
+
+Level level() {
+  return static_cast<Level>(registry().threshold.load(std::memory_order_relaxed));
+}
+
+void add_sink(std::shared_ptr<Sink> sink) {
+  if (!sink) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.sinks.push_back(std::move(sink));
+  r.refresh_gate();
+}
+
+void clear_sinks() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.sinks.clear();
+  r.refresh_gate();
+}
+
+bool enabled(Level level) {
+  return static_cast<unsigned char>(level) >=
+         registry().gate.load(std::memory_order_relaxed);
+}
+
+void emit(Level level, std::string_view component, std::string_view message,
+          std::initializer_list<Field> fields) {
+  Record record;
+  record.level = level;
+  record.component = component;
+  record.message = message;
+  record.fields = fields.begin();
+  record.field_count = fields.size();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const std::shared_ptr<Sink>& sink : r.sinks) sink->write(record);
+}
+
+}  // namespace sekitei::log

@@ -1,0 +1,186 @@
+// Leveled, structured logging with pluggable sinks.
+//
+// Design goals, in priority order:
+//   1. Zero cost when quiet.  `SEKITEI_LOG(...)` compiles to a single atomic
+//      load + branch when no sink is interested, and to *nothing at all*
+//      when the translation unit is built with -DSEKITEI_LOG_DISABLED.
+//   2. Structured.  A record is (level, component, message, fields); fields
+//      are typed key/value pairs, so sinks can render text for humans or
+//      NDJSON for machines without re-parsing printf strings.
+//   3. No planning decision ever depends on logging (determinism): the
+//      logger only observes.
+//
+// Usage:
+//   SEKITEI_LOG_INFO("core.planner", "phase complete",
+//                    sekitei::log::kv("props", plrg.prop_nodes()),
+//                    sekitei::log::kv("ms", watch.elapsed_ms()));
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace sekitei::log {
+
+enum class Level : unsigned char { Trace = 0, Debug, Info, Warn, Error, Off };
+
+[[nodiscard]] const char* level_name(Level level);
+
+/// One typed key/value pair.  Values are kept unformatted; the sink decides
+/// how to render them.  String values are *views*: sinks format records
+/// synchronously inside emit(), so the referenced storage only has to live
+/// for the duration of the SEKITEI_LOG statement.
+struct Field {
+  enum class Kind : unsigned char { F64, I64, U64, Bool, Str };
+
+  std::string_view key;
+  Kind kind = Kind::I64;
+  double f64 = 0.0;
+  std::int64_t i64 = 0;
+  std::uint64_t u64 = 0;
+  bool boolean = false;
+  std::string_view str;
+};
+
+[[nodiscard]] inline Field kv(std::string_view key, double v) {
+  Field f;
+  f.key = key;
+  f.kind = Field::Kind::F64;
+  f.f64 = v;
+  return f;
+}
+[[nodiscard]] inline Field kv(std::string_view key, std::int64_t v) {
+  Field f;
+  f.key = key;
+  f.kind = Field::Kind::I64;
+  f.i64 = v;
+  return f;
+}
+[[nodiscard]] inline Field kv(std::string_view key, std::uint64_t v) {
+  Field f;
+  f.key = key;
+  f.kind = Field::Kind::U64;
+  f.u64 = v;
+  return f;
+}
+[[nodiscard]] inline Field kv(std::string_view key, int v) {
+  return kv(key, static_cast<std::int64_t>(v));
+}
+[[nodiscard]] inline Field kv(std::string_view key, unsigned v) {
+  return kv(key, static_cast<std::uint64_t>(v));
+}
+[[nodiscard]] inline Field kv(std::string_view key, bool v) {
+  Field f;
+  f.key = key;
+  f.kind = Field::Kind::Bool;
+  f.boolean = v;
+  return f;
+}
+[[nodiscard]] inline Field kv(std::string_view key, std::string_view v) {
+  Field f;
+  f.key = key;
+  f.kind = Field::Kind::Str;
+  f.str = v;
+  return f;
+}
+[[nodiscard]] inline Field kv(std::string_view key, const char* v) {
+  return kv(key, std::string_view(v));
+}
+
+/// A fully assembled record handed to every registered sink.
+struct Record {
+  Level level = Level::Info;
+  std::string_view component;  // dotted module path, e.g. "core.rg"
+  std::string_view message;
+  const Field* fields = nullptr;
+  std::size_t field_count = 0;
+};
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void write(const Record& record) = 0;
+};
+
+/// Human-readable single-line text sink:
+///   `INFO  [core.planner] phase complete props=120 ms=3.141`
+/// Does not own the FILE*; pass stderr (default) or any open stream.
+class StreamSink : public Sink {
+ public:
+  explicit StreamSink(std::FILE* out = stderr) : out_(out) {}
+  void write(const Record& record) override;
+
+ private:
+  std::FILE* out_;
+};
+
+/// Newline-delimited JSON sink: one object per record with "level",
+/// "component", "message" and one member per field.
+class JsonLinesSink : public Sink {
+ public:
+  explicit JsonLinesSink(std::FILE* out) : out_(out) {}
+  void write(const Record& record) override;
+
+  /// Renders one record to a JSON line (no trailing newline); exposed so
+  /// callers can route records into their own transport.
+  [[nodiscard]] static std::string render(const Record& record);
+
+ private:
+  std::FILE* out_;
+};
+
+/// Global verbosity threshold (default Info).  Records below it are dropped
+/// before any formatting happens.
+void set_level(Level level);
+[[nodiscard]] Level level();
+
+/// Registers a sink.  Sinks are shared_ptrs so tests and tools can install
+/// short-lived capture sinks safely.  Without any sink the logger is
+/// completely inert regardless of the level.
+void add_sink(std::shared_ptr<Sink> sink);
+void clear_sinks();
+
+/// The fast gate used by the macros: true iff at least one sink is
+/// registered AND `level` passes the threshold.  One relaxed atomic load.
+[[nodiscard]] bool enabled(Level level);
+
+/// Slow path: assembles a Record and hands it to every sink.
+void emit(Level level, std::string_view component, std::string_view message,
+          std::initializer_list<Field> fields = {});
+
+/// Parses "trace" / "debug" / ... (case-sensitive); returns Off for unknown
+/// names so a bad CLI flag silences rather than spams.
+[[nodiscard]] Level parse_level(std::string_view name);
+
+}  // namespace sekitei::log
+
+// The macro layer.  SEKITEI_LOG_DISABLED removes every call site at compile
+// time — the arguments are not even evaluated — which is what the
+// determinism guard in tests/stats_test.cpp relies on.
+#ifdef SEKITEI_LOG_DISABLED
+#define SEKITEI_LOG(lvl, component, msg, ...) \
+  do {                                        \
+  } while (false)
+#else
+#define SEKITEI_LOG(lvl, component, msg, ...)                   \
+  do {                                                          \
+    if (::sekitei::log::enabled(lvl)) {                         \
+      ::sekitei::log::emit(lvl, component, msg, {__VA_ARGS__}); \
+    }                                                           \
+  } while (false)
+#endif
+
+#define SEKITEI_LOG_TRACE(component, msg, ...) \
+  SEKITEI_LOG(::sekitei::log::Level::Trace, component, msg, ##__VA_ARGS__)
+#define SEKITEI_LOG_DEBUG(component, msg, ...) \
+  SEKITEI_LOG(::sekitei::log::Level::Debug, component, msg, ##__VA_ARGS__)
+#define SEKITEI_LOG_INFO(component, msg, ...) \
+  SEKITEI_LOG(::sekitei::log::Level::Info, component, msg, ##__VA_ARGS__)
+#define SEKITEI_LOG_WARN(component, msg, ...) \
+  SEKITEI_LOG(::sekitei::log::Level::Warn, component, msg, ##__VA_ARGS__)
+#define SEKITEI_LOG_ERROR(component, msg, ...) \
+  SEKITEI_LOG(::sekitei::log::Level::Error, component, msg, ##__VA_ARGS__)

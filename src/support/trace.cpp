@@ -1,0 +1,153 @@
+#include "support/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "support/json.hpp"
+
+namespace sekitei::trace {
+
+namespace {
+
+std::atomic<Collector*> g_collector{nullptr};
+
+}  // namespace
+
+struct Collector::Impl {
+  using Clock = std::chrono::steady_clock;
+
+  mutable std::mutex mu;
+  Clock::time_point epoch = Clock::now();
+  std::vector<Event> events;
+};
+
+Collector::Collector() : impl_(new Impl) {}
+
+Collector::~Collector() {
+  // Defensive: never leave a dangling global pointer behind.
+  Collector* self = this;
+  g_collector.compare_exchange_strong(self, nullptr);
+  delete impl_;
+}
+
+std::uint64_t Collector::now_us() const {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        Impl::Clock::now() - impl_->epoch)
+                                        .count());
+}
+
+void Collector::complete(std::string_view name, const char* cat, std::uint64_t ts_us,
+                         std::uint64_t dur_us) {
+  Event e;
+  e.ph = 'X';
+  e.name.assign(name);
+  e.cat = cat;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->events.push_back(std::move(e));
+}
+
+void Collector::counter(std::string_view name, double value) {
+  Event e;
+  e.ph = 'C';
+  e.name.assign(name);
+  e.cat = "counter";
+  e.ts_us = now_us();
+  e.value = value;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->events.push_back(std::move(e));
+}
+
+void Collector::instant(std::string_view name, const char* cat) {
+  Event e;
+  e.ph = 'i';
+  e.name.assign(name);
+  e.cat = cat;
+  e.ts_us = now_us();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->events.push_back(std::move(e));
+}
+
+std::size_t Collector::event_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->events.size();
+}
+
+std::vector<Event> Collector::events() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->events;
+}
+
+std::vector<double> Collector::counter_values(std::string_view name) const {
+  std::vector<double> out;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const Event& e : impl_->events) {
+    if (e.ph == 'C' && e.name == name) out.push_back(e.value);
+  }
+  return out;
+}
+
+double Collector::counter_last(std::string_view name) const {
+  double last = 0.0;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const Event& e : impl_->events) {
+    if (e.ph == 'C' && e.name == name) last = e.value;
+  }
+  return last;
+}
+
+std::string Collector::to_json() const {
+  // The Chrome trace-event "JSON object format": a top-level object whose
+  // traceEvents member holds the event array.  pid/tid are required by the
+  // loaders; the planner is single-process single-thread, so both are 1.
+  std::string out = "{\"traceEvents\":[";
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  bool first = true;
+  for (const Event& e : impl_->events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    json::append_escaped(out, e.name);
+    out += ",\"cat\":";
+    json::append_escaped(out, e.cat);
+    out += ",\"ph\":\"";
+    out.push_back(e.ph);
+    out += "\",\"ts\":";
+    json::append_number(out, e.ts_us);
+    if (e.ph == 'X') {
+      out += ",\"dur\":";
+      json::append_number(out, e.dur_us);
+    }
+    out += ",\"pid\":1,\"tid\":1";
+    if (e.ph == 'C') {
+      out += ",\"args\":{\"value\":";
+      json::append_number(out, e.value);
+      out += "}";
+    } else if (e.ph == 'i') {
+      out += ",\"s\":\"t\"";
+    }
+    out.push_back('}');
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool Collector::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const std::string body = to_json();
+  const bool wrote = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool closed = std::fclose(f) == 0;
+  return wrote && closed;
+}
+
+void install(Collector* c) { g_collector.store(c, std::memory_order_release); }
+
+void uninstall() { g_collector.store(nullptr, std::memory_order_release); }
+
+Collector* collector() { return g_collector.load(std::memory_order_relaxed); }
+
+}  // namespace sekitei::trace

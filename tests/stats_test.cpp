@@ -1,0 +1,397 @@
+// Observability suite: the stats_to_json serializer (golden string + JSON
+// round-trip), trace spans/counters and the Chrome trace-event export, the
+// log gate and NDJSON sink, the progress observer, the single-exit stats
+// population on early-return planner paths, and the SEKITEI_LOG_DISABLED
+// determinism guard (a quiet TU must produce a byte-identical plan).
+//
+// When examples/CMakeLists.txt defines SEKITEI_SOLVE_FILE_BIN this suite also
+// runs example_solve_file --trace end-to-end and parses the emitted file —
+// the acceptance check that the trace really is Chrome-trace-format JSON.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "core/stats.hpp"
+#include "domains/media.hpp"
+#include "json_lite.hpp"
+#include "model/compile.hpp"
+#include "sim/executor.hpp"
+#include "support/log.hpp"
+#include "support/trace.hpp"
+
+namespace sekitei::testing {
+// Defined in stats_log_disabled.cpp, compiled with -DSEKITEI_LOG_DISABLED.
+std::string plan_small_c_quiet(double* cost_out, int* log_args_evaluated);
+}  // namespace sekitei::testing
+
+namespace sekitei {
+namespace {
+
+using core::PlannerStats;
+
+// ---- stats_to_json ----------------------------------------------------
+
+TEST(StatsJson, GoldenString) {
+  PlannerStats s;
+  s.total_actions = 68;
+  s.plrg_props = 17;
+  s.plrg_actions = 34;
+  s.slrg_sets = 301;
+  s.rg_nodes = 154;
+  s.rg_open_left = 102;
+  s.time_graph_ms = 1.5;
+  s.time_search_ms = 2.25;
+  s.rg_expansions = 52;
+  s.rg_pruned_by_replay = 129;
+  s.rg_peak_open = 103;
+  s.slrg_memo_hits = 261;
+  s.slrg_memo_misses = 9;
+  s.replay_calls = 283;
+  s.sim_rejections = 4;
+  s.logically_unreachable = false;
+  s.hit_search_limit = true;
+  EXPECT_EQ(core::stats_to_json(s),
+            "{\"total_actions\":68,\"plrg_props\":17,\"plrg_actions\":34,"
+            "\"slrg_sets\":301,\"rg_nodes\":154,\"rg_open_left\":102,"
+            "\"time_graph_ms\":1.500,\"time_search_ms\":2.250,"
+            "\"time_total_ms\":3.750,\"rg_expansions\":52,"
+            "\"rg_pruned_by_replay\":129,\"rg_peak_open\":103,"
+            "\"slrg_memo_hits\":261,\"slrg_memo_misses\":9,"
+            "\"replay_calls\":283,\"sim_rejections\":4,"
+            "\"logically_unreachable\":false,\"hit_search_limit\":true}");
+}
+
+TEST(StatsJson, RoundTripThroughParser) {
+  PlannerStats s;
+  s.total_actions = 7;
+  s.rg_peak_open = 12345;
+  s.time_graph_ms = 0.125;
+  s.logically_unreachable = true;
+  jsonlite::Value v;
+  std::string err;
+  ASSERT_TRUE(jsonlite::parse(core::stats_to_json(s), v, &err)) << err;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.obj->size(), 18u);
+  ASSERT_NE(v.find("total_actions"), nullptr);
+  EXPECT_DOUBLE_EQ(v.find("total_actions")->number, 7.0);
+  EXPECT_DOUBLE_EQ(v.find("rg_peak_open")->number, 12345.0);
+  EXPECT_DOUBLE_EQ(v.find("time_graph_ms")->number, 0.125);
+  EXPECT_DOUBLE_EQ(v.find("time_total_ms")->number, 0.125);
+  EXPECT_TRUE(v.find("logically_unreachable")->boolean);
+  EXPECT_FALSE(v.find("hit_search_limit")->boolean);
+}
+
+// ---- trace collector ---------------------------------------------------
+
+TEST(Trace, SpanNestingAndOrdering) {
+  trace::Collector c;
+  trace::install(&c);
+  {
+    trace::Span outer("outer", "t");
+    {
+      trace::Span inner("inner", "t");
+    }
+    trace::Span sibling("sibling", "t");
+  }
+  trace::uninstall();
+
+  const auto events = c.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans are recorded when they *end*: inner, then sibling, then outer.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "sibling");
+  EXPECT_EQ(events[2].name, "outer");
+  for (const auto& e : events) EXPECT_EQ(e.ph, 'X');
+  // The outer span must fully contain both children.
+  EXPECT_LE(events[2].ts_us, events[0].ts_us);
+  EXPECT_GE(events[2].ts_us + events[2].dur_us, events[1].ts_us + events[1].dur_us);
+  // The sibling starts no earlier than the inner span ended.
+  EXPECT_GE(events[1].ts_us, events[0].ts_us);
+}
+
+TEST(Trace, SpanFinishIsIdempotent) {
+  trace::Collector c;
+  trace::install(&c);
+  {
+    trace::Span s("once");
+    s.finish();
+    s.finish();  // second call must not record again
+  }
+  trace::uninstall();
+  EXPECT_EQ(c.event_count(), 1u);
+}
+
+TEST(Trace, CounterAggregation) {
+  trace::Collector c;
+  trace::install(&c);
+  trace::counter("x", 1.0);
+  trace::counter("y", 5.0);
+  trace::counter("x", 2.0);
+  trace::counter("x", 3.0);
+  trace::uninstall();
+
+  EXPECT_EQ(c.counter_values("x"), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(c.counter_values("y"), (std::vector<double>{5.0}));
+  EXPECT_TRUE(c.counter_values("never").empty());
+  EXPECT_DOUBLE_EQ(c.counter_last("x"), 3.0);
+  EXPECT_DOUBLE_EQ(c.counter_last("y"), 5.0);
+  EXPECT_DOUBLE_EQ(c.counter_last("never"), 0.0);
+}
+
+TEST(Trace, NoCollectorIsInert) {
+  ASSERT_EQ(trace::collector(), nullptr);
+  trace::Span s("unrecorded");
+  trace::counter("unrecorded", 1.0);
+  trace::instant("unrecorded");
+  s.finish();
+  EXPECT_EQ(trace::collector(), nullptr);
+}
+
+TEST(Trace, ToJsonIsChromeTraceFormat) {
+  trace::Collector c;
+  trace::install(&c);
+  {
+    trace::Span s("phase \"one\"", "t");  // quotes must be escaped
+    trace::counter("work", 42.0);
+    trace::instant("marker", "t");
+  }
+  trace::uninstall();
+
+  jsonlite::Value v;
+  std::string err;
+  ASSERT_TRUE(jsonlite::parse(c.to_json(), v, &err)) << err;
+  const jsonlite::Value* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->arr->size(), 3u);
+  bool saw_span = false, saw_counter = false, saw_instant = false;
+  for (const auto& e : *events->arr) {
+    ASSERT_TRUE(e.is_object());
+    ASSERT_NE(e.find("name"), nullptr);
+    ASSERT_NE(e.find("ph"), nullptr);
+    ASSERT_NE(e.find("ts"), nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    const std::string& ph = e.find("ph")->str;
+    if (ph == "X") {
+      saw_span = true;
+      EXPECT_EQ(e.find("name")->str, "phase \"one\"");
+      EXPECT_NE(e.find("dur"), nullptr);
+    } else if (ph == "C") {
+      saw_counter = true;
+      const jsonlite::Value* cargs = e.find("args");
+      ASSERT_NE(cargs, nullptr);
+      ASSERT_NE(cargs->find("value"), nullptr);
+      EXPECT_DOUBLE_EQ(cargs->find("value")->number, 42.0);
+    } else if (ph == "i") {
+      saw_instant = true;
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_instant);
+}
+
+// ---- log gate and sinks -------------------------------------------------
+
+class CaptureSink : public log::Sink {
+ public:
+  void write(const log::Record& record) override {
+    lines.push_back(log::JsonLinesSink::render(record));
+  }
+  std::vector<std::string> lines;
+};
+
+TEST(Log, GateNeedsBothSinkAndLevel) {
+  log::clear_sinks();
+  log::set_level(log::Level::Info);
+  EXPECT_FALSE(log::enabled(log::Level::Error)) << "no sink registered";
+
+  auto sink = std::make_shared<CaptureSink>();
+  log::add_sink(sink);
+  EXPECT_TRUE(log::enabled(log::Level::Info));
+  EXPECT_FALSE(log::enabled(log::Level::Debug));
+  log::set_level(log::Level::Warn);
+  EXPECT_FALSE(log::enabled(log::Level::Info));
+  EXPECT_TRUE(log::enabled(log::Level::Warn));
+
+  log::clear_sinks();
+  log::set_level(log::Level::Info);
+  EXPECT_FALSE(log::enabled(log::Level::Error));
+}
+
+TEST(Log, JsonLinesSinkRendersStructuredRecord) {
+  log::clear_sinks();
+  log::set_level(log::Level::Debug);
+  auto sink = std::make_shared<CaptureSink>();
+  log::add_sink(sink);
+  SEKITEI_LOG_DEBUG("tests.log", "hello \"world\"", log::kv("n", 42),
+                    log::kv("ratio", 0.5), log::kv("ok", true), log::kv("who", "a\nb"));
+  log::clear_sinks();
+  log::set_level(log::Level::Info);
+
+  ASSERT_EQ(sink->lines.size(), 1u);
+  jsonlite::Value v;
+  std::string err;
+  ASSERT_TRUE(jsonlite::parse(sink->lines[0], v, &err)) << err << "\n" << sink->lines[0];
+  EXPECT_EQ(v.find("level")->str, "debug");
+  EXPECT_EQ(v.find("component")->str, "tests.log");
+  EXPECT_EQ(v.find("message")->str, "hello \"world\"");
+  EXPECT_DOUBLE_EQ(v.find("n")->number, 42.0);
+  EXPECT_DOUBLE_EQ(v.find("ratio")->number, 0.5);
+  EXPECT_TRUE(v.find("ok")->boolean);
+  EXPECT_EQ(v.find("who")->str, "a\nb");
+}
+
+TEST(Log, ParseLevelRoundTrip) {
+  EXPECT_EQ(log::parse_level("trace"), log::Level::Trace);
+  EXPECT_EQ(log::parse_level("debug"), log::Level::Debug);
+  EXPECT_EQ(log::parse_level("info"), log::Level::Info);
+  EXPECT_EQ(log::parse_level("warn"), log::Level::Warn);
+  EXPECT_EQ(log::parse_level("error"), log::Level::Error);
+  EXPECT_EQ(log::parse_level("bogus"), log::Level::Off);
+}
+
+// ---- planner integration -------------------------------------------------
+
+TEST(PlannerObservability, ProgressObserverFires) {
+  auto inst = domains::media::small();
+  auto cp = model::compile(inst->problem, domains::media::scenario('C'));
+  core::PlannerOptions opt;
+  std::uint64_t calls = 0, last_expansions = 0;
+  bool monotone = true;
+  opt.progress_every = 1;
+  opt.progress = [&](const PlannerStats& s) {
+    ++calls;
+    if (s.rg_expansions < last_expansions) monotone = false;
+    last_expansions = s.rg_expansions;
+  };
+  core::Sekitei planner(cp, opt);
+  sim::Executor exec(cp);
+  auto r = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(calls, 0u);
+  EXPECT_TRUE(monotone);
+  EXPECT_LE(last_expansions, r.stats.rg_expansions);
+}
+
+TEST(PlannerObservability, PhaseTimesAndDiagnosticsPopulated) {
+  auto inst = domains::media::small();
+  auto cp = model::compile(inst->problem, domains::media::scenario('C'));
+  core::Sekitei planner(cp);
+  sim::Executor exec(cp);
+  auto r = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.stats.time_graph_ms, 0.0);
+  EXPECT_GT(r.stats.time_search_ms, 0.0);
+  EXPECT_NEAR(r.stats.time_total_ms(), r.stats.time_graph_ms + r.stats.time_search_ms, 1e-12);
+  EXPECT_GE(r.stats.rg_peak_open, r.stats.rg_open_left);
+  EXPECT_GT(r.stats.replay_calls, 0u);
+  EXPECT_GT(r.stats.slrg_memo_hits + r.stats.slrg_memo_misses, 0u);
+}
+
+TEST(PlannerObservability, EarlyReturnStillPopulatesStats) {
+  // Unsatisfiable demand: the planner bails before the RG search, but the
+  // single-exit path must still fill in the graph-phase stats (the seed bug:
+  // early returns used to leave PLRG/SLRG counters at zero).
+  domains::media::Params p;
+  p.client_demand = 250.0;  // the server only produces 200
+  auto inst = domains::media::small(p);
+  auto cp = model::compile(inst->problem,
+                           domains::media::scenario_with_cuts({250, 260}));
+  core::Sekitei planner(cp);
+  auto r = planner.plan();
+  ASSERT_FALSE(r.ok());
+  EXPECT_GT(r.stats.plrg_props, 0u);
+  EXPECT_GT(r.stats.plrg_actions, 0u);
+  EXPECT_GE(r.stats.time_graph_ms, 0.0);
+  jsonlite::Value v;
+  std::string err;
+  ASSERT_TRUE(jsonlite::parse(core::stats_to_json(r.stats), v, &err)) << err;
+}
+
+TEST(PlannerObservability, LogDisabledPlanIsByteIdentical) {
+  // The quiet TU (compiled with SEKITEI_LOG_DISABLED) and a fully observed
+  // run must produce the same plan, byte for byte: instrumentation only
+  // watches, it never steers.
+  int evaluated = -1;
+  double quiet_cost = 0.0;
+  const std::string quiet = testing::plan_small_c_quiet(&quiet_cost, &evaluated);
+  ASSERT_FALSE(quiet.empty());
+  EXPECT_EQ(evaluated, 0) << "disabled log macro evaluated its arguments";
+
+  log::clear_sinks();
+  log::set_level(log::Level::Trace);
+  auto sink = std::make_shared<CaptureSink>();
+  log::add_sink(sink);
+  trace::Collector c;
+  trace::install(&c);
+
+  auto inst = domains::media::small();
+  auto cp = model::compile(inst->problem, domains::media::scenario('C'));
+  core::Sekitei planner(cp);
+  sim::Executor exec(cp);
+  auto r = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+
+  trace::uninstall();
+  log::clear_sinks();
+  log::set_level(log::Level::Info);
+
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.plan->str(cp), quiet);
+  EXPECT_DOUBLE_EQ(r.plan->cost_lb, quiet_cost);
+  EXPECT_GT(sink->lines.size(), 0u) << "observed run produced no log records";
+  EXPECT_GT(c.event_count(), 0u) << "observed run produced no trace events";
+}
+
+// ---- solve_file CLI end-to-end -------------------------------------------
+
+#ifdef SEKITEI_SOLVE_FILE_BIN
+TEST(SolveFileCli, TraceFileIsValidChromeTrace) {
+  const std::string trace_path = ::testing::TempDir() + "sekitei_cli_trace.json";
+  const std::string cmd = std::string("\"") + SEKITEI_SOLVE_FILE_BIN + "\" \"" +
+                          SEKITEI_EXAMPLES_DATA_DIR + "/media.sk\" \"" +
+                          SEKITEI_EXAMPLES_DATA_DIR + "/tiny.sk\" --plan-only --trace \"" +
+                          trace_path + "\" > /dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << "trace file not written: " << trace_path;
+  std::ostringstream os;
+  os << in.rdbuf();
+
+  jsonlite::Value v;
+  std::string err;
+  ASSERT_TRUE(jsonlite::parse(os.str(), v, &err)) << err;
+  const jsonlite::Value* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_GT(events->arr->size(), 0u);
+  bool saw_plrg = false, saw_search = false, saw_plan = false;
+  for (const auto& e : *events->arr) {
+    ASSERT_TRUE(e.is_object());
+    ASSERT_NE(e.find("name"), nullptr);
+    ASSERT_NE(e.find("ph"), nullptr);
+    ASSERT_NE(e.find("ts"), nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    const std::string& name = e.find("name")->str;
+    saw_plrg = saw_plrg || name == "plrg.build";
+    saw_search = saw_search || name == "rg.search";
+    saw_plan = saw_plan || name == "planner.plan";
+  }
+  EXPECT_TRUE(saw_plrg);
+  EXPECT_TRUE(saw_search);
+  EXPECT_TRUE(saw_plan);
+  std::remove(trace_path.c_str());
+}
+#endif  // SEKITEI_SOLVE_FILE_BIN
+
+}  // namespace
+}  // namespace sekitei
