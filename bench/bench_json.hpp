@@ -60,8 +60,11 @@ inline void emit(const char* bench, std::initializer_list<Kv> fields,
     line += ",\"stats\":";
     line += core::stats_to_json(*stats);
   }
-  line.push_back('}');
-  std::printf("%s\n", line.c_str());
+  line += "}\n";
+  // Single fwrite so a record is never interleaved with output from another
+  // thread (Google Benchmark and the throughput bench both run multithreaded).
+  std::fwrite(line.data(), 1, line.size(), stdout);
+  std::fflush(stdout);
 }
 
 }  // namespace sekitei::benchjson

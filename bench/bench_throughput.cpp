@@ -1,0 +1,141 @@
+// Throughput of the concurrent planning service (src/service): a fixed batch
+// of media-deployment requests is pushed through PlanningEngine at 1/2/4/8
+// workers, reporting requests/sec, the speedup over the 1-worker run, and
+// the compiled-problem cache hit rate.  A second sweep isolates the cache:
+// the same single-worker batch with caching disabled, cold, and pre-warmed.
+//
+// Speedup across workers needs real cores: on a single-CPU machine the
+// worker sweep degenerates to ~1x (the planner is CPU-bound) while the cache
+// sweep still shows its full effect.  `cpus` in the JSON records which case
+// a given log came from.
+//
+// Machine-readable lines (grep '^{"bench"'):
+//   {"bench":"throughput","workers":4,"requests":24,...,"speedup_vs_1w":...}
+//   {"bench":"throughput_cache","cache":"warm",...}
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "domains/media.hpp"
+#include "service/engine.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace sekitei;
+
+std::shared_ptr<const model::LoadedProblem> load_instance(
+    std::unique_ptr<domains::media::Instance> inst, char scenario) {
+  return service::make_loaded(std::move(inst->domain), std::move(inst->net),
+                              std::move(inst->problem), domains::media::scenario(scenario));
+}
+
+struct Batch {
+  std::vector<std::shared_ptr<const model::LoadedProblem>> problems;
+  std::size_t repeat = 4;  // distinct problems x repeat = requests per run
+
+  [[nodiscard]] std::size_t size() const { return problems.size() * repeat; }
+};
+
+struct RunResult {
+  double wall_ms = 0.0;
+  double rps = 0.0;
+  std::size_t solved = 0;
+  service::CompiledProblemCache::Stats cache;
+};
+
+RunResult run_batch(const Batch& batch, service::PlanningEngine& engine) {
+  RunResult out;
+  Stopwatch wall;
+  std::vector<service::PlanningEngine::Ticket> tickets;
+  tickets.reserve(batch.size());
+  for (std::size_t k = 0; k < batch.repeat; ++k) {
+    for (std::size_t p = 0; p < batch.problems.size(); ++p) {
+      service::PlanRequest req;
+      req.id = std::to_string(p) + "#" + std::to_string(k);
+      req.problem = batch.problems[p];
+      tickets.push_back(engine.submit(std::move(req)));
+    }
+  }
+  for (auto& ticket : tickets) {
+    if (ticket.response.get().ok()) ++out.solved;
+  }
+  out.wall_ms = wall.elapsed_ms();
+  out.rps = out.wall_ms > 0.0 ? 1000.0 * double(batch.size()) / out.wall_ms : 0.0;
+  out.cache = engine.cache_stats();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sekitei;
+  namespace media = domains::media;
+
+  Batch batch;
+  for (char sc : {'B', 'C', 'D', 'E'}) batch.problems.push_back(load_instance(media::tiny(), sc));
+  for (char sc : {'B', 'C'}) batch.problems.push_back(load_instance(media::small(), sc));
+
+  const unsigned cpus = std::thread::hardware_concurrency();
+  std::printf("service throughput: %zu distinct problems x %zu = %zu requests, %u cpus\n\n",
+              batch.problems.size(), batch.repeat, batch.size(), cpus);
+
+  std::printf("  workers |   wall ms |    req/s | speedup | cache hit rate\n");
+  std::printf("  --------+-----------+----------+---------+---------------\n");
+  double rps_1w = 0.0;
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    service::PlanningEngine engine({.workers = workers});
+    const RunResult r = run_batch(batch, engine);
+    if (workers == 1) rps_1w = r.rps;
+    const double speedup = rps_1w > 0.0 ? r.rps / rps_1w : 0.0;
+    std::printf("  %7zu | %9.1f | %8.2f | %6.2fx | %5.2f (%llu/%llu)\n", workers, r.wall_ms,
+                r.rps, speedup, r.cache.hit_rate(), (unsigned long long)r.cache.hits,
+                (unsigned long long)(r.cache.hits + r.cache.misses));
+    benchjson::emit("throughput",
+                    {benchjson::kv("workers", std::uint64_t(workers)),
+                     benchjson::kv("requests", std::uint64_t(batch.size())),
+                     benchjson::kv("solved", std::uint64_t(r.solved)),
+                     benchjson::kv("cpus", std::uint64_t(cpus)),
+                     benchjson::kv("wall_ms", r.wall_ms), benchjson::kv("rps", r.rps),
+                     benchjson::kv("speedup_vs_1w", speedup),
+                     benchjson::kv("cache_hits", r.cache.hits),
+                     benchjson::kv("cache_misses", r.cache.misses),
+                     benchjson::kv("cache_hit_rate", r.cache.hit_rate())},
+                    nullptr);
+  }
+
+  // Cache ablation at one worker: disabled recompiles every request; cold
+  // compiles each distinct problem once; warm never compiles.  Uses a
+  // tiny-only batch, where grounding+leveling is a meaningful share of the
+  // request (on Small+ the search dominates and the cache fades into noise).
+  Batch cache_batch;
+  for (char sc : {'B', 'C', 'D', 'E'}) {
+    cache_batch.problems.push_back(load_instance(media::tiny(), sc));
+  }
+  cache_batch.repeat = 16;
+  std::printf("\n  cache sweep: %zu tiny requests at 1 worker\n", cache_batch.size());
+  std::printf("  cache    |   wall ms |    req/s | speedup vs disabled\n");
+  std::printf("  ---------+-----------+----------+--------------------\n");
+  double rps_disabled = 0.0;
+  for (const char* mode : {"disabled", "cold", "warm"}) {
+    service::PlanningEngine engine(
+        {.workers = 1, .cache_capacity = std::string(mode) == "disabled" ? 0u : 128u});
+    if (std::string(mode) == "warm") (void)run_batch(cache_batch, engine);  // prime
+    const RunResult r = run_batch(cache_batch, engine);
+    if (std::string(mode) == "disabled") rps_disabled = r.rps;
+    const double speedup = rps_disabled > 0.0 ? r.rps / rps_disabled : 0.0;
+    std::printf("  %-8s | %9.1f | %8.2f | %6.2fx\n", mode, r.wall_ms, r.rps, speedup);
+    benchjson::emit("throughput_cache",
+                    {benchjson::kv("cache", mode),
+                     benchjson::kv("requests", std::uint64_t(cache_batch.size())),
+                     benchjson::kv("wall_ms", r.wall_ms), benchjson::kv("rps", r.rps),
+                     benchjson::kv("speedup_vs_disabled", speedup),
+                     benchjson::kv("cache_hits", r.cache.hits),
+                     benchjson::kv("cache_misses", r.cache.misses)},
+                    nullptr);
+  }
+  return 0;
+}

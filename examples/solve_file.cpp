@@ -3,7 +3,12 @@
 // writing a line of C++.
 //
 //   $ ./example_solve_file <domain.sk> <problem.sk> [--greedy] [--plan-only]
-//                          [--trace <file>] [--stats-json] [--log <level>]
+//                          [--deadline-ms <D>] [--trace <file>] [--stats-json]
+//                          [--log <level>]
+//
+// --deadline-ms bounds the planning time: when the deadline fires the run
+// stops cooperatively at the next progress tick and exits with code 3
+// (deadline exceeded), after reporting the partial planner stats.
 //
 // --trace writes a Chrome trace-event JSON file (load in chrome://tracing or
 // https://ui.perfetto.dev) covering compile, the planner phases and the
@@ -15,6 +20,7 @@
 //
 //   $ ./example_solve_file examples/data/media.sk examples/data/tiny.sk
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -27,6 +33,7 @@
 #include "sim/executor.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
+#include "support/stop_token.hpp"
 #include "support/timer.hpp"
 #include "support/trace.hpp"
 
@@ -47,15 +54,19 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: %s <domain.sk> <problem.sk> [--greedy] [--plan-only]\n"
-                 "          [--trace <file>] [--stats-json] [--log <level>]\n",
+                 "          [--deadline-ms <D>] [--trace <file>] [--stats-json]\n"
+                 "          [--log <level>]\n",
                  argv[0]);
     return 2;
   }
   bool greedy = false, plan_only = false, stats_json = false;
+  double deadline_ms = 0.0;
   const char* trace_path = nullptr;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--greedy") == 0) {
       greedy = true;
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--plan-only") == 0) {
       plan_only = true;
     } else if (std::strcmp(argv[i], "--stats-json") == 0) {
@@ -102,6 +113,12 @@ int main(int argc, char** argv) {
 
     core::PlannerOptions opt;
     if (greedy) opt.mode = core::PlannerOptions::Mode::Greedy;
+    StopSource stop;
+    if (deadline_ms > 0.0) {
+      stop.arm_deadline_ms(deadline_ms);
+      opt.stop = stop.token();
+      opt.progress_every = 1024;  // finer polling so the deadline is honoured
+    }
     core::Sekitei planner(cp, opt);
     sim::Executor exec(cp);
     auto r = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
@@ -118,6 +135,11 @@ int main(int argc, char** argv) {
         return 2;
       }
       std::printf("trace: %zu events written to %s\n", collector.event_count(), trace_path);
+    }
+    if (r.stats.stopped && !r.ok()) {
+      std::printf("deadline exceeded after %.1f ms: %s (stats above are partial)\n",
+                  watch.elapsed_ms(), r.failure.c_str());
+      return 3;
     }
     if (!r.ok()) {
       std::printf("no plan: %s\n", r.failure.c_str());

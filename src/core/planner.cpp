@@ -23,12 +23,12 @@ PlanResult Sekitei::plan(const std::function<bool(const Plan&)>& validate) {
                           : CostFn([this](ActionId a) { return cp_.actions[a.index()].cost_lb; });
 
   // Phase 1: per-proposition logical regression graph (all goals at once).
-  Plrg plrg(cp_, cost);
+  Plrg plrg(cp_, cost, options_.stop);
   plrg.build(std::span<const PropId>(cp_.goal_props));
 
   // Phase 2 oracle; constructed up front so that every exit path below can
   // report the same stats snapshot through `finish`.
-  Slrg slrg(cp_, plrg, cost, {options_.max_slrg_sets});
+  Slrg slrg(cp_, plrg, cost, {options_.max_slrg_sets}, options_.stop);
 
   // Single exit point: whatever path ends the plan() call, the stats carry
   // the same complete snapshot (graph sizes, memo counters, limit flags).
@@ -50,6 +50,15 @@ PlanResult Sekitei::plan(const std::function<bool(const Plan&)>& validate) {
                      log::kv("search_ms", result.stats.time_search_ms));
     return std::move(result);
   };
+
+  // A stop during the PLRG build leaves a truncated graph whose costs must
+  // not be interpreted (a goal can look unreachable merely because expansion
+  // was cut short), so bail out before the reachability checks.
+  if (options_.stop.stop_requested()) {
+    result.stats.stopped = true;
+    result.stats.time_graph_ms = watch.elapsed_ms();
+    return finish("stopped during graph construction");
+  }
 
   for (PropId g : cp_.goal_props) {
     if (!plrg.reachable(g)) {
@@ -73,6 +82,10 @@ PlanResult Sekitei::plan(const std::function<bool(const Plan&)>& validate) {
                     log::kv("slrg_sets", slrg.set_count()),
                     log::kv("c_logical", logical_cost),
                     log::kv("ms", result.stats.time_graph_ms));
+  if (options_.stop.stop_requested()) {
+    result.stats.stopped = true;
+    return finish("stopped during graph construction");
+  }
   if (logical_cost == kInf) {
     result.stats.logically_unreachable = true;
     return finish("no logically consistent action sequence reaches the goal");
@@ -88,6 +101,7 @@ PlanResult Sekitei::plan(const std::function<bool(const Plan&)>& validate) {
                                                                       : ReplayMode::Optimistic;
   rg_opts.progress = options_.progress;
   rg_opts.progress_every = options_.progress_every;
+  rg_opts.stop = options_.stop;
   std::optional<Plan> plan;
   {
     trace::Span span("rg.search", "search");
@@ -99,6 +113,7 @@ PlanResult Sekitei::plan(const std::function<bool(const Plan&)>& validate) {
     result.plan = std::move(plan);
     return finish({});
   }
+  if (result.stats.stopped) return finish("stopped before the search completed");
   return finish(result.stats.hit_search_limit || slrg.hit_limit()
                     ? "search limit exhausted before finding a plan"
                     : "no resource-feasible plan exists under the given levels");

@@ -15,6 +15,7 @@
 #include "core/plan.hpp"
 #include "core/stats.hpp"
 #include "model/compile.hpp"
+#include "support/stop_token.hpp"
 
 namespace sekitei::core {
 
@@ -32,10 +33,17 @@ struct PlannerOptions {
   /// Progress observer: invoked from inside the RG search every
   /// `progress_every` expansions with a live snapshot of the statistics so
   /// far (rg_open_left reflects the current open list).  The reference is
-  /// only valid during the call.  Observation only — the callback cannot
-  /// influence the search.
+  /// only valid during the call.  Observation only — to end the search early
+  /// use `stop` (the observer may call StopSource::request_stop()).
   std::function<void(const PlannerStats&)> progress;
   std::uint64_t progress_every = 8192;
+
+  /// Cooperative stop: polled between phases and inside each phase's loop at
+  /// the progress cadence.  On stop the planner returns without a plan,
+  /// stats.stopped is set, and the stats carry whatever counters the
+  /// completed work produced (a partial snapshot).  Deadlines and explicit
+  /// cancellation both arrive through this token (support/stop_token.hpp).
+  StopToken stop;
 };
 
 struct PlanResult {

@@ -8,7 +8,8 @@
 
 namespace sekitei::core {
 
-Plrg::Plrg(const model::CompiledProblem& cp, CostFn cost) : cp_(cp), cost_fn_(std::move(cost)) {}
+Plrg::Plrg(const model::CompiledProblem& cp, CostFn cost, StopToken stop)
+    : cp_(cp), cost_fn_(std::move(cost)), stop_(std::move(stop)) {}
 
 void Plrg::build(PropId goal) {
   const PropId goals[] = {goal};
@@ -35,7 +36,10 @@ void Plrg::build(std::span<const PropId> goals) {
     }
   };
   for (PropId g : goals) touch_prop(g);
+  std::uint64_t pops = 0;
   while (!frontier.empty()) {
+    // Cooperative stop, polled at a cadence so the hot loop stays cheap.
+    if ((++pops & 0x3ffu) == 0u && stop_.stop_requested()) break;
     const PropId p = frontier.front();
     frontier.pop();
     if (cp_.init_holds(p)) continue;  // already true: no need to regress further
@@ -54,7 +58,7 @@ void Plrg::build(std::span<const PropId> goals) {
   }
   std::uint64_t sweeps = 0;
   bool changed = true;
-  while (changed) {
+  while (changed && !stop_.stop_requested()) {
     changed = false;
     ++sweeps;
     for (ActionId a : rel_actions_) {

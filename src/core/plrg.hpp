@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "model/compile.hpp"
+#include "support/stop_token.hpp"
 
 namespace sekitei::core {
 
@@ -27,7 +28,10 @@ using CostFn = std::function<double(ActionId)>;
 
 class Plrg {
  public:
-  Plrg(const model::CompiledProblem& cp, CostFn cost);
+  /// `stop` (optional) is polled between fixpoint sweeps and every 1024
+  /// relevance expansions; on stop, build() returns with whatever subgraph
+  /// and cost bounds exist so far (the caller is expected to abort planning).
+  Plrg(const model::CompiledProblem& cp, CostFn cost, StopToken stop = {});
 
   /// Expands backwards from `goal` and computes the cost fixpoint.
   void build(PropId goal);
@@ -56,6 +60,7 @@ class Plrg {
  private:
   const model::CompiledProblem& cp_;
   CostFn cost_fn_;
+  StopToken stop_;
   std::vector<double> prop_cost_;    // by PropId; +inf = unreachable
   std::vector<bool> prop_seen_;      // relevance marks
   std::vector<bool> action_seen_;

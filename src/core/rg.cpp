@@ -82,6 +82,10 @@ std::optional<Plan> Rg::search(const std::vector<PropId>& goal_set, const Option
       break;
     }
     if (stats.rg_expansions % tick_every == 0) {
+      if (options.stop.stop_requested()) {
+        stats.stopped = true;
+        break;
+      }
       stats.rg_open_left = open.size();
       stats.replay_calls = replayer.calls();
       if (trace::collector()) {

@@ -22,6 +22,7 @@
 #include "core/replay.hpp"
 #include "core/slrg.hpp"
 #include "core/stats.hpp"
+#include "support/stop_token.hpp"
 
 namespace sekitei::core {
 
@@ -47,6 +48,10 @@ class Rg {
     /// stats snapshot (see PlannerOptions::progress).
     std::function<void(const PlannerStats&)> progress;
     std::uint64_t progress_every = 8192;
+    /// Cooperative stop (deadline/cancellation), polled at the same
+    /// `progress_every` cadence — the hot expansion loop pays no extra cost.
+    /// On stop the search returns no plan and sets stats.stopped.
+    StopToken stop;
   };
 
   /// `validate` (optional) gets the candidate plan after it replays from the

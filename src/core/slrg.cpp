@@ -33,8 +33,9 @@ std::vector<PropId> regress_set(const model::CompiledProblem& cp,
   return out;
 }
 
-Slrg::Slrg(const model::CompiledProblem& cp, const Plrg& plrg, CostFn cost, Limits limits)
-    : cp_(cp), plrg_(plrg), cost_fn_(std::move(cost)), limits_(limits) {}
+Slrg::Slrg(const model::CompiledProblem& cp, const Plrg& plrg, CostFn cost, Limits limits,
+           StopToken stop)
+    : cp_(cp), plrg_(plrg), cost_fn_(std::move(cost)), limits_(limits), stop_(std::move(stop)) {}
 
 void Slrg::harvest(std::unordered_map<std::vector<PropId>, double, SetHash>& best_g,
                    double query_result) {
@@ -165,10 +166,15 @@ double Slrg::estimate(const std::vector<PropId>& set) {
       if (h == kInf) continue;
       auto it = best_g.find(nxt);
       if (it != best_g.end() && it->second <= g) continue;
-      if (query_generated >= query_budget) {
-        // Budget exhausted: the smallest f left in the open list is still an
-        // admissible bound on the true logical cost (standard A* invariant).
-        hit_limit_ = true;
+      // Budget exhaustion and cooperative stop share one exit: both return
+      // the admissible frontier bound.  The stop poll rides the same cadence
+      // as the trace counter sampling so the hot loop pays nothing extra.
+      const bool budget_out = query_generated >= query_budget;
+      if (budget_out ||
+          ((query_generated & 0x3ffu) == 0u && stop_.stop_requested())) {
+        // The smallest f left in the open list is still an admissible bound
+        // on the true logical cost (standard A* invariant).
+        if (budget_out) hit_limit_ = true;
         // Any solution either extends the node being expanded (cost >= its
         // f) or passes through the open list (cost >= min open f).
         const double frontier = open.empty() ? cur.f : std::min(cur.f, open.top().f);

@@ -24,6 +24,7 @@
 
 #include "core/plrg.hpp"
 #include "model/compile.hpp"
+#include "support/stop_token.hpp"
 
 namespace sekitei::core {
 
@@ -44,8 +45,11 @@ class Slrg {
  public:
   using Limits = SlrgLimits;
 
+  /// `stop` (optional) is polled every 1024 generated set nodes; a stopped
+  /// query ends like a budget-exhausted one — it returns the admissible
+  /// frontier bound so the caller's search stays sound while it winds down.
   Slrg(const model::CompiledProblem& cp, const Plrg& plrg, CostFn cost,
-       Limits limits = Limits{});
+       Limits limits = Limits{}, StopToken stop = {});
 
   /// Exact minimal logical cost of achieving `set` from the initial state;
   /// +inf when logically impossible.  Falls back to the (admissible but
@@ -81,6 +85,7 @@ class Slrg {
   const Plrg& plrg_;
   CostFn cost_fn_;
   Limits limits_;
+  StopToken stop_;
   std::unordered_map<std::vector<PropId>, double, SetHash> exact_;
   /// Admissible lower bounds for sets whose search hit the per-query budget.
   std::unordered_map<std::vector<PropId>, double, SetHash> weak_;

@@ -46,7 +46,8 @@ std::string stats_to_json(const PlannerStats& stats) {
   num("replay_calls", stats.replay_calls);
   num("sim_rejections", stats.sim_rejections);
   boolean("logically_unreachable", stats.logically_unreachable);
-  boolean("hit_search_limit", stats.hit_search_limit, /*last=*/true);
+  boolean("hit_search_limit", stats.hit_search_limit);
+  boolean("stopped", stats.stopped, /*last=*/true);
   out.push_back('}');
   return out;
 }

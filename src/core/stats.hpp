@@ -39,6 +39,10 @@ struct PlannerStats {
   std::uint64_t sim_rejections = 0;
   bool logically_unreachable = false;
   bool hit_search_limit = false;
+  /// A cooperative stop (deadline or cancellation, PlannerOptions::stop)
+  /// ended a phase early; the remaining counters are a partial snapshot of
+  /// the work done up to that point.
+  bool stopped = false;
 };
 
 /// Serializes the stats as one compact JSON object with a fixed key order

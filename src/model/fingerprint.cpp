@@ -1,0 +1,208 @@
+#include "model/fingerprint.hpp"
+
+#include <bit>
+
+#include "net/network.hpp"
+#include "spec/spec.hpp"
+
+namespace sekitei::model {
+
+namespace {
+
+// Structural tags framing the serialization (values are arbitrary but fixed).
+enum : unsigned char {
+  kTagNode = 0x01,
+  kTagLink = 0x02,
+  kTagResource = 0x03,
+  kTagInterface = 0x10,
+  kTagProperty = 0x11,
+  kTagCondition = 0x12,
+  kTagEffect = 0x13,
+  kTagCost = 0x14,
+  kTagLevels = 0x15,
+  kTagComponent = 0x16,
+  kTagStream = 0x20,
+  kTagPreplaced = 0x21,
+  kTagRule = 0x22,
+  kTagGoal = 0x23,
+  kTagScenario = 0x30,
+};
+
+void mix_resources(Fingerprint& fp, const std::map<std::string, double>& resources) {
+  // std::map iterates in key order, so the rendering is already canonical.
+  for (const auto& [name, value] : resources) {
+    fp.tag(kTagResource);
+    fp.mix(name);
+    fp.mix(value);
+  }
+}
+
+void mix_levels(Fingerprint& fp, const spec::LevelSet& levels) {
+  fp.mix(static_cast<std::uint64_t>(levels.cutpoints().size()));
+  for (double c : levels.cutpoints()) fp.mix(c);
+}
+
+void mix_interval(Fingerprint& fp, const Interval& v) {
+  fp.mix(v.lo);
+  fp.mix(v.hi);
+  fp.mix(v.hi_open);
+}
+
+void mix_network(Fingerprint& fp, const net::Network& net) {
+  fp.mix(static_cast<std::uint64_t>(net.node_count()));
+  for (NodeId n : net.node_ids()) {
+    fp.tag(kTagNode);
+    fp.mix(net.node(n).name);
+    mix_resources(fp, net.node(n).resources);
+  }
+  fp.mix(static_cast<std::uint64_t>(net.link_count()));
+  for (LinkId l : net.link_ids()) {
+    const net::Link& link = net.link(l);
+    fp.tag(kTagLink);
+    fp.mix(static_cast<std::uint64_t>(link.a.index()));
+    fp.mix(static_cast<std::uint64_t>(link.b.index()));
+    fp.tag(static_cast<unsigned char>(link.cls));
+    mix_resources(fp, link.resources);
+  }
+}
+
+void mix_domain(Fingerprint& fp, const spec::DomainSpec& domain) {
+  fp.mix(static_cast<std::uint64_t>(domain.interface_count()));
+  for (std::size_t i = 0; i < domain.interface_count(); ++i) {
+    const spec::InterfaceSpec& iface = domain.interface_at(i);
+    fp.tag(kTagInterface);
+    fp.mix(iface.name);
+    for (const spec::PropertySpec& p : iface.properties) {
+      fp.tag(kTagProperty);
+      fp.mix(p.name);
+      fp.tag(static_cast<unsigned char>(p.tag));
+      fp.mix(p.initial);
+    }
+    for (const expr::ConditionAst& c : iface.cross_conditions) {
+      fp.tag(kTagCondition);
+      fp.mix(c.str());
+    }
+    for (const expr::EffectAst& e : iface.cross_effects) {
+      fp.tag(kTagEffect);
+      fp.mix(e.str());
+    }
+    fp.tag(kTagCost);
+    fp.mix(iface.cross_cost ? iface.cross_cost->str() : "1");
+    for (const auto& [prop, levels] : iface.levels) {
+      fp.tag(kTagLevels);
+      fp.mix(prop);
+      mix_levels(fp, levels);
+    }
+  }
+  fp.mix(static_cast<std::uint64_t>(domain.component_count()));
+  for (std::size_t i = 0; i < domain.component_count(); ++i) {
+    const spec::ComponentSpec& comp = domain.component_at(i);
+    fp.tag(kTagComponent);
+    fp.mix(comp.name);
+    for (const std::string& in : comp.inputs) fp.mix(in);
+    fp.tag(kTagComponent);
+    for (const std::string& out : comp.outputs) fp.mix(out);
+    for (const expr::ConditionAst& c : comp.conditions) {
+      fp.tag(kTagCondition);
+      fp.mix(c.str());
+    }
+    for (const expr::EffectAst& e : comp.effects) {
+      fp.tag(kTagEffect);
+      fp.mix(e.str());
+    }
+    fp.tag(kTagCost);
+    fp.mix(comp.cost ? comp.cost->str() : "1");
+  }
+}
+
+void mix_scenario(Fingerprint& fp, const spec::LevelScenario& scenario) {
+  fp.tag(kTagScenario);
+  fp.mix(scenario.name);
+  fp.mix(static_cast<std::uint64_t>(scenario.iface_levels.size()));
+  for (const auto& [key, levels] : scenario.iface_levels) {
+    fp.mix(key.first);
+    fp.mix(key.second);
+    mix_levels(fp, levels);
+  }
+  fp.mix(static_cast<std::uint64_t>(scenario.link_levels.size()));
+  for (const auto& [res, levels] : scenario.link_levels) {
+    fp.mix(res);
+    mix_levels(fp, levels);
+  }
+  fp.mix(static_cast<std::uint64_t>(scenario.node_levels.size()));
+  for (const auto& [res, levels] : scenario.node_levels) {
+    fp.mix(res);
+    mix_levels(fp, levels);
+  }
+}
+
+void mix_problem(Fingerprint& fp, const CppProblem& problem) {
+  fp.mix(static_cast<std::uint64_t>(problem.initial_streams.size()));
+  for (const InitialStream& s : problem.initial_streams) {
+    fp.tag(kTagStream);
+    fp.mix(s.iface);
+    fp.mix(s.prop);
+    fp.mix(static_cast<std::uint64_t>(s.node.index()));
+    mix_interval(fp, s.value);
+  }
+  fp.mix(static_cast<std::uint64_t>(problem.preplaced.size()));
+  for (const auto& [comp, node] : problem.preplaced) {
+    fp.tag(kTagPreplaced);
+    fp.mix(comp);
+    fp.mix(static_cast<std::uint64_t>(node.index()));
+  }
+  fp.mix(static_cast<std::uint64_t>(problem.placement_rule.size()));
+  for (const auto& [comp, nodes] : problem.placement_rule) {
+    fp.tag(kTagRule);
+    fp.mix(comp);
+    fp.mix(static_cast<std::uint64_t>(nodes.size()));
+    for (NodeId n : nodes) fp.mix(static_cast<std::uint64_t>(n.index()));
+  }
+  fp.tag(kTagGoal);
+  fp.mix(problem.goal_component);
+  fp.mix(static_cast<std::uint64_t>(problem.goal_node.index()));
+  fp.mix(static_cast<std::uint64_t>(problem.extra_goals.size()));
+  for (const auto& [comp, node] : problem.extra_goals) {
+    fp.tag(kTagGoal);
+    fp.mix(comp);
+    fp.mix(static_cast<std::uint64_t>(node.index()));
+  }
+}
+
+}  // namespace
+
+void Fingerprint::mix(double v) {
+  // Canonicalize -0.0 so it hashes like 0.0 (they compare equal everywhere
+  // the planner looks at them).
+  if (v == 0.0) v = 0.0;
+  mix(std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t fingerprint(const net::Network& net) {
+  Fingerprint fp;
+  mix_network(fp, net);
+  return fp.value();
+}
+
+std::uint64_t fingerprint(const spec::DomainSpec& domain) {
+  Fingerprint fp;
+  mix_domain(fp, domain);
+  return fp.value();
+}
+
+std::uint64_t fingerprint(const spec::LevelScenario& scenario) {
+  Fingerprint fp;
+  mix_scenario(fp, scenario);
+  return fp.value();
+}
+
+std::uint64_t fingerprint(const CppProblem& problem, const spec::LevelScenario& scenario) {
+  Fingerprint fp;
+  if (problem.network != nullptr) mix_network(fp, *problem.network);
+  if (problem.domain != nullptr) mix_domain(fp, *problem.domain);
+  mix_problem(fp, problem);
+  mix_scenario(fp, scenario);
+  return fp.value();
+}
+
+}  // namespace sekitei::model

@@ -1,0 +1,57 @@
+// Content fingerprints for CPP instances: a 64-bit FNV-1a hash over a
+// canonical serialization of (network, domain spec, problem layout, level
+// scenario).  Two independently parsed instances with identical content hash
+// identically, which is what lets the planning service (src/service) key its
+// compiled-problem cache by fingerprint and share one immutable
+// CompiledProblem across requests that describe the same deployment world.
+//
+// The hash covers everything compile() reads — formulae are folded in via
+// their canonical AST rendering (expr::Node::str()), level sets via their
+// cutpoint lists — so equal fingerprints imply equal compiled problems.
+// Collisions are possible in principle (64-bit hash); the cache trades that
+// astronomically small risk for not retaining full problem copies as keys.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "model/problem.hpp"
+
+namespace sekitei::model {
+
+/// Incremental FNV-1a (64-bit).  Values are framed with tag bytes by the
+/// callers so adjacent fields of different types cannot alias.
+class Fingerprint {
+ public:
+  void mix(std::string_view s) {
+    for (unsigned char c : s) step(c);
+    step(0xff);  // terminator: "ab"+"c" != "a"+"bc"
+  }
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) step(static_cast<unsigned char>(v >> (8 * i)));
+  }
+  void mix(double v);
+  void mix(bool v) { step(v ? 1 : 2); }
+  /// A one-byte structural tag separating record kinds.
+  void tag(unsigned char t) { step(t); }
+
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  void step(unsigned char c) {
+    h_ ^= c;
+    h_ *= 1099511628211ull;
+  }
+  std::uint64_t h_ = 14695981039346656037ull;
+};
+
+[[nodiscard]] std::uint64_t fingerprint(const net::Network& net);
+[[nodiscard]] std::uint64_t fingerprint(const spec::DomainSpec& domain);
+[[nodiscard]] std::uint64_t fingerprint(const spec::LevelScenario& scenario);
+
+/// The full compiled-problem cache key: network + domain + problem layout
+/// (streams, preplacements, placement rules, goals) + scenario.
+[[nodiscard]] std::uint64_t fingerprint(const CppProblem& problem,
+                                        const spec::LevelScenario& scenario);
+
+}  // namespace sekitei::model

@@ -1,0 +1,109 @@
+#include "service/compiled_cache.hpp"
+
+namespace sekitei::service {
+
+CompiledProblemCache::CompiledProblemCache(std::size_t capacity, std::size_t shards) {
+  if (shards == 0) shards = 1;
+  if (capacity == 0) {
+    // Disabled: keep one shard purely for the hit/miss counters.
+    enabled_ = false;
+    per_shard_cap_ = 0;
+    shards_ = std::vector<Shard>(1);
+    return;
+  }
+  if (shards > capacity) shards = capacity;  // at least one slot per shard
+  per_shard_cap_ = capacity / shards;
+  if (per_shard_cap_ == 0) per_shard_cap_ = 1;
+  shards_ = std::vector<Shard>(shards);
+}
+
+std::shared_ptr<const CompiledEntry> CompiledProblemCache::lookup_locked(Shard& shard,
+                                                                         std::uint64_t key) {
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh MRU
+  return it->second->second;
+}
+
+void CompiledProblemCache::insert_locked(Shard& shard, std::uint64_t key,
+                                         std::shared_ptr<const CompiledEntry> entry) {
+  if (auto it = shard.index.find(key); it != shard.index.end()) {
+    it->second->second = std::move(entry);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  while (shard.lru.size() >= per_shard_cap_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.emplace_front(key, std::move(entry));
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+std::pair<std::shared_ptr<const CompiledEntry>, bool> CompiledProblemCache::get_or_compile(
+    std::uint64_t key, const Factory& make) {
+  Shard& shard = shard_of(key);
+  if (enabled_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (auto found = lookup_locked(shard, key)) {
+      ++shard.hits;
+      return {std::move(found), true};
+    }
+    ++shard.misses;
+  } else {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.misses;
+  }
+
+  // Compile outside the lock; a concurrent compiler of the same key may beat
+  // us to the insert, in which case its entry wins and ours is dropped.
+  std::shared_ptr<const CompiledEntry> made = make();
+  if (enabled_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (auto raced = lookup_locked(shard, key)) return {std::move(raced), false};
+    insert_locked(shard, key, made);
+  }
+  return {std::move(made), false};
+}
+
+std::shared_ptr<const CompiledEntry> CompiledProblemCache::find(std::uint64_t key) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto found = enabled_ ? lookup_locked(shard, key) : nullptr;
+  if (found) {
+    ++shard.hits;
+  } else {
+    ++shard.misses;
+  }
+  return found;
+}
+
+void CompiledProblemCache::insert(std::uint64_t key, std::shared_ptr<const CompiledEntry> entry) {
+  if (!enabled_) return;
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  insert_locked(shard, key, std::move(entry));
+}
+
+CompiledProblemCache::Stats CompiledProblemCache::stats() const {
+  Stats out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+    out.entries += shard.lru.size();
+  }
+  return out;
+}
+
+void CompiledProblemCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+}  // namespace sekitei::service

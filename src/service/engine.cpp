@@ -1,0 +1,138 @@
+#include "service/engine.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "model/fingerprint.hpp"
+#include "sim/executor.hpp"
+#include "support/log.hpp"
+#include "support/timer.hpp"
+#include "support/trace.hpp"
+
+namespace sekitei::service {
+
+namespace {
+
+std::size_t default_workers(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+PlanningEngine::PlanningEngine(Options options)
+    : options_(options),
+      cache_(options.cache_capacity, options.cache_shards),
+      pool_(default_workers(options.workers)) {}
+
+PlanningEngine::Ticket PlanningEngine::submit(PlanRequest request) {
+  const double deadline_ms =
+      request.deadline_ms > 0.0 ? request.deadline_ms : options_.default_deadline_ms;
+  if (deadline_ms > 0.0) request.stop.arm_deadline_ms(deadline_ms);
+
+  Ticket ticket;
+  ticket.stop = request.stop;
+  auto promise = std::make_shared<std::promise<PlanResponse>>();
+  ticket.response = promise->get_future();
+
+  if (options_.max_pending != 0 &&
+      pending_.load(std::memory_order_relaxed) >= options_.max_pending) {
+    PlanResponse r;
+    r.id = request.id;
+    r.outcome = Outcome::Rejected;
+    r.failure = "queue full (max_pending = " + std::to_string(options_.max_pending) + ")";
+    SEKITEI_LOG_WARN("service.engine", "request rejected", log::kv("id", r.id.c_str()),
+                     log::kv("pending", pending_.load(std::memory_order_relaxed)));
+    promise->set_value(std::move(r));
+    return ticket;
+  }
+
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  const Stopwatch queued;  // measures time until a worker picks the job up
+  auto req = std::make_shared<PlanRequest>(std::move(request));
+  pool_.submit([this, req, promise, queued] {
+    PlanResponse r = process(*req, req->stop.token(), queued.elapsed_ms());
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    promise->set_value(std::move(r));
+  });
+  return ticket;
+}
+
+PlanResponse PlanningEngine::plan(PlanRequest request) {
+  return submit(std::move(request)).response.get();
+}
+
+PlanResponse PlanningEngine::process(const PlanRequest& request, const StopToken& token,
+                                     double wait_ms) {
+  trace::Span span("service.request", "service");
+  PlanResponse r;
+  r.id = request.id;
+  r.wait_ms = wait_ms;
+
+  if (!request.problem) {
+    r.outcome = Outcome::Rejected;
+    r.failure = "request carries no problem";
+    return r;
+  }
+  // Died in the queue (cancelled, or the deadline fired before any worker
+  // freed up): answer without touching the planner.
+  if (token.stop_requested()) {
+    r.outcome = token.reason() == StopReason::Cancelled ? Outcome::Cancelled
+                                                        : Outcome::DeadlineExceeded;
+    r.failure = "stopped before planning started";
+    return r;
+  }
+
+  r.fingerprint = model::fingerprint(request.problem->problem, request.problem->scenario);
+  auto [entry, hit] = cache_.get_or_compile(r.fingerprint, [&] {
+    auto made = std::make_shared<CompiledEntry>();
+    trace::Span compile_span("service.compile", "service");
+    Stopwatch watch;
+    made->source = request.problem;
+    made->cp = model::compile(request.problem->problem, request.problem->scenario);
+    made->compile_ms = watch.elapsed_ms();
+    return made;
+  });
+  r.cache_hit = hit;
+  if (!hit) r.compile_ms = entry->compile_ms;
+  const model::CompiledProblem& cp = entry->cp;
+
+  core::PlannerOptions opt;
+  opt.mode = request.mode;
+  opt.stop = token;
+  opt.progress_every = request.progress_every;
+  core::Sekitei planner(cp, opt);
+
+  Stopwatch watch;
+  core::PlanResult result;
+  if (request.validate) {
+    sim::Executor exec(cp);
+    result = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+  } else {
+    result = planner.plan();
+  }
+  r.solve_ms = watch.elapsed_ms();
+  r.stats = result.stats;
+  r.failure = result.failure;
+
+  if (result.plan) {
+    // A plan that arrived in the same tick as a stop is still a plan.
+    r.plan_text = result.plan->str(cp);
+    r.plan = std::move(result.plan);
+    r.outcome = Outcome::Solved;
+    r.failure.clear();
+  } else if (result.stats.stopped) {
+    r.outcome = token.reason() == StopReason::Cancelled ? Outcome::Cancelled
+                                                        : Outcome::DeadlineExceeded;
+  } else {
+    r.outcome = Outcome::Infeasible;
+  }
+  SEKITEI_LOG_INFO("service.engine", "request served", log::kv("id", r.id.c_str()),
+                   log::kv("outcome", outcome_name(r.outcome)),
+                   log::kv("cache_hit", r.cache_hit), log::kv("wait_ms", r.wait_ms),
+                   log::kv("solve_ms", r.solve_ms));
+  return r;
+}
+
+}  // namespace sekitei::service

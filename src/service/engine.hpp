@@ -1,0 +1,84 @@
+// The concurrent planning engine: accepts PlanRequests, schedules them on a
+// fixed thread pool, and returns futures of PlanResponse.
+//
+//   service::PlanningEngine engine({.workers = 4, .default_deadline_ms = 500});
+//   auto ticket = engine.submit({.id = "q1", .problem = lp});
+//   ...
+//   service::PlanResponse r = ticket.response.get();
+//
+// Per request the worker: (1) computes the content fingerprint and asks the
+// sharded LRU compiled-problem cache, compiling only on a miss; (2) runs the
+// three-phase Sekitei planner against the shared immutable CompiledProblem
+// with the request's stop token plumbed into every phase; (3) classifies the
+// result into an Outcome.  Deadlines and cancellation are cooperative: the
+// token is polled at the planner's progress cadence, so responses to a fired
+// deadline arrive within one progress tick, carrying the partial stats
+// accumulated so far.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+
+#include "service/compiled_cache.hpp"
+#include "service/request.hpp"
+#include "support/thread_pool.hpp"
+
+namespace sekitei::service {
+
+class PlanningEngine {
+ public:
+  struct Options {
+    std::size_t workers = 0;           // 0 = std::thread::hardware_concurrency()
+    std::size_t cache_capacity = 128;  // compiled problems; 0 disables caching
+    std::size_t cache_shards = 8;
+    double default_deadline_ms = 0.0;  // <= 0 = no default deadline
+    /// Reject new submissions while this many requests are queued or running
+    /// (admission control); 0 = unbounded.
+    std::size_t max_pending = 0;
+  };
+
+  /// Handle returned by submit(): the response future plus the cancellation
+  /// source (shared with the request; cancel() stops the request whether it
+  /// is still queued or already planning).
+  struct Ticket {
+    std::future<PlanResponse> response;
+    StopSource stop;
+
+    void cancel() { stop.request_stop(); }
+  };
+
+  // Not a `= {}` default argument: NSDMIs of a nested class are not usable
+  // in default arguments of the enclosing class (GCC rejects it).
+  PlanningEngine() : PlanningEngine(Options{}) {}
+  explicit PlanningEngine(Options options);
+  /// Drains queued requests, then joins the workers.
+  ~PlanningEngine() = default;
+
+  PlanningEngine(const PlanningEngine&) = delete;
+  PlanningEngine& operator=(const PlanningEngine&) = delete;
+
+  [[nodiscard]] Ticket submit(PlanRequest request);
+
+  /// Convenience: submit + wait.
+  [[nodiscard]] PlanResponse plan(PlanRequest request);
+
+  [[nodiscard]] CompiledProblemCache::Stats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] std::size_t worker_count() const { return pool_.worker_count(); }
+  /// Requests accepted but not yet answered (queued + running).
+  [[nodiscard]] std::size_t pending() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] PlanResponse process(const PlanRequest& request, const StopToken& token,
+                                     double wait_ms);
+
+  Options options_;
+  CompiledProblemCache cache_;
+  std::atomic<std::size_t> pending_{0};
+  ThreadPool pool_;  // last member: destroyed (joined) first, while the cache
+                     // and options it reads are still alive
+};
+
+}  // namespace sekitei::service

@@ -1,0 +1,80 @@
+#include "service/request.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "support/json.hpp"
+
+namespace sekitei::service {
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::Solved: return "solved";
+    case Outcome::Infeasible: return "infeasible";
+    case Outcome::DeadlineExceeded: return "deadline_exceeded";
+    case Outcome::Cancelled: return "cancelled";
+    case Outcome::Rejected: return "rejected";
+  }
+  return "rejected";
+}
+
+int outcome_exit_code(Outcome o) {
+  switch (o) {
+    case Outcome::Solved: return 0;
+    case Outcome::Infeasible: return 1;
+    case Outcome::DeadlineExceeded: return 3;
+    case Outcome::Cancelled: return 4;
+    case Outcome::Rejected: return 5;
+  }
+  return 5;
+}
+
+std::string response_to_json(const PlanResponse& r) {
+  std::string out = "{\"request\":";
+  json::append_escaped(out, r.id);
+  out += ",\"outcome\":";
+  json::append_escaped(out, outcome_name(r.outcome));
+  out += ",\"cache_hit\":";
+  out += r.cache_hit ? "true" : "false";
+  char hexbuf[24];
+  std::snprintf(hexbuf, sizeof hexbuf, "%016" PRIx64, r.fingerprint);
+  out += ",\"fingerprint\":\"";
+  out += hexbuf;
+  out += "\"";
+  if (r.plan) {
+    out += ",\"plan_actions\":";
+    json::append_number(out, static_cast<std::uint64_t>(r.plan->size()));
+    out += ",\"cost_lb\":";
+    json::append_number(out, r.plan->cost_lb);
+  }
+  out += ",\"wait_ms\":";
+  json::append_number(out, r.wait_ms);
+  out += ",\"compile_ms\":";
+  json::append_number(out, r.compile_ms);
+  out += ",\"solve_ms\":";
+  json::append_number(out, r.solve_ms);
+  if (!r.failure.empty()) {
+    out += ",\"failure\":";
+    json::append_escaped(out, r.failure);
+  }
+  out += ",\"stats\":";
+  out += core::stats_to_json(r.stats);
+  out.push_back('}');
+  return out;
+}
+
+std::shared_ptr<model::LoadedProblem> make_loaded(spec::DomainSpec domain, net::Network net,
+                                                  model::CppProblem problem,
+                                                  spec::LevelScenario scenario) {
+  auto lp = std::make_shared<model::LoadedProblem>();
+  lp->domain = std::move(domain);
+  lp->net = std::move(net);
+  lp->problem = std::move(problem);
+  lp->scenario = std::move(scenario);
+  // The CppProblem pointed into the moved-from owners; re-pin it.
+  lp->problem.network = &lp->net;
+  lp->problem.domain = &lp->domain;
+  return lp;
+}
+
+}  // namespace sekitei::service

@@ -1,0 +1,110 @@
+// Request/response types of the concurrent planning service.
+//
+// A PlanRequest bundles a loaded CPP instance with planning options, an
+// optional deadline, and a cancellation handle; the engine (service/engine.hpp)
+// answers with a PlanResponse whose `outcome` classifies what happened:
+//
+//   solved             a validated plan was found
+//   infeasible         the planner proved no plan exists (or exhausted its
+//                      own search limits)
+//   deadline_exceeded  the request's deadline fired before a plan was found
+//   cancelled          StopSource::request_stop() ended the request early
+//   rejected           the engine refused the request (queue full, no problem)
+//
+// On deadline_exceeded/cancelled the response still carries the partial
+// PlannerStats accumulated up to the stop — a served client can see how far
+// planning got.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/plan.hpp"
+#include "core/planner.hpp"
+#include "core/stats.hpp"
+#include "model/textio.hpp"
+#include "support/stop_token.hpp"
+
+namespace sekitei::service {
+
+enum class Outcome : unsigned char {
+  Solved,
+  Infeasible,
+  DeadlineExceeded,
+  Cancelled,
+  Rejected,
+};
+
+[[nodiscard]] const char* outcome_name(Outcome o);
+
+/// Process exit code convention shared by the CLI drivers: solved = 0,
+/// infeasible = 1 (2 stays reserved for usage/input errors), deadline = 3,
+/// cancelled = 4, rejected = 5.
+[[nodiscard]] int outcome_exit_code(Outcome o);
+
+struct PlanRequest {
+  /// Caller-chosen label echoed in the response (e.g. "small.sk#3").
+  std::string id;
+
+  /// The instance to plan.  Shared ownership: the engine pins it for as long
+  /// as the compiled-problem cache references it.
+  std::shared_ptr<const model::LoadedProblem> problem;
+
+  core::PlannerOptions::Mode mode = core::PlannerOptions::Mode::Leveled;
+
+  /// Per-request deadline in milliseconds; <= 0 falls back to the engine's
+  /// default (whose own <= 0 means "no deadline").
+  double deadline_ms = 0.0;
+
+  /// Concretely validate candidate plans through the simulator before
+  /// accepting them (the full solve_file pipeline).
+  bool validate = true;
+
+  /// Cancellation handle: request_stop() cancels this request whether it is
+  /// still queued or already planning.  The engine arms the deadline on this
+  /// same source at submit time, so one token answers both questions.
+  StopSource stop;
+
+  /// Stop-poll cadence of the search loops (PlannerOptions::progress_every).
+  /// The service default is finer than the planner's 8192 so deadlines are
+  /// honoured promptly on small problems.
+  std::uint64_t progress_every = 1024;
+};
+
+struct PlanResponse {
+  std::string id;
+  Outcome outcome = Outcome::Rejected;
+  std::optional<core::Plan> plan;
+  /// Fig.-4-style rendering of the plan (empty when there is none); rendered
+  /// by the worker while it still holds the compiled problem.
+  std::string plan_text;
+  core::PlannerStats stats;
+  std::string failure;  // human-readable reason when outcome != solved
+
+  std::uint64_t fingerprint = 0;  // compiled-problem cache key
+  bool cache_hit = false;
+  double compile_ms = 0.0;  // grounding+leveling time (0.0 on cache hits)
+  double solve_ms = 0.0;    // planner time (graph + search + validation)
+  double wait_ms = 0.0;     // time spent queued before a worker picked it up
+
+  [[nodiscard]] bool ok() const { return outcome == Outcome::Solved; }
+};
+
+/// One NDJSON record for a response:
+///   {"request":"...","outcome":"solved","cache_hit":true,...,"stats":{...}}
+/// The fingerprint is rendered as a hex string (64-bit values do not survive
+/// JSON number parsers).  Used by the sekitei_serve driver and the tests.
+[[nodiscard]] std::string response_to_json(const PlanResponse& r);
+
+/// Builds a heap-pinned LoadedProblem from parts: moves them in and re-points
+/// the CppProblem at the moved-to network/domain.  This is how programmatic
+/// instances (e.g. domains::media) enter the service, which otherwise feeds
+/// on parsed .sk files.
+[[nodiscard]] std::shared_ptr<model::LoadedProblem> make_loaded(spec::DomainSpec domain,
+                                                                net::Network net,
+                                                                model::CppProblem problem,
+                                                                spec::LevelScenario scenario);
+
+}  // namespace sekitei::service

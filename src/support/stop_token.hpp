@@ -1,0 +1,115 @@
+// Cooperative cancellation and deadlines for long-running planner phases.
+//
+// A StopSource owns shared stop state; StopTokens are cheap copies handed to
+// the planner phases, which poll stop_requested() at their existing progress
+// cadence — the hot loops pay no per-iteration cost beyond that poll.  Two
+// stop causes are distinguished: an explicit request_stop() (the request was
+// cancelled) and an armed deadline (steady clock, evaluated lazily at poll
+// time).  An explicit cancellation wins when both apply.
+//
+// This is deliberately not std::stop_token: deadlines must live in the same
+// shared state so that one poll answers both questions, and the deadline must
+// be armable *after* tokens were handed out (the serving engine arms it at
+// submit time on a source the client already holds).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace sekitei {
+
+enum class StopReason : unsigned char { None, Cancelled, DeadlineExceeded };
+
+[[nodiscard]] inline const char* stop_reason_name(StopReason r) {
+  switch (r) {
+    case StopReason::None: return "none";
+    case StopReason::Cancelled: return "cancelled";
+    case StopReason::DeadlineExceeded: return "deadline_exceeded";
+  }
+  return "none";
+}
+
+namespace detail {
+
+struct StopState {
+  using Clock = std::chrono::steady_clock;
+
+  std::atomic<bool> cancelled{false};
+  /// Deadline as nanoseconds of the steady clock's epoch offset; 0 = unarmed.
+  /// Atomic so the deadline can be armed after tokens were distributed.
+  std::atomic<std::int64_t> deadline_ns{0};
+
+  [[nodiscard]] bool deadline_passed() const {
+    const std::int64_t d = deadline_ns.load(std::memory_order_relaxed);
+    if (d == 0) return false;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+               .count() >= d;
+  }
+};
+
+}  // namespace detail
+
+/// Read side: polled by the planner phases.  Default-constructed tokens are
+/// detached and never request a stop (stop_possible() == false), so plumbing
+/// a token through an API costs nothing for callers that don't use it.
+class StopToken {
+ public:
+  StopToken() = default;
+
+  [[nodiscard]] bool stop_possible() const { return state_ != nullptr; }
+
+  [[nodiscard]] bool stop_requested() const {
+    if (!state_) return false;
+    return state_->cancelled.load(std::memory_order_acquire) || state_->deadline_passed();
+  }
+
+  /// Why the stop fired; None while stop_requested() is false.
+  [[nodiscard]] StopReason reason() const {
+    if (!state_) return StopReason::None;
+    if (state_->cancelled.load(std::memory_order_acquire)) return StopReason::Cancelled;
+    if (state_->deadline_passed()) return StopReason::DeadlineExceeded;
+    return StopReason::None;
+  }
+
+ private:
+  friend class StopSource;
+  explicit StopToken(std::shared_ptr<const detail::StopState> s) : state_(std::move(s)) {}
+
+  std::shared_ptr<const detail::StopState> state_;
+};
+
+/// Write side: cancel and/or arm a deadline.  Copies share one state.
+class StopSource {
+ public:
+  StopSource() : state_(std::make_shared<detail::StopState>()) {}
+
+  /// A source whose deadline is `ms` from now (ms <= 0 expires immediately).
+  [[nodiscard]] static StopSource with_deadline_ms(double ms) {
+    StopSource s;
+    s.arm_deadline_ms(ms);
+    return s;
+  }
+
+  /// Arms (or re-arms) the deadline `ms` from now.  Thread-safe.
+  void arm_deadline_ms(double ms) {
+    const auto now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        detail::StopState::Clock::now().time_since_epoch());
+    const auto delta = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::duration<double, std::milli>(ms));
+    std::int64_t d = (now + delta).count();
+    if (d == 0) d = 1;  // 0 is reserved for "unarmed"
+    state_->deadline_ns.store(d, std::memory_order_relaxed);
+  }
+
+  void request_stop() { state_->cancelled.store(true, std::memory_order_release); }
+
+  [[nodiscard]] StopToken token() const { return StopToken(state_); }
+
+ private:
+  std::shared_ptr<detail::StopState> state_;
+};
+
+}  // namespace sekitei

@@ -1,0 +1,69 @@
+#include "support/thread_pool.hpp"
+
+namespace sekitei {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(/*drain=*/true); }
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!stopping_) {
+      queue_.push_back(std::move(job));
+      lock.unlock();
+      cv_.notify_one();
+      return;
+    }
+  }
+  // Pool already shut down: run inline so attached futures still complete.
+  job();
+}
+
+std::size_t ThreadPool::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Already shutting down (or done); nothing to reconfigure.
+    } else {
+      stopping_ = true;
+      drain_ = drain;
+      if (!drain) queue_.clear();
+    }
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      if (stopping_ && !drain_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace sekitei

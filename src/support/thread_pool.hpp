@@ -1,0 +1,52 @@
+// Fixed-size worker pool over one FIFO queue — the execution substrate of the
+// planning service (src/service).  submit() never blocks; jobs are picked up
+// in submission order by whichever worker frees first.  The destructor drains
+// the queue before joining so accepted work is never silently dropped
+// (futures attached to queued jobs always complete); shutdown(false) discards
+// jobs that have not started yet.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sekitei {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (0 is clamped to 1).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `job`.  After shutdown the job runs inline on the calling
+  /// thread instead, so completion guarantees survive late submissions.
+  void submit(std::function<void()> job);
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  /// Jobs accepted but not yet started.
+  [[nodiscard]] std::size_t queued() const;
+
+  /// Stops the pool and joins all workers.  `drain` = finish the queue first;
+  /// otherwise pending (unstarted) jobs are discarded.  Idempotent.
+  void shutdown(bool drain = true);
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  bool drain_ = true;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sekitei

@@ -15,6 +15,13 @@ std::atomic<Collector*> g_collector{nullptr};
 
 }  // namespace
 
+std::uint32_t current_thread_id() {
+  static std::atomic<std::uint32_t> g_next{0};
+  thread_local std::uint32_t id = 0;
+  if (id == 0) id = g_next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id;
+}
+
 struct Collector::Impl {
   using Clock = std::chrono::steady_clock;
 
@@ -46,6 +53,7 @@ void Collector::complete(std::string_view name, const char* cat, std::uint64_t t
   e.cat = cat;
   e.ts_us = ts_us;
   e.dur_us = dur_us;
+  e.tid = current_thread_id();
   std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->events.push_back(std::move(e));
 }
@@ -57,6 +65,7 @@ void Collector::counter(std::string_view name, double value) {
   e.cat = "counter";
   e.ts_us = now_us();
   e.value = value;
+  e.tid = current_thread_id();
   std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->events.push_back(std::move(e));
 }
@@ -67,6 +76,7 @@ void Collector::instant(std::string_view name, const char* cat) {
   e.name.assign(name);
   e.cat = cat;
   e.ts_us = now_us();
+  e.tid = current_thread_id();
   std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->events.push_back(std::move(e));
 }
@@ -102,7 +112,9 @@ double Collector::counter_last(std::string_view name) const {
 std::string Collector::to_json() const {
   // The Chrome trace-event "JSON object format": a top-level object whose
   // traceEvents member holds the event array.  pid/tid are required by the
-  // loaders; the planner is single-process single-thread, so both are 1.
+  // loaders; pid is 1 (single process) and tid is the dense id of the thread
+  // that recorded the event, so the planning service's concurrent spans land
+  // on separate per-thread tracks in the viewer.
   std::string out = "{\"traceEvents\":[";
   std::lock_guard<std::mutex> lock(impl_->mu);
   bool first = true;
@@ -121,7 +133,8 @@ std::string Collector::to_json() const {
       out += ",\"dur\":";
       json::append_number(out, e.dur_us);
     }
-    out += ",\"pid\":1,\"tid\":1";
+    out += ",\"pid\":1,\"tid\":";
+    json::append_number(out, static_cast<std::uint64_t>(e.tid == 0 ? 1 : e.tid));
     if (e.ph == 'C') {
       out += ",\"args\":{\"value\":";
       json::append_number(out, e.value);

@@ -38,7 +38,14 @@ struct Event {
   std::uint64_t ts_us = 0;
   std::uint64_t dur_us = 0;  // 'X' only
   double value = 0.0;        // 'C' only
+  std::uint32_t tid = 0;     // recording thread (dense id, see current_thread_id)
 };
+
+/// Dense id of the calling thread (1, 2, 3, ... in first-use order).  Stable
+/// for the thread's lifetime; used as the `tid` of recorded events so that
+/// multi-threaded runs (the planning service) interleave correctly in the
+/// Chrome trace viewer's per-thread tracks.
+[[nodiscard]] std::uint32_t current_thread_id();
 
 class Collector {
  public:

@@ -1,0 +1,147 @@
+// The sharded LRU compiled-problem cache (service/compiled_cache.hpp):
+// hit/miss accounting, eviction order, LRU refresh, the disabled mode, and
+// the concurrent same-key race.
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/compiled_cache.hpp"
+
+namespace sekitei::service {
+namespace {
+
+// The cache never looks inside entries, so empty ones are fine for tests.
+std::shared_ptr<const CompiledEntry> dummy_entry() {
+  return std::make_shared<CompiledEntry>();
+}
+
+TEST(CompiledCacheTest, MissThenHit) {
+  CompiledProblemCache cache(4, /*shards=*/1);
+  int factory_calls = 0;
+  const auto factory = [&] {
+    ++factory_calls;
+    return dummy_entry();
+  };
+
+  auto [first, hit1] = cache.get_or_compile(7, factory);
+  EXPECT_FALSE(hit1);
+  EXPECT_EQ(factory_calls, 1);
+
+  auto [second, hit2] = cache.get_or_compile(7, factory);
+  EXPECT_TRUE(hit2);
+  EXPECT_EQ(factory_calls, 1);  // served from cache, no recompilation
+  EXPECT_EQ(first.get(), second.get());
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(CompiledCacheTest, EvictsLeastRecentlyUsed) {
+  CompiledProblemCache cache(2, /*shards=*/1);
+  cache.insert(1, dummy_entry());
+  cache.insert(2, dummy_entry());
+  cache.insert(3, dummy_entry());  // capacity 2: key 1 is the LRU tail
+
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_NE(cache.find(2), nullptr);
+  EXPECT_NE(cache.find(3), nullptr);
+}
+
+TEST(CompiledCacheTest, FindRefreshesLruOrder) {
+  CompiledProblemCache cache(2, /*shards=*/1);
+  cache.insert(1, dummy_entry());
+  cache.insert(2, dummy_entry());
+  ASSERT_NE(cache.find(1), nullptr);  // 1 becomes most recently used
+  cache.insert(3, dummy_entry());     // evicts 2, not 1
+
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(cache.find(2), nullptr);
+  EXPECT_NE(cache.find(3), nullptr);
+}
+
+TEST(CompiledCacheTest, ReinsertSameKeyReplacesWithoutEviction) {
+  CompiledProblemCache cache(2, /*shards=*/1);
+  auto a = dummy_entry();
+  auto b = dummy_entry();
+  cache.insert(1, a);
+  cache.insert(1, b);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.find(1).get(), b.get());
+}
+
+TEST(CompiledCacheTest, ShardCountClampedToCapacity) {
+  CompiledProblemCache cache(4, /*shards=*/8);
+  EXPECT_LE(cache.shard_count(), 4u);
+  EXPECT_GE(cache.capacity(), 4u);
+}
+
+TEST(CompiledCacheTest, CapacityZeroDisablesCaching) {
+  CompiledProblemCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+
+  int factory_calls = 0;
+  const auto factory = [&] {
+    ++factory_calls;
+    return dummy_entry();
+  };
+  auto [e1, hit1] = cache.get_or_compile(7, factory);
+  auto [e2, hit2] = cache.get_or_compile(7, factory);
+  EXPECT_FALSE(hit1);
+  EXPECT_FALSE(hit2);
+  EXPECT_EQ(factory_calls, 2);  // every request recompiles
+  EXPECT_NE(e1.get(), e2.get());
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 0u);  // nothing retained
+}
+
+TEST(CompiledCacheTest, ClearEmptiesAllShards) {
+  CompiledProblemCache cache(8, /*shards=*/4);
+  for (std::uint64_t k = 0; k < 8; ++k) cache.insert(k, dummy_entry());
+  EXPECT_GT(cache.stats().entries, 0u);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.find(3), nullptr);
+}
+
+TEST(CompiledCacheTest, ConcurrentSameKeyCallersConvergeOnOneEntry) {
+  CompiledProblemCache cache(16);
+  constexpr int kThreads = 8;
+  std::atomic<int> factory_calls{0};
+  std::vector<std::shared_ptr<const CompiledEntry>> got(kThreads);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      got[i] = cache
+                   .get_or_compile(42,
+                                   [&] {
+                                     factory_calls.fetch_add(1);
+                                     return dummy_entry();
+                                   })
+                   .first;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Racing threads may each run the factory (it runs outside the lock), but
+  // exactly one compiled entry survives and every caller receives it.
+  EXPECT_GE(factory_calls.load(), 1);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  for (int i = 1; i < kThreads; ++i) EXPECT_EQ(got[i].get(), got[0].get());
+}
+
+}  // namespace
+}  // namespace sekitei::service

@@ -1,0 +1,251 @@
+// End-to-end tests of the concurrent planning service: content
+// fingerprinting, determinism across worker counts, deadlines and
+// cancellation (with partial stats), admission control, and the engine's use
+// of the compiled-problem cache.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "domains/media.hpp"
+#include "model/compile.hpp"
+#include "model/fingerprint.hpp"
+#include "service/engine.hpp"
+#include "service/request.hpp"
+
+namespace sekitei::service {
+namespace {
+
+namespace media = domains::media;
+
+std::shared_ptr<const model::LoadedProblem> loaded_instance(
+    std::unique_ptr<media::Instance> inst, char scenario) {
+  return make_loaded(std::move(inst->domain), std::move(inst->net), std::move(inst->problem),
+                     media::scenario(scenario));
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+
+TEST(FingerprintTest, IndependentlyBuiltIdenticalInstancesHashEqually) {
+  auto a = media::tiny();
+  auto b = media::tiny();
+  EXPECT_EQ(model::fingerprint(a->problem, media::scenario('C')),
+            model::fingerprint(b->problem, media::scenario('C')));
+}
+
+TEST(FingerprintTest, ContentPerturbationsChangeTheHash) {
+  const auto base = model::fingerprint(media::tiny()->problem, media::scenario('C'));
+
+  media::Params p;
+  p.client_demand += 1.0;
+  EXPECT_NE(model::fingerprint(media::tiny(p)->problem, media::scenario('C')), base);
+
+  // Same instance, different level scenario.
+  EXPECT_NE(model::fingerprint(media::tiny()->problem, media::scenario('B')), base);
+
+  // Different network shape entirely.
+  EXPECT_NE(model::fingerprint(media::small()->problem, media::scenario('C')), base);
+}
+
+// ---------------------------------------------------------------------------
+// Outcomes
+
+TEST(OutcomeTest, NamesAndExitCodes) {
+  EXPECT_STREQ(outcome_name(Outcome::Solved), "solved");
+  EXPECT_STREQ(outcome_name(Outcome::Infeasible), "infeasible");
+  EXPECT_STREQ(outcome_name(Outcome::DeadlineExceeded), "deadline_exceeded");
+  EXPECT_STREQ(outcome_name(Outcome::Cancelled), "cancelled");
+  EXPECT_STREQ(outcome_name(Outcome::Rejected), "rejected");
+
+  EXPECT_EQ(outcome_exit_code(Outcome::Solved), 0);
+  EXPECT_EQ(outcome_exit_code(Outcome::Infeasible), 1);
+  // 2 is reserved for usage/input errors in the CLI drivers.
+  EXPECT_EQ(outcome_exit_code(Outcome::DeadlineExceeded), 3);
+  EXPECT_EQ(outcome_exit_code(Outcome::Cancelled), 4);
+  EXPECT_EQ(outcome_exit_code(Outcome::Rejected), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Engine basics
+
+TEST(ServiceTest, SolvesTheTinyInstance) {
+  PlanningEngine engine({.workers = 1});
+  PlanRequest req;
+  req.id = "tiny";
+  req.problem = loaded_instance(media::tiny(), 'C');
+  const PlanResponse r = engine.plan(std::move(req));
+
+  EXPECT_EQ(r.outcome, Outcome::Solved);
+  EXPECT_TRUE(r.ok());
+  ASSERT_TRUE(r.plan.has_value());
+  EXPECT_FALSE(r.plan_text.empty());
+  EXPECT_NE(r.fingerprint, 0u);
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_GT(r.stats.rg_expansions, 0u);
+
+  const std::string json = response_to_json(r);
+  EXPECT_NE(json.find("\"request\":\"tiny\""), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"solved\""), std::string::npos);
+  EXPECT_NE(json.find("\"stats\":{"), std::string::npos);
+}
+
+TEST(ServiceTest, PlansAreIdenticalAcrossWorkerCounts) {
+  auto problem = loaded_instance(media::tiny(), 'C');
+
+  PlanningEngine one({.workers = 1});
+  PlanRequest ref_req;
+  ref_req.id = "ref";
+  ref_req.problem = problem;
+  const PlanResponse reference = one.plan(std::move(ref_req));
+  ASSERT_TRUE(reference.ok());
+  ASSERT_FALSE(reference.plan_text.empty());
+
+  PlanningEngine eight({.workers = 8});
+  std::vector<PlanningEngine::Ticket> tickets;
+  for (int i = 0; i < 16; ++i) {
+    PlanRequest req;
+    req.id = "r" + std::to_string(i);
+    req.problem = problem;
+    tickets.push_back(eight.submit(std::move(req)));
+  }
+  for (auto& ticket : tickets) {
+    const PlanResponse r = ticket.response.get();
+    ASSERT_TRUE(r.ok()) << r.failure;
+    // Byte-identical plan renderings: scheduling order must not leak into
+    // planning decisions.
+    EXPECT_EQ(r.plan_text, reference.plan_text);
+    EXPECT_EQ(r.fingerprint, reference.fingerprint);
+  }
+}
+
+TEST(ServiceTest, SecondIdenticalRequestHitsTheCompiledCache) {
+  PlanningEngine engine({.workers = 1});
+  auto problem = loaded_instance(media::tiny(), 'C');
+
+  PlanRequest first;
+  first.problem = problem;
+  EXPECT_FALSE(engine.plan(std::move(first)).cache_hit);
+
+  // Same content through a *different* LoadedProblem object: the cache keys
+  // on the fingerprint, not the pointer.
+  PlanRequest second;
+  second.problem = loaded_instance(media::tiny(), 'C');
+  EXPECT_TRUE(engine.plan(std::move(second)).cache_hit);
+
+  const auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines & cancellation
+
+TEST(ServiceTest, ExpiredDeadlineYieldsDeadlineExceededAndNoPlan) {
+  PlanningEngine engine({.workers = 1});
+  PlanRequest req;
+  req.problem = loaded_instance(media::small(), 'C');
+  req.deadline_ms = 1e-6;  // expires before the worker can start planning
+  const PlanResponse r = engine.plan(std::move(req));
+
+  EXPECT_EQ(r.outcome, Outcome::DeadlineExceeded);
+  EXPECT_FALSE(r.plan.has_value());
+  EXPECT_FALSE(r.failure.empty());
+  EXPECT_EQ(outcome_exit_code(r.outcome), 3);
+}
+
+TEST(ServiceTest, EngineDefaultDeadlineApplies) {
+  PlanningEngine engine({.workers = 1, .default_deadline_ms = 1e-6});
+  PlanRequest req;
+  req.problem = loaded_instance(media::tiny(), 'C');
+  EXPECT_EQ(engine.plan(std::move(req)).outcome, Outcome::DeadlineExceeded);
+}
+
+TEST(ServiceTest, CancelledBeforeSubmitYieldsCancelled) {
+  PlanningEngine engine({.workers = 1});
+  PlanRequest req;
+  req.problem = loaded_instance(media::tiny(), 'C');
+  req.stop.request_stop();  // explicit cancel wins even with a deadline armed
+  req.deadline_ms = 1e-6;
+  const PlanResponse r = engine.plan(std::move(req));
+
+  EXPECT_EQ(r.outcome, Outcome::Cancelled);
+  EXPECT_FALSE(r.plan.has_value());
+  EXPECT_EQ(outcome_exit_code(r.outcome), 4);
+}
+
+TEST(ServiceTest, TicketCancelStopsTheRequest) {
+  PlanningEngine engine({.workers = 1});
+  PlanRequest req;
+  req.problem = loaded_instance(media::tiny(), 'C');
+  PlanningEngine::Ticket ticket = engine.submit(std::move(req));
+  ticket.cancel();  // may land before, during, or after planning
+  const PlanResponse r = ticket.response.get();
+  // Depending on when the cancel lands the request either finished or was
+  // cancelled — both are valid; what must never happen is a hang or a
+  // misclassified deadline.
+  EXPECT_TRUE(r.outcome == Outcome::Solved || r.outcome == Outcome::Cancelled);
+}
+
+TEST(PlannerStopTest, MidSearchStopReturnsPartialStats) {
+  // Deterministic mid-search stop: a progress observer at cadence 1 requests
+  // the stop after five RG expansions.
+  auto inst = media::small();
+  auto cp = model::compile(inst->problem, media::scenario('C'));
+
+  StopSource src;
+  core::PlannerOptions opt;
+  opt.stop = src.token();
+  opt.progress_every = 1;
+  int calls = 0;
+  opt.progress = [&](const core::PlannerStats&) {
+    if (++calls == 5) src.request_stop();
+  };
+
+  core::Sekitei planner(cp, opt);
+  const core::PlanResult r = planner.plan();
+
+  EXPECT_FALSE(r.plan.has_value());
+  EXPECT_TRUE(r.stats.stopped);
+  EXPECT_FALSE(r.failure.empty());
+  // The partial snapshot carries the work done up to the stop.
+  EXPECT_GT(r.stats.plrg_props, 0u);
+  EXPECT_GT(r.stats.rg_expansions, 0u);
+  EXPECT_LT(r.stats.rg_expansions, 64u);  // stopped early, not at exhaustion
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+
+TEST(ServiceTest, NullProblemIsRejected) {
+  PlanningEngine engine({.workers = 1});
+  PlanRequest req;
+  req.id = "empty";
+  const PlanResponse r = engine.plan(std::move(req));
+  EXPECT_EQ(r.outcome, Outcome::Rejected);
+  EXPECT_FALSE(r.failure.empty());
+  EXPECT_EQ(outcome_exit_code(r.outcome), 5);
+}
+
+TEST(ServiceTest, QueueFullRejectsImmediately) {
+  PlanningEngine engine({.workers = 1, .max_pending = 1});
+
+  PlanRequest slow;
+  slow.id = "slow";
+  slow.problem = loaded_instance(media::small(), 'C');  // long enough to occupy
+  PlanningEngine::Ticket first = engine.submit(std::move(slow));
+
+  PlanRequest second;
+  second.id = "turned-away";
+  second.problem = loaded_instance(media::tiny(), 'C');
+  const PlanResponse rejected = engine.submit(std::move(second)).response.get();
+  EXPECT_EQ(rejected.outcome, Outcome::Rejected);
+  EXPECT_NE(rejected.failure.find("queue full"), std::string::npos);
+
+  EXPECT_TRUE(first.response.get().ok());
+}
+
+}  // namespace
+}  // namespace sekitei::service

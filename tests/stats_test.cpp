@@ -64,7 +64,8 @@ TEST(StatsJson, GoldenString) {
             "\"rg_pruned_by_replay\":129,\"rg_peak_open\":103,"
             "\"slrg_memo_hits\":261,\"slrg_memo_misses\":9,"
             "\"replay_calls\":283,\"sim_rejections\":4,"
-            "\"logically_unreachable\":false,\"hit_search_limit\":true}");
+            "\"logically_unreachable\":false,\"hit_search_limit\":true,"
+            "\"stopped\":false}");
 }
 
 TEST(StatsJson, RoundTripThroughParser) {
@@ -77,7 +78,7 @@ TEST(StatsJson, RoundTripThroughParser) {
   std::string err;
   ASSERT_TRUE(jsonlite::parse(core::stats_to_json(s), v, &err)) << err;
   ASSERT_TRUE(v.is_object());
-  EXPECT_EQ(v.obj->size(), 18u);
+  EXPECT_EQ(v.obj->size(), 19u);
   ASSERT_NE(v.find("total_actions"), nullptr);
   EXPECT_DOUBLE_EQ(v.find("total_actions")->number, 7.0);
   EXPECT_DOUBLE_EQ(v.find("rg_peak_open")->number, 12345.0);

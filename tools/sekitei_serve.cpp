@@ -1,0 +1,158 @@
+// Batch planning driver for the concurrent service: load one component
+// domain and many problem files, submit everything to the PlanningEngine,
+// and stream one NDJSON record per request to stdout.
+//
+//   $ ./sekitei_serve <domain.sk> <problem.sk>... [--jobs N] [--deadline-ms D]
+//                     [--repeat K] [--greedy] [--no-validate]
+//                     [--cache-capacity N] [--log <level>]
+//
+// --jobs          worker threads (default: hardware concurrency)
+// --deadline-ms   per-request deadline; requests that exceed it come back as
+//                 outcome "deadline_exceeded" with partial stats
+// --repeat        submit each problem file K times (cache hit-rate demo: the
+//                 2nd..Kth submission of a file reuses its compiled problem)
+// --cache-capacity  compiled-problem cache slots; 0 disables caching
+//
+// A summary line goes to stderr; the exit code is the maximum per-request
+// exit code (solved = 0, infeasible = 1, deadline = 3, cancelled = 4,
+// rejected = 5; 2 is reserved for usage/input errors).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/engine.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+std::string slurp(const char* path) {
+  std::ifstream in(path);
+  if (!in) sekitei::raise(std::string("cannot open ") + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sekitei;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <domain.sk> <problem.sk>... [--jobs N] [--deadline-ms D]\n"
+                 "          [--repeat K] [--greedy] [--no-validate]\n"
+                 "          [--cache-capacity N] [--log <level>]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  service::PlanningEngine::Options engine_opts;
+  double deadline_ms = 0.0;
+  std::size_t repeat = 1;
+  bool greedy = false, validate = true;
+  std::vector<const char*> files;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      engine_opts.workers = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (repeat == 0) repeat = 1;
+    } else if (std::strcmp(argv[i], "--cache-capacity") == 0 && i + 1 < argc) {
+      engine_opts.cache_capacity =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--greedy") == 0) {
+      greedy = true;
+    } else if (std::strcmp(argv[i], "--no-validate") == 0) {
+      validate = false;
+    } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
+      const char* name = argv[++i];
+#ifndef SEKITEI_LOG_DISABLED
+      const log::Level lvl = log::parse_level(name);
+      log::set_level(lvl);
+      if (lvl != log::Level::Off) {
+        log::add_sink(std::make_shared<log::StreamSink>(stderr));
+      } else if (std::strcmp(name, "off") != 0) {
+        std::fprintf(stderr, "unknown log level '%s'\n", name);
+        return 2;
+      }
+#else
+      std::fprintf(stderr, "--log %s ignored: built with SEKITEI_LOG_DISABLED\n", name);
+#endif
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return 2;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "error: no problem files given\n");
+    return 2;
+  }
+
+  try {
+    const std::string domain_text = slurp(argv[1]);
+
+    // Parse each file once; repeats share the LoadedProblem (and therefore
+    // the compiled-problem cache entry).
+    std::vector<std::shared_ptr<const model::LoadedProblem>> problems;
+    problems.reserve(files.size());
+    for (const char* path : files) {
+      problems.push_back(model::load_problem(domain_text, slurp(path)));
+    }
+
+    service::PlanningEngine engine(engine_opts);
+    Stopwatch wall;
+
+    std::vector<service::PlanningEngine::Ticket> tickets;
+    std::vector<std::string> ids;
+    tickets.reserve(files.size() * repeat);
+    for (std::size_t k = 0; k < repeat; ++k) {
+      for (std::size_t f = 0; f < files.size(); ++f) {
+        service::PlanRequest req;
+        req.id = repeat == 1 ? std::string(files[f])
+                             : std::string(files[f]) + "#" + std::to_string(k);
+        req.problem = problems[f];
+        if (greedy) req.mode = core::PlannerOptions::Mode::Greedy;
+        req.deadline_ms = deadline_ms;
+        req.validate = validate;
+        ids.push_back(req.id);
+        tickets.push_back(engine.submit(std::move(req)));
+      }
+    }
+
+    int worst = 0;
+    std::size_t solved = 0;
+    for (auto& ticket : tickets) {
+      service::PlanResponse r = ticket.response.get();
+      const std::string line = service::response_to_json(r) + "\n";
+      std::fwrite(line.data(), 1, line.size(), stdout);
+      const int code = service::outcome_exit_code(r.outcome);
+      if (code > worst) worst = code;
+      if (r.ok()) ++solved;
+    }
+    std::fflush(stdout);
+
+    const double wall_ms = wall.elapsed_ms();
+    const auto cache = engine.cache_stats();
+    std::fprintf(stderr,
+                 "sekitei_serve: %zu/%zu solved in %.1f ms (%zu workers, "
+                 "cache %llu hits / %llu misses, hit rate %.2f)\n",
+                 solved, tickets.size(), wall_ms, engine.worker_count(),
+                 (unsigned long long)cache.hits, (unsigned long long)cache.misses,
+                 cache.hit_rate());
+    return worst;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
