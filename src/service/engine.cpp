@@ -1,5 +1,6 @@
 #include "service/engine.hpp"
 
+#include <exception>
 #include <thread>
 #include <utility>
 
@@ -36,23 +37,42 @@ PlanningEngine::Ticket PlanningEngine::submit(PlanRequest request) {
   auto promise = std::make_shared<std::promise<PlanResponse>>();
   ticket.response = promise->get_future();
 
-  if (options_.max_pending != 0 &&
-      pending_.load(std::memory_order_relaxed) >= options_.max_pending) {
+  // Reserve the pending slot before checking the bound: check-then-increment
+  // would let N concurrent submitters all pass the check and overshoot
+  // max_pending.
+  const std::size_t prior = pending_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.max_pending != 0 && prior >= options_.max_pending) {
+    pending_.fetch_sub(1, std::memory_order_relaxed);
     PlanResponse r;
     r.id = request.id;
     r.outcome = Outcome::Rejected;
     r.failure = "queue full (max_pending = " + std::to_string(options_.max_pending) + ")";
     SEKITEI_LOG_WARN("service.engine", "request rejected", log::kv("id", r.id.c_str()),
-                     log::kv("pending", pending_.load(std::memory_order_relaxed)));
+                     log::kv("pending", prior));
     promise->set_value(std::move(r));
     return ticket;
   }
 
-  pending_.fetch_add(1, std::memory_order_relaxed);
   const Stopwatch queued;  // measures time until a worker picks the job up
   auto req = std::make_shared<PlanRequest>(std::move(request));
   pool_.submit([this, req, promise, queued] {
-    PlanResponse r = process(*req, req->stop.token(), queued.elapsed_ms());
+    const double wait_ms = queued.elapsed_ms();
+    PlanResponse r;
+    try {
+      r = process(*req, req->stop.token(), wait_ms);
+    } catch (const std::exception& e) {
+      // compile() raises sekitei::Error on semantically invalid input (the
+      // loader only parses, so e.g. "preplaced: unknown component" first
+      // surfaces here).  Answer Rejected instead of letting the exception
+      // tear down the worker and leave the future unfulfilled.
+      r = PlanResponse{};
+      r.id = req->id;
+      r.wait_ms = wait_ms;
+      r.outcome = Outcome::Rejected;
+      r.failure = e.what();
+      SEKITEI_LOG_WARN("service.engine", "request failed", log::kv("id", r.id.c_str()),
+                       log::kv("error", e.what()));
+    }
     pending_.fetch_sub(1, std::memory_order_relaxed);
     promise->set_value(std::move(r));
   });

@@ -43,6 +43,11 @@ void ThreadPool::shutdown(bool drain) {
     }
   }
   cv_.notify_all();
+  // Serialize the join phase: without this, an explicit shutdown() racing the
+  // destructor would have two threads calling joinable()/join() on the same
+  // std::thread (a data race).  The first caller joins; later callers block
+  // here until the workers are gone, then see joinable() == false.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
@@ -62,7 +67,13 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    try {
+      job();
+    } catch (...) {
+      // Jobs own their error handling (the service layer converts exceptions
+      // into Rejected responses); this backstop keeps a leaked exception from
+      // std::terminate'ing the whole process.
+    }
   }
 }
 

@@ -42,6 +42,7 @@ class ThreadPool {
   void worker_loop();
 
   mutable std::mutex mu_;
+  std::mutex join_mu_;  // serializes the join phase of concurrent shutdowns
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;

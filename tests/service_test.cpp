@@ -229,6 +229,30 @@ TEST(ServiceTest, NullProblemIsRejected) {
   EXPECT_EQ(outcome_exit_code(r.outcome), 5);
 }
 
+TEST(ServiceTest, CompileErrorYieldsRejectedAndWorkerSurvives) {
+  PlanningEngine engine({.workers = 1});
+
+  // Parses fine but fails semantic checks in compile(), which runs inside the
+  // worker — the resulting sekitei::Error must come back as Rejected, not
+  // terminate the process or leave the future unfulfilled.
+  auto inst = media::tiny();
+  inst->problem.preplaced.emplace_back("NoSuchComponent", 0);
+  PlanRequest bad;
+  bad.id = "bad";
+  bad.problem = loaded_instance(std::move(inst), 'C');
+  const PlanResponse r = engine.plan(std::move(bad));
+  EXPECT_EQ(r.outcome, Outcome::Rejected);
+  EXPECT_NE(r.failure.find("unknown component"), std::string::npos) << r.failure;
+
+  // The pending slot was released and the worker is still alive: a
+  // well-formed follow-up request is served normally.
+  EXPECT_EQ(engine.pending(), 0u);
+  PlanRequest good;
+  good.id = "good";
+  good.problem = loaded_instance(media::tiny(), 'C');
+  EXPECT_EQ(engine.plan(std::move(good)).outcome, Outcome::Solved);
+}
+
 TEST(ServiceTest, QueueFullRejectsImmediately) {
   PlanningEngine engine({.workers = 1, .max_pending = 1});
 

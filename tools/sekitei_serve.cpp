@@ -114,7 +114,6 @@ int main(int argc, char** argv) {
     Stopwatch wall;
 
     std::vector<service::PlanningEngine::Ticket> tickets;
-    std::vector<std::string> ids;
     tickets.reserve(files.size() * repeat);
     for (std::size_t k = 0; k < repeat; ++k) {
       for (std::size_t f = 0; f < files.size(); ++f) {
@@ -125,7 +124,6 @@ int main(int argc, char** argv) {
         if (greedy) req.mode = core::PlannerOptions::Mode::Greedy;
         req.deadline_ms = deadline_ms;
         req.validate = validate;
-        ids.push_back(req.id);
         tickets.push_back(engine.submit(std::move(req)));
       }
     }
