@@ -7,8 +7,13 @@
 //                          [--log <level>]
 //
 // --deadline-ms bounds the planning time: when the deadline fires the run
-// stops cooperatively at the next progress tick and exits with code 3
-// (deadline exceeded), after reporting the partial planner stats.
+// stops cooperatively at the next progress tick.  If the stopped search held
+// a replay-validated incumbent plan it is reported anyway and the exit code
+// is 6 (degraded: feasible but not proven optimal); with no incumbent the
+// exit code is 3 (deadline exceeded), after the partial planner stats.
+//
+// SEKITEI_FAULTS=<point>:<nth>[:throw|:fail][,...] arms deterministic fault
+// injection before anything is loaded (support/fault.hpp).
 //
 // --trace writes a Chrome trace-event JSON file (load in chrome://tracing or
 // https://ui.perfetto.dev) covering compile, the planner phases and the
@@ -32,6 +37,7 @@
 #include "model/textio.hpp"
 #include "sim/executor.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/log.hpp"
 #include "support/stop_token.hpp"
 #include "support/timer.hpp"
@@ -58,6 +64,13 @@ int main(int argc, char** argv) {
                  "          [--log <level>]\n",
                  argv[0]);
     return 2;
+  }
+  {
+    std::string fault_error;
+    if (!fault::install_from_env("SEKITEI_FAULTS", &fault_error)) {
+      std::fprintf(stderr, "error: SEKITEI_FAULTS: %s\n", fault_error.c_str());
+      return 2;
+    }
   }
   bool greedy = false, plan_only = false, stats_json = false;
   double deadline_ms = 0.0;
@@ -117,7 +130,8 @@ int main(int argc, char** argv) {
     if (deadline_ms > 0.0) {
       stop.arm_deadline_ms(deadline_ms);
       opt.stop = stop.token();
-      opt.progress_every = 1024;  // finer polling so the deadline is honoured
+      opt.anytime = true;        // keep the best incumbent in case the deadline fires
+      opt.progress_every = 128;  // finer polling so the deadline is honoured
     }
     core::Sekitei planner(cp, opt);
     sim::Executor exec(cp);
@@ -145,9 +159,17 @@ int main(int argc, char** argv) {
       std::printf("no plan: %s\n", r.failure.c_str());
       return 1;
     }
+    int exit_code = 0;
+    if (r.stats.suboptimal_on_stop) {
+      // The deadline cut the proof short but the search held an incumbent.
+      std::printf("degraded: deadline fired mid-search; best incumbent plan follows "
+                  "(cost %.3f, open lower bound %.3f — not proven optimal)\n",
+                  r.stats.incumbent_cost, r.stats.open_cost_lb);
+      exit_code = 6;
+    }
     std::printf("\nplan (%zu actions, cost lower bound %.3f):\n%s", r.plan->size(),
                 r.plan->cost_lb, r.plan->str(cp).c_str());
-    if (plan_only) return 0;
+    if (plan_only) return exit_code;
 
     auto rep = exec.execute(*r.plan);
     if (!rep.feasible) {
@@ -163,7 +185,7 @@ int main(int argc, char** argv) {
     for (const auto& nu : rep.node_use) {
       std::printf("  %s: %.2f cpu\n", lp->net.node(nu.node).name.c_str(), nu.used);
     }
-    return 0;
+    return exit_code;
   } catch (const Error& e) {
     if (trace_path) trace::uninstall();
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -102,6 +102,7 @@ PlanResult Sekitei::plan(const std::function<bool(const Plan&)>& validate) {
   rg_opts.progress = options_.progress;
   rg_opts.progress_every = options_.progress_every;
   rg_opts.stop = options_.stop;
+  rg_opts.anytime = options_.anytime;
   std::optional<Plan> plan;
   {
     trace::Span span("rg.search", "search");

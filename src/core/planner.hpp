@@ -44,6 +44,13 @@ struct PlannerOptions {
   /// completed work produced (a partial snapshot).  Deadlines and explicit
   /// cancellation both arrive through this token (support/stop_token.hpp).
   StopToken stop;
+
+  /// Anytime planning: when a stop token is armed and the stop fires (or the
+  /// RG expansion budget runs out) after the search has already seen a
+  /// feasible plan, return that incumbent — replay-validated, flagged
+  /// stats.suboptimal_on_stop with its cost and the best open lower bound —
+  /// instead of discarding it.  Runs without a stop token are unaffected.
+  bool anytime = true;
 };
 
 struct PlanResult {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/log.hpp"
 
 namespace sekitei::core {
@@ -14,6 +15,14 @@ using spec::LevelTag;
 bool Replayer::replay(std::span<const ActionId> steps, bool from_init, ReplayMode mode) {
   ++calls_;
   failure_.clear();
+  // Fault point on the acceptance replays only (from_init == true, the
+  // validation of a complete candidate plan): Fail mode reports a replay
+  // failure — the search prunes the candidate and keeps going — while Throw
+  // mode propagates to the caller's error path.
+  if (from_init && SEKITEI_FAULT_POINT("replay.validate")) {
+    failure_ = "injected fault at replay.validate";
+    return false;
+  }
   map_.reset(cp_.vars.size());
   if (from_init) {
     for (const model::InitMapEntry& e : cp_.init_map) {

@@ -67,6 +67,19 @@ std::optional<Plan> Rg::search(const std::vector<PropId>& goal_set, const Option
   stats.rg_nodes = 1;
   stats.rg_peak_open = 1;
 
+  // Anytime incumbent: the cheapest goal-satisfying child seen so far that
+  // replays from the initial state and passes validation.  Only tracked when
+  // a stop can actually fire, so deadline-free searches stay byte-identical.
+  const bool anytime = options.anytime && options.stop.stop_possible();
+  struct Incumbent {
+    bool have = false;
+    std::uint32_t node = 0;
+    double g = 0.0;
+  } incumbent;
+  // Best admissible f still open when the search is cut short (a lower bound
+  // on the optimal cost, reported next to the incumbent's cost).
+  double frontier_lb = kInf;
+
   // One combined cadence for the progress observer and the trace counters;
   // checked with a single comparison per expansion so an idle observer adds
   // nothing measurable to the search.
@@ -79,13 +92,10 @@ std::optional<Plan> Rg::search(const std::vector<PropId>& goal_set, const Option
     ++stats.rg_expansions;
     if (stats.rg_expansions > options.max_expansions) {
       stats.hit_search_limit = true;
+      frontier_lb = open.empty() ? cur.f : std::min(cur.f, open.top().f);
       break;
     }
     if (stats.rg_expansions % tick_every == 0) {
-      if (options.stop.stop_requested()) {
-        stats.stopped = true;
-        break;
-      }
       stats.rg_open_left = open.size();
       stats.replay_calls = replayer.calls();
       if (trace::collector()) {
@@ -98,6 +108,14 @@ std::optional<Plan> Rg::search(const std::vector<PropId>& goal_set, const Option
                         log::kv("nodes", stats.rg_nodes), log::kv("open", stats.rg_open_left),
                         log::kv("f", cur.f));
       if (options.progress) options.progress(stats);
+      // Checked *after* the observer so a stop it requests takes effect this
+      // very iteration — before the goal test below can pop the proven
+      // optimum and moot the stop (observers stop-on-first-incumbent).
+      if (options.stop.stop_requested()) {
+        stats.stopped = true;
+        frontier_lb = open.empty() ? cur.f : std::min(cur.f, open.top().f);
+        break;
+      }
     }
 
     // Goal test: all propositions hold initially and the tail executes in
@@ -175,10 +193,55 @@ std::optional<Plan> Rg::search(const std::vector<PropId>& goal_set, const Option
       ++stats.rg_nodes;
       open.push({pool_[child].g + h, pool_[child].g, child});
       if (open.size() > stats.rg_peak_open) stats.rg_peak_open = open.size();
+
+      // Anytime incumbent: a goal-satisfying child is a complete feasible
+      // plan even though A* has not proven it optimal yet (it stays in the
+      // open list until its f value surfaces).  Record the cheapest one that
+      // survives the initial-state replay and validation so a stop mid-proof
+      // can still answer with a plan.
+      if (anytime && (!incumbent.have || pool_[child].g < incumbent.g) &&
+          sorted_subset(pool_[child].state, cp_.init_props) &&
+          replayer.replay(tail, /*from_init=*/true, options.replay_mode)) {
+        bool accepted = true;
+        if (validate) {
+          Plan candidate;
+          candidate.steps = tail;
+          candidate.cost_lb = pool_[child].g;
+          trace::Span vspan("rg.validate_incumbent", "search");
+          accepted = validate(candidate);
+        }
+        if (accepted) {
+          incumbent = {true, child, pool_[child].g};
+          ++stats.rg_incumbents;
+          stats.incumbent_cost = incumbent.g;
+          SEKITEI_LOG_DEBUG("core.rg", "incumbent recorded",
+                            log::kv("cost", incumbent.g), log::kv("steps", tail.size()),
+                            log::kv("expansions", stats.rg_expansions));
+        }
+      }
     }
   }
   stats.rg_open_left = open.size();
   stats.replay_calls = replayer.calls();
+
+  // Search cut short with an incumbent in hand: return it (guard-replayed
+  // once more from the initial state) instead of discarding a feasible plan.
+  if (incumbent.have && (stats.stopped || stats.hit_search_limit)) {
+    std::vector<ActionId> steps = tail_of(incumbent.node);
+    if (replayer.replay(steps, /*from_init=*/true, options.replay_mode)) {
+      stats.replay_calls = replayer.calls();
+      stats.suboptimal_on_stop = true;
+      stats.incumbent_cost = incumbent.g;
+      stats.open_cost_lb = frontier_lb == kInf ? incumbent.g : frontier_lb;
+      SEKITEI_LOG_INFO("core.rg", "returning anytime incumbent",
+                       log::kv("cost", incumbent.g), log::kv("open_lb", stats.open_cost_lb),
+                       log::kv("expansions", stats.rg_expansions));
+      Plan plan;
+      plan.steps = std::move(steps);
+      plan.cost_lb = incumbent.g;
+      return plan;
+    }
+  }
   return std::nullopt;
 }
 

@@ -52,6 +52,14 @@ class Rg {
     /// `progress_every` cadence — the hot expansion loop pays no extra cost.
     /// On stop the search returns no plan and sets stats.stopped.
     StopToken stop;
+    /// Anytime mode: record the best feasible plan (replayed from the
+    /// initial state and validated) as goal-satisfying children are
+    /// generated; when the stop token fires — or the expansion budget runs
+    /// out — before optimality is proven, return that incumbent flagged
+    /// stats.suboptimal_on_stop instead of nothing.  Only active while a
+    /// stop can actually fire (stop.stop_possible()), so unstoppable runs
+    /// do byte-identical work to a non-anytime search.
+    bool anytime = true;
   };
 
   /// `validate` (optional) gets the candidate plan after it replays from the

@@ -45,9 +45,13 @@ std::string stats_to_json(const PlannerStats& stats) {
   num("slrg_memo_misses", stats.slrg_memo_misses);
   num("replay_calls", stats.replay_calls);
   num("sim_rejections", stats.sim_rejections);
+  num("rg_incumbents", stats.rg_incumbents);
+  dbl("incumbent_cost", stats.incumbent_cost);
+  dbl("open_cost_lb", stats.open_cost_lb);
   boolean("logically_unreachable", stats.logically_unreachable);
   boolean("hit_search_limit", stats.hit_search_limit);
-  boolean("stopped", stats.stopped, /*last=*/true);
+  boolean("stopped", stats.stopped);
+  boolean("suboptimal_on_stop", stats.suboptimal_on_stop, /*last=*/true);
   out.push_back('}');
   return out;
 }

@@ -37,12 +37,28 @@ struct PlannerStats {
   std::uint64_t slrg_memo_misses = 0;  // estimate() that ran an A* query
   std::uint64_t replay_calls = 0;
   std::uint64_t sim_rejections = 0;
+
+  // Anytime search (graceful degradation): when a stop token is armed the RG
+  // search records the best feasible plan seen so far ("the incumbent") as
+  // goal-satisfying children are generated, and returns it if the stop fires
+  // before optimality is proven.
+  /// Incumbent improvements recorded during the search (0 = none seen).
+  std::uint64_t rg_incumbents = 0;
+  /// Cost (g) of the best incumbent; meaningful when rg_incumbents > 0.
+  double incumbent_cost = 0.0;
+  /// Best admissible f value still open when the search was cut short — a
+  /// lower bound on the optimal cost, so the optimality gap of a returned
+  /// incumbent is at most incumbent_cost - open_cost_lb.
+  double open_cost_lb = 0.0;
+
   bool logically_unreachable = false;
   bool hit_search_limit = false;
   /// A cooperative stop (deadline or cancellation, PlannerOptions::stop)
   /// ended a phase early; the remaining counters are a partial snapshot of
   /// the work done up to that point.
   bool stopped = false;
+  /// The returned plan is the stop-time incumbent, not a proven optimum.
+  bool suboptimal_on_stop = false;
 };
 
 /// Serializes the stats as one compact JSON object with a fixed key order

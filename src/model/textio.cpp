@@ -1,9 +1,11 @@
 #include "model/textio.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "expr/lexer.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 
 namespace sekitei::model {
 
@@ -14,7 +16,13 @@ using expr::Tok;
 
 double parse_number(Lexer& lex) {
   const double sign = lex.accept(Tok::Minus) ? -1.0 : 1.0;
-  return sign * lex.expect(Tok::Number).number;
+  const double v = sign * lex.expect(Tok::Number).number;
+  // Overflowed literals (1e999 -> inf) would silently poison every interval
+  // computation downstream; reject them at the door.
+  if (!std::isfinite(v)) {
+    raise("textio: non-finite number literal (line " + std::to_string(lex.line()) + ")");
+  }
+  return v;
 }
 
 std::map<std::string, double> parse_resource_block(Lexer& lex) {
@@ -178,6 +186,11 @@ void parse_scenario(Lexer& lex, LoadedProblem& lp) {
 std::unique_ptr<LoadedProblem> load_problem(const std::string& domain_text,
                                             const std::string& problem_text,
                                             const expr::ParamTable& params) {
+  // A loader can only fail by raising, so Fail mode raises too (a torn read
+  // and a malformed file are indistinguishable to callers).
+  if (SEKITEI_FAULT_POINT("loader.read")) {
+    raise("textio: injected fault at loader.read");
+  }
   auto lp = std::make_unique<LoadedProblem>();
   lp->domain = spec::parse_domain(domain_text, params);
   lp->scenario.name = "file";

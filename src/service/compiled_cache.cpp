@@ -1,5 +1,7 @@
 #include "service/compiled_cache.hpp"
 
+#include "support/fault.hpp"
+
 namespace sekitei::service {
 
 CompiledProblemCache::CompiledProblemCache(std::size_t capacity, std::size_t shards) {
@@ -60,6 +62,10 @@ std::pair<std::shared_ptr<const CompiledEntry>, bool> CompiledProblemCache::get_
   // us to the insert, in which case its entry wins and ours is dropped.
   std::shared_ptr<const CompiledEntry> made = make();
   if (enabled_) {
+    // Fail mode skips the insert (the caller keeps its freshly compiled
+    // entry, the cache just "loses" it); Throw mode propagates to the
+    // caller's error path.  Evaluated outside the shard lock.
+    if (SEKITEI_FAULT_POINT("cache.insert")) return {std::move(made), false};
     std::lock_guard<std::mutex> lock(shard.mu);
     if (auto raced = lookup_locked(shard, key)) return {std::move(raced), false};
     insert_locked(shard, key, made);

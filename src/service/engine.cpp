@@ -1,11 +1,15 @@
 #include "service/engine.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <exception>
 #include <thread>
 #include <utility>
 
 #include "model/fingerprint.hpp"
 #include "sim/executor.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/log.hpp"
 #include "support/timer.hpp"
 #include "support/trace.hpp"
@@ -19,6 +23,40 @@ std::size_t default_workers(std::size_t requested) {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
+
+/// Owned by the job closure.  Exactly one of two things happens to a
+/// submitted job: it runs to completion (complete() answers the future and
+/// releases the pending slot), or its std::function is destroyed without
+/// running — worker fault, non-draining shutdown — and the guard's
+/// destructor answers with Rejected instead.  Either way the future is
+/// always fulfilled and the pending slot always released: no hang, no leak.
+struct JobGuard {
+  std::shared_ptr<std::promise<PlanResponse>> promise;
+  std::atomic<std::size_t>* pending;
+  std::string id;
+  bool done = false;
+
+  JobGuard(std::shared_ptr<std::promise<PlanResponse>> p, std::atomic<std::size_t>* slots,
+           std::string request_id)
+      : promise(std::move(p)), pending(slots), id(std::move(request_id)) {}
+
+  void complete(PlanResponse&& r) {
+    if (done) return;
+    done = true;
+    pending->fetch_sub(1, std::memory_order_relaxed);
+    promise->set_value(std::move(r));
+  }
+
+  ~JobGuard() {
+    if (done) return;
+    PlanResponse r;
+    r.id = id;
+    r.outcome = Outcome::Rejected;
+    r.failure = "job dropped before completion (worker fault or shutdown)";
+    SEKITEI_LOG_WARN("service.engine", "job dropped", log::kv("id", id.c_str()));
+    complete(std::move(r));
+  }
+};
 
 }  // namespace
 
@@ -55,11 +93,17 @@ PlanningEngine::Ticket PlanningEngine::submit(PlanRequest request) {
 
   const Stopwatch queued;  // measures time until a worker picks the job up
   auto req = std::make_shared<PlanRequest>(std::move(request));
-  pool_.submit([this, req, promise, queued] {
+  auto guard = std::make_shared<JobGuard>(std::move(promise), &pending_, req->id);
+  pool_.submit([this, req, guard, queued] {
     const double wait_ms = queued.elapsed_ms();
     PlanResponse r;
     try {
-      r = process(*req, req->stop.token(), wait_ms);
+      // Worker-job-start fault point: a throw here (or anywhere below) is
+      // classified as Rejected; the guard still releases the pending slot.
+      if (SEKITEI_FAULT_POINT("engine.job")) {
+        raise("injected fault at engine.job");
+      }
+      r = process(*req, wait_ms);
     } catch (const std::exception& e) {
       // compile() raises sekitei::Error on semantically invalid input (the
       // loader only parses, so e.g. "preplaced: unknown component" first
@@ -73,8 +117,7 @@ PlanningEngine::Ticket PlanningEngine::submit(PlanRequest request) {
       SEKITEI_LOG_WARN("service.engine", "request failed", log::kv("id", r.id.c_str()),
                        log::kv("error", e.what()));
     }
-    pending_.fetch_sub(1, std::memory_order_relaxed);
-    promise->set_value(std::move(r));
+    guard->complete(std::move(r));
   });
   return ticket;
 }
@@ -83,8 +126,7 @@ PlanResponse PlanningEngine::plan(PlanRequest request) {
   return submit(std::move(request)).response.get();
 }
 
-PlanResponse PlanningEngine::process(const PlanRequest& request, const StopToken& token,
-                                     double wait_ms) {
+PlanResponse PlanningEngine::process(PlanRequest& request, double wait_ms) {
   trace::Span span("service.request", "service");
   PlanResponse r;
   r.id = request.id;
@@ -95,6 +137,7 @@ PlanResponse PlanningEngine::process(const PlanRequest& request, const StopToken
     r.failure = "request carries no problem";
     return r;
   }
+  const StopToken token = request.stop.token();
   // Died in the queue (cancelled, or the deadline fired before any worker
   // freed up): answer without touching the planner.
   if (token.stop_requested()) {
@@ -118,38 +161,113 @@ PlanResponse PlanningEngine::process(const PlanRequest& request, const StopToken
   if (!hit) r.compile_ms = entry->compile_ms;
   const model::CompiledProblem& cp = entry->cp;
 
-  core::PlannerOptions opt;
-  opt.mode = request.mode;
-  opt.stop = token;
-  opt.progress_every = request.progress_every;
-  core::Sekitei planner(cp, opt);
+  // Degradation ladder setup.  When a greedy retry is available, the primary
+  // (optimal) attempt only gets primary_fraction of the remaining budget —
+  // the reserve funds the retry.  t_end is the request's true deadline; the
+  // fractional deadline is re-armed on the same StopSource, and cancellation
+  // still wins at any point (a separate flag on the shared state).
+  const std::int64_t t_end = request.stop.deadline_epoch_ns();
+  const bool can_fallback = request.degrade.enabled && request.degrade.greedy_fallback &&
+                            request.mode == core::PlannerOptions::Mode::Leveled && t_end != 0;
+  if (can_fallback && request.degrade.primary_fraction > 0.0 &&
+      request.degrade.primary_fraction < 1.0) {
+    const std::int64_t now = StopSource::now_epoch_ns();
+    if (t_end > now) {
+      const auto slice = static_cast<std::int64_t>(
+          static_cast<double>(t_end - now) * request.degrade.primary_fraction);
+      request.stop.arm_deadline_at_ns(now + slice);
+    }
+  }
+
+  auto attempt = [&](core::PlannerOptions::Mode mode) {
+    core::PlannerOptions opt;
+    opt.mode = mode;
+    opt.stop = token;
+    opt.progress_every = request.progress_every;
+    opt.progress = request.progress;
+    opt.anytime = request.degrade.enabled;
+    core::Sekitei planner(cp, opt);
+    if (request.validate) {
+      sim::Executor exec(cp);
+      return planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+    }
+    return planner.plan();
+  };
+
+  auto adopt_plan = [&](core::PlanResult& result) {
+    r.plan_text = result.plan->str(cp);
+    r.plan = std::move(result.plan);
+  };
 
   Stopwatch watch;
-  core::PlanResult result;
-  if (request.validate) {
-    sim::Executor exec(cp);
-    result = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
-  } else {
-    result = planner.plan();
-  }
+  core::PlanResult result = attempt(request.mode);
   r.solve_ms = watch.elapsed_ms();
   r.stats = result.stats;
   r.failure = result.failure;
 
-  if (result.plan) {
-    // A plan that arrived in the same tick as a stop is still a plan.
-    r.plan_text = result.plan->str(cp);
-    r.plan = std::move(result.plan);
+  if (result.plan && !result.stats.stopped) {
+    adopt_plan(result);
     r.outcome = Outcome::Solved;
+    r.ladder = LadderStep::Primary;
     r.failure.clear();
+  } else if (result.plan) {
+    // Rung 2: the stopped search held a replay-validated incumbent.
+    adopt_plan(result);
+    r.outcome = Outcome::Degraded;
+    r.ladder = LadderStep::AnytimeIncumbent;
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%s fired mid-search; returning best incumbent (cost %.3f, open lower "
+                  "bound %.3f)",
+                  stop_reason_name(token.reason()), r.stats.incumbent_cost,
+                  r.stats.open_cost_lb);
+    r.failure = buf;
+  } else if (result.stats.stopped && token.reason() == StopReason::Cancelled) {
+    r.outcome = Outcome::Cancelled;
   } else if (result.stats.stopped) {
-    r.outcome = token.reason() == StopReason::Cancelled ? Outcome::Cancelled
-                                                        : Outcome::DeadlineExceeded;
+    // Rung 3: no incumbent — greedy retry on (a fraction of) the reserve.
+    r.outcome = Outcome::DeadlineExceeded;
+    if (can_fallback) {
+      const std::int64_t now = StopSource::now_epoch_ns();
+      if (t_end > now) {
+        std::int64_t budget = t_end - now;
+        if (request.degrade.greedy_fraction > 0.0 && request.degrade.greedy_fraction < 1.0) {
+          budget = static_cast<std::int64_t>(static_cast<double>(budget) *
+                                             request.degrade.greedy_fraction);
+        }
+        request.stop.arm_deadline_at_ns(now + std::max<std::int64_t>(budget, 1));
+        trace::Span fallback_span("service.greedy_fallback", "service");
+        Stopwatch fb;
+        core::PlanResult fallback = attempt(core::PlannerOptions::Mode::Greedy);
+        r.fallback_ms = fb.elapsed_ms();
+        r.solve_ms = watch.elapsed_ms();
+        if (fallback.plan) {
+          r.stats = fallback.stats;
+          adopt_plan(fallback);
+          r.outcome = Outcome::Degraded;
+          r.ladder = LadderStep::GreedyFallback;
+          char buf[160];
+          std::snprintf(buf, sizeof buf,
+                        "deadline fired before the optimal search finished; greedy fallback "
+                        "plan (cost lb %.3f)",
+                        r.plan->cost_lb);
+          r.failure = buf;
+        } else if (fallback.stats.stopped &&
+                   token.reason() == StopReason::Cancelled) {
+          r.outcome = Outcome::Cancelled;
+          r.stats = fallback.stats;
+        }
+        // A greedy "infeasible" is NOT proof for the leveled semantics (the
+        // worst-case reservation is strictly more conservative), so the
+        // outcome stays DeadlineExceeded with the primary attempt's stats.
+      }
+    }
   } else {
     r.outcome = Outcome::Infeasible;
   }
   SEKITEI_LOG_INFO("service.engine", "request served", log::kv("id", r.id.c_str()),
                    log::kv("outcome", outcome_name(r.outcome)),
+                   log::kv("ladder", ladder_step_name(r.ladder)),
                    log::kv("cache_hit", r.cache_hit), log::kv("wait_ms", r.wait_ms),
                    log::kv("solve_ms", r.solve_ms));
   return r;

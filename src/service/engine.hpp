@@ -9,11 +9,19 @@
 // Per request the worker: (1) computes the content fingerprint and asks the
 // sharded LRU compiled-problem cache, compiling only on a miss; (2) runs the
 // three-phase Sekitei planner against the shared immutable CompiledProblem
-// with the request's stop token plumbed into every phase; (3) classifies the
-// result into an Outcome.  Deadlines and cancellation are cooperative: the
-// token is polled at the planner's progress cadence, so responses to a fired
-// deadline arrive within one progress tick, carrying the partial stats
-// accumulated so far.
+// with the request's stop token plumbed into every phase; (3) walks the
+// graceful-degradation ladder (optimal -> anytime incumbent -> greedy retry
+// on the reserved remainder of the budget, see request.hpp) before
+// classifying the result into an Outcome.  Deadlines and cancellation are
+// cooperative: the token is polled at the planner's progress cadence, so
+// responses to a fired deadline arrive within one progress tick, carrying
+// the partial stats accumulated so far.
+//
+// Robustness: every submitted job carries a guard that answers its future
+// with Rejected and releases the pending slot from the guard's destructor if
+// the job is ever dropped without completing (an injected worker fault, a
+// non-draining shutdown) — a submitted request can never hang its client or
+// leak a pending slot.
 #pragma once
 
 #include <atomic>
@@ -71,8 +79,9 @@ class PlanningEngine {
   }
 
  private:
-  [[nodiscard]] PlanResponse process(const PlanRequest& request, const StopToken& token,
-                                     double wait_ms);
+  /// Non-const request: the degradation ladder re-arms the deadline on the
+  /// request's own StopSource to split one budget across attempts.
+  [[nodiscard]] PlanResponse process(PlanRequest& request, double wait_ms);
 
   Options options_;
   CompiledProblemCache cache_;

@@ -14,6 +14,7 @@ const char* outcome_name(Outcome o) {
     case Outcome::DeadlineExceeded: return "deadline_exceeded";
     case Outcome::Cancelled: return "cancelled";
     case Outcome::Rejected: return "rejected";
+    case Outcome::Degraded: return "degraded";
   }
   return "rejected";
 }
@@ -25,8 +26,18 @@ int outcome_exit_code(Outcome o) {
     case Outcome::DeadlineExceeded: return 3;
     case Outcome::Cancelled: return 4;
     case Outcome::Rejected: return 5;
+    case Outcome::Degraded: return 6;
   }
   return 5;
+}
+
+const char* ladder_step_name(LadderStep s) {
+  switch (s) {
+    case LadderStep::Primary: return "primary";
+    case LadderStep::AnytimeIncumbent: return "anytime_incumbent";
+    case LadderStep::GreedyFallback: return "greedy_fallback";
+  }
+  return "primary";
 }
 
 std::string response_to_json(const PlanResponse& r) {
@@ -34,6 +45,8 @@ std::string response_to_json(const PlanResponse& r) {
   json::append_escaped(out, r.id);
   out += ",\"outcome\":";
   json::append_escaped(out, outcome_name(r.outcome));
+  out += ",\"ladder\":";
+  json::append_escaped(out, ladder_step_name(r.ladder));
   out += ",\"cache_hit\":";
   out += r.cache_hit ? "true" : "false";
   char hexbuf[24];
@@ -53,6 +66,14 @@ std::string response_to_json(const PlanResponse& r) {
   json::append_number(out, r.compile_ms);
   out += ",\"solve_ms\":";
   json::append_number(out, r.solve_ms);
+  if (r.fallback_ms > 0.0) {
+    out += ",\"fallback_ms\":";
+    json::append_number(out, r.fallback_ms);
+  }
+  if (r.attempts > 1) {
+    out += ",\"attempts\":";
+    json::append_number(out, static_cast<std::uint64_t>(r.attempts));
+  }
   if (!r.failure.empty()) {
     out += ",\"failure\":";
     json::append_escaped(out, r.failure);

@@ -7,9 +7,25 @@
 //   solved             a validated plan was found
 //   infeasible         the planner proved no plan exists (or exhausted its
 //                      own search limits)
-//   deadline_exceeded  the request's deadline fired before a plan was found
+//   degraded           the deadline (or a cancel) cut the search short but a
+//                      feasible plan is still returned: either the anytime
+//                      incumbent of the stopped optimal search or the result
+//                      of a greedy retry on the remaining budget.  `ladder`
+//                      records which rung answered.
+//   deadline_exceeded  the request's deadline fired before any plan was found
 //   cancelled          StopSource::request_stop() ended the request early
 //   rejected           the engine refused the request (queue full, no problem)
+//
+// The degradation ladder (per-request policy, PlanRequest::degrade):
+//
+//   optimal search ──found──▶ solved
+//        │ stop, incumbent in hand ──▶ degraded (anytime_incumbent)
+//        │ stop, no incumbent
+//        ▼
+//   greedy retry on the remaining budget ──found──▶ degraded (greedy_fallback)
+//        │ nothing
+//        ▼
+//   infeasible / deadline_exceeded
 //
 // On deadline_exceeded/cancelled the response still carries the partial
 // PlannerStats accumulated up to the stop — a served client can see how far
@@ -35,14 +51,41 @@ enum class Outcome : unsigned char {
   DeadlineExceeded,
   Cancelled,
   Rejected,
+  Degraded,
 };
 
 [[nodiscard]] const char* outcome_name(Outcome o);
 
 /// Process exit code convention shared by the CLI drivers: solved = 0,
 /// infeasible = 1 (2 stays reserved for usage/input errors), deadline = 3,
-/// cancelled = 4, rejected = 5.
+/// cancelled = 4, rejected = 5, degraded = 6.
 [[nodiscard]] int outcome_exit_code(Outcome o);
+
+/// Which rung of the degradation ladder produced the response.
+enum class LadderStep : unsigned char {
+  Primary,           // the requested (usually optimal) search answered
+  AnytimeIncumbent,  // the stopped search's best incumbent plan
+  GreedyFallback,    // greedy retry on the remaining budget
+};
+
+[[nodiscard]] const char* ladder_step_name(LadderStep s);
+
+/// Per-request graceful-degradation policy.
+struct DegradePolicy {
+  /// Master switch: when false the request behaves exactly like the pre-
+  /// ladder engine (a fired deadline answers deadline_exceeded, full stop).
+  bool enabled = true;
+  /// Share of the remaining deadline budget granted to the primary (optimal)
+  /// attempt when a greedy fallback is available; the rest is held in
+  /// reserve for the retry.  Values outside (0, 1) give the primary attempt
+  /// everything (no reserve).
+  double primary_fraction = 0.6;
+  /// Allow the greedy retry rung (only taken for Leveled-mode requests).
+  bool greedy_fallback = true;
+  /// Share of the budget remaining *after* the primary attempt stopped that
+  /// the greedy retry may spend.  Values outside (0, 1] mean all of it.
+  double greedy_fraction = 1.0;
+};
 
 struct PlanRequest {
   /// Caller-chosen label echoed in the response (e.g. "small.sk#3").
@@ -71,6 +114,14 @@ struct PlanRequest {
   /// The service default is finer than the planner's 8192 so deadlines are
   /// honoured promptly on small problems.
   std::uint64_t progress_every = 1024;
+
+  /// Graceful-degradation ladder policy for this request.
+  DegradePolicy degrade;
+
+  /// Optional progress observer forwarded to PlannerOptions::progress (the
+  /// worker invokes it from the search loop; it may call request_stop() on
+  /// the request's own StopSource).
+  std::function<void(const core::PlannerStats&)> progress;
 };
 
 struct PlanResponse {
@@ -83,13 +134,24 @@ struct PlanResponse {
   core::PlannerStats stats;
   std::string failure;  // human-readable reason when outcome != solved
 
+  /// Which ladder rung answered (meaningful whenever a plan is present; for
+  /// plan-less outcomes it stays Primary).
+  LadderStep ladder = LadderStep::Primary;
+
   std::uint64_t fingerprint = 0;  // compiled-problem cache key
   bool cache_hit = false;
-  double compile_ms = 0.0;  // grounding+leveling time (0.0 on cache hits)
-  double solve_ms = 0.0;    // planner time (graph + search + validation)
-  double wait_ms = 0.0;     // time spent queued before a worker picked it up
+  double compile_ms = 0.0;   // grounding+leveling time (0.0 on cache hits)
+  double solve_ms = 0.0;     // planner time across every ladder attempt
+  double fallback_ms = 0.0;  // share of solve_ms spent in the greedy retry
+  double wait_ms = 0.0;      // time spent queued before a worker picked it up
+  /// Submission attempts the client made (> 1 after admission-control
+  /// retries, e.g. sekitei_serve's jittered backoff).
+  std::uint32_t attempts = 1;
 
-  [[nodiscard]] bool ok() const { return outcome == Outcome::Solved; }
+  /// True when the response carries a usable plan (optimal or degraded).
+  [[nodiscard]] bool ok() const {
+    return outcome == Outcome::Solved || outcome == Outcome::Degraded;
+  }
 };
 
 /// One NDJSON record for a response:

@@ -1,0 +1,145 @@
+#include "support/fault.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace sekitei::fault {
+
+namespace detail {
+std::atomic<std::uint32_t> armed_total{0};
+}  // namespace detail
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::vector<PointStatus> entries;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+void arm(std::string point, std::uint64_t fire_on_nth, Mode mode) {
+  if (fire_on_nth == 0) fire_on_nth = 1;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (PointStatus& e : reg.entries) {
+    if (e.point == point) {
+      if (!e.fired) detail::armed_total.fetch_sub(1, std::memory_order_relaxed);
+      e = PointStatus{std::move(point), fire_on_nth, 0, mode, false};
+      detail::armed_total.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  reg.entries.push_back(PointStatus{std::move(point), fire_on_nth, 0, mode, false});
+  detail::armed_total.fetch_add(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const PointStatus& e : reg.entries) {
+    if (!e.fired) detail::armed_total.fetch_sub(1, std::memory_order_relaxed);
+  }
+  reg.entries.clear();
+}
+
+std::size_t armed_count() { return detail::armed_total.load(std::memory_order_relaxed); }
+
+bool configure(const std::string& spec, std::string* error) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+
+    const std::size_t c1 = item.find(':');
+    if (c1 == std::string::npos || c1 == 0) {
+      if (error) *error = "fault spec '" + item + "': expected <point>:<nth>[:throw|:fail]";
+      return false;
+    }
+    const std::string point = item.substr(0, c1);
+    const std::size_t c2 = item.find(':', c1 + 1);
+    const std::string nth_str =
+        item.substr(c1 + 1, (c2 == std::string::npos ? item.size() : c2) - c1 - 1);
+    char* nth_end = nullptr;
+    const unsigned long long nth = std::strtoull(nth_str.c_str(), &nth_end, 10);
+    if (nth_str.empty() || nth_end == nth_str.c_str() || *nth_end != '\0' || nth == 0) {
+      if (error) *error = "fault spec '" + item + "': fire-on-nth must be a positive integer";
+      return false;
+    }
+    Mode mode = Mode::Throw;
+    if (c2 != std::string::npos) {
+      const std::string mode_str = item.substr(c2 + 1);
+      if (mode_str == "throw") {
+        mode = Mode::Throw;
+      } else if (mode_str == "fail") {
+        mode = Mode::Fail;
+      } else {
+        if (error) *error = "fault spec '" + item + "': mode must be 'throw' or 'fail'";
+        return false;
+      }
+    }
+    arm(point, nth, mode);
+    SEKITEI_LOG_INFO("support.fault", "fault armed", log::kv("point", point.c_str()),
+                     log::kv("nth", static_cast<std::uint64_t>(nth)),
+                     log::kv("mode", mode == Mode::Throw ? "throw" : "fail"));
+  }
+  return true;
+}
+
+bool install_from_env(const char* env_var, std::string* error) {
+  const char* value = std::getenv(env_var);
+  if (value == nullptr || *value == '\0') return true;
+  return configure(value, error);
+}
+
+std::vector<PointStatus> status() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.entries;
+}
+
+std::uint64_t hits(const std::string& point) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const PointStatus& e : reg.entries) {
+    if (e.point == point) return e.hits;
+  }
+  return 0;
+}
+
+namespace detail {
+
+bool hit_slow(const char* point) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (PointStatus& e : reg.entries) {
+    if (e.point != point) continue;
+    ++e.hits;
+    if (e.fired || e.hits != e.fire_on_nth) return false;
+    e.fired = true;
+    armed_total.fetch_sub(1, std::memory_order_relaxed);
+    SEKITEI_LOG_WARN("support.fault", "fault fired", log::kv("point", point),
+                     log::kv("hit", e.hits),
+                     log::kv("mode", e.mode == Mode::Throw ? "throw" : "fail"));
+    if (e.mode == Mode::Throw) {
+      raise(std::string("injected fault at ") + point);
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+}  // namespace sekitei::fault

@@ -1,0 +1,91 @@
+// Deterministic fault injection for robustness testing.
+//
+// Code under test declares named fault points:
+//
+//   if (SEKITEI_FAULT_POINT("cache.insert")) return;   // Fail mode: skip
+//   // Throw mode never reaches the `if` body — hit() raises sekitei::Error.
+//
+// Faults are armed programmatically (fault::arm) or from the environment:
+//
+//   SEKITEI_FAULTS=<point>:<fire-on-nth>[:throw|:fail][,<more>...]
+//   SEKITEI_FAULTS=cache.insert:1:throw,replay.validate:3:fail
+//
+// Firing is deterministic: an armed fault counts evaluations of its point
+// (process-wide, mutex-serialized so concurrent workers agree on the order
+// of their own hits) and fires exactly once, on the nth evaluation after
+// arming — the same arming always fires on the same hit, so ASan/TSan runs
+// reproduce.  Two modes:
+//
+//   throw  hit() raises sekitei::Error("injected fault at <point>") — the
+//          caller's normal error path must classify it.
+//   fail   hit() returns true — the caller takes its designed failure
+//          branch (skip the insert, report replay failure, ...).
+//
+// When nothing is armed a fault point costs one relaxed atomic load and a
+// predictable branch; compiling with -DSEKITEI_FAULTS_DISABLED removes the
+// points entirely (the macro folds to the constant false).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sekitei::fault {
+
+enum class Mode : unsigned char { Throw, Fail };
+
+struct PointStatus {
+  std::string point;
+  std::uint64_t fire_on_nth = 1;
+  std::uint64_t hits = 0;  // evaluations of the point since arming
+  Mode mode = Mode::Throw;
+  bool fired = false;
+};
+
+/// Arms `point` to fire on its nth evaluation from now (nth >= 1; 0 is
+/// clamped to 1).  Re-arming an existing point resets its hit counter.
+void arm(std::string point, std::uint64_t fire_on_nth = 1, Mode mode = Mode::Throw);
+
+/// Removes every armed fault (fired or not).  Tests call this in teardown.
+void disarm_all();
+
+/// Armed-and-not-yet-fired fault count.
+[[nodiscard]] std::size_t armed_count();
+
+/// Parses the SEKITEI_FAULTS syntax ("<point>:<nth>[:throw|:fail]", comma
+/// separated) and arms each entry.  Returns false and fills `*error` (when
+/// given) on malformed input; earlier well-formed entries stay armed.
+bool configure(const std::string& spec, std::string* error = nullptr);
+
+/// Reads `env_var` (default SEKITEI_FAULTS) and configures from it.  Unset
+/// or empty is a no-op returning true.
+bool install_from_env(const char* env_var = "SEKITEI_FAULTS", std::string* error = nullptr);
+
+/// Snapshot of every armed fault (for diagnostics and tests).
+[[nodiscard]] std::vector<PointStatus> status();
+
+/// Evaluations of `point` since it was armed (0 when not armed).
+[[nodiscard]] std::uint64_t hits(const std::string& point);
+
+namespace detail {
+extern std::atomic<std::uint32_t> armed_total;
+bool hit_slow(const char* point);
+}  // namespace detail
+
+/// Evaluates the fault point: returns true when a Fail-mode fault fires this
+/// call, throws sekitei::Error when a Throw-mode fault fires, and returns
+/// false otherwise.  Free when nothing is armed.
+inline bool hit(const char* point) {
+  if (detail::armed_total.load(std::memory_order_relaxed) == 0) return false;
+  return detail::hit_slow(point);
+}
+
+}  // namespace sekitei::fault
+
+#ifdef SEKITEI_FAULTS_DISABLED
+#define SEKITEI_FAULT_POINT(point) false
+#else
+#define SEKITEI_FAULT_POINT(point) (::sekitei::fault::hit(point))
+#endif

@@ -95,13 +95,32 @@ class StopSource {
 
   /// Arms (or re-arms) the deadline `ms` from now.  Thread-safe.
   void arm_deadline_ms(double ms) {
-    const auto now = std::chrono::duration_cast<std::chrono::nanoseconds>(
-        detail::StopState::Clock::now().time_since_epoch());
     const auto delta = std::chrono::duration_cast<std::chrono::nanoseconds>(
         std::chrono::duration<double, std::milli>(ms));
-    std::int64_t d = (now + delta).count();
-    if (d == 0) d = 1;  // 0 is reserved for "unarmed"
-    state_->deadline_ns.store(d, std::memory_order_relaxed);
+    arm_deadline_at_ns(now_epoch_ns() + delta.count());
+  }
+
+  /// Steady-clock "now" in the epoch-offset nanoseconds the deadline uses —
+  /// the currency for splitting one budget across ladder attempts.
+  [[nodiscard]] static std::int64_t now_epoch_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               detail::StopState::Clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// The armed absolute deadline (0 = unarmed).  With now_epoch_ns() this
+  /// lets a holder compute the remaining budget.
+  [[nodiscard]] std::int64_t deadline_epoch_ns() const {
+    return state_->deadline_ns.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms the deadline at an absolute steady-clock instant.  Re-arming a
+  /// *passed* deadline into the future un-fires it — the degradation ladder
+  /// uses this to hand the unused remainder of a request's budget to the
+  /// next fallback attempt.  Thread-safe.
+  void arm_deadline_at_ns(std::int64_t ns) {
+    if (ns == 0) ns = 1;  // 0 is reserved for "unarmed"
+    state_->deadline_ns.store(ns, std::memory_order_relaxed);
   }
 
   void request_stop() { state_->cancelled.store(true, std::memory_order_release); }

@@ -1,5 +1,7 @@
 #include "support/thread_pool.hpp"
 
+#include "support/fault.hpp"
+
 namespace sekitei {
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -68,7 +70,15 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
     }
     try {
-      job();
+      // Worker-job-start fault: fires *before* the job runs, simulating a
+      // worker that loses its work item.  Fail mode drops the job silently;
+      // Throw mode lands in the backstop below.  Either way the job's
+      // std::function is destroyed without running — completion guarantees
+      // must come from state the job owns (the service layer's job guard
+      // answers the future from its destructor in exactly this case).
+      if (!SEKITEI_FAULT_POINT("pool.job")) {
+        job();
+      }
     } catch (...) {
       // Jobs own their error handling (the service layer converts exceptions
       // into Rejected responses); this backstop keeps a leaked exception from

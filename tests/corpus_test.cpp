@@ -1,0 +1,107 @@
+// Malformed-input corpus: every file under tests/corpus/ must make the
+// loader raise sekitei::Error — never crash, hang, or silently load.  Files
+// named domain_*.sk are malformed *domain* texts (paired with a valid
+// problem); everything else is a malformed *problem* text (paired with a
+// valid domain).  The corpus covers truncation, unknown keywords, dangling
+// references and non-finite literals (1e999 overflows to inf, `nan` where a
+// number is required).
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/textio.hpp"
+#include "support/error.hpp"
+
+#ifndef SEKITEI_TEST_CORPUS_DIR
+#error "SEKITEI_TEST_CORPUS_DIR must point at tests/corpus (set by CMake)"
+#endif
+
+namespace sekitei::model {
+namespace {
+
+// A minimal well-formed domain/problem pair: the half that is *not* under
+// test is always valid, so a raised Error is attributable to the corpus file.
+constexpr const char* kValidDomain = R"(
+interface M {
+  property ibw degradable;
+  cross {
+    M.ibw' := min(M.ibw, link.lbw);
+    link.lbw -= min(M.ibw, link.lbw);
+  }
+  cost 1 + M.ibw / 10;
+}
+component Server {
+  implements M;
+  effects { M.ibw := 100; }
+  cost 1;
+}
+component Client {
+  requires M;
+  conditions { M.ibw >= 10; }
+  cost 1;
+}
+)";
+
+constexpr const char* kValidProblem = R"(
+network {
+  node n0 { cpu 30; }
+  node n1 { cpu 30; }
+  link n0 n1 wan { lbw 70; }
+}
+problem {
+  stream M.ibw at n0 = [0, 100];
+  preplaced Server at n0;
+  goal Client at n1;
+}
+scenario {
+  levels M.ibw { 10, 100 }
+}
+)";
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(SEKITEI_TEST_CORPUS_DIR)) {
+    if (entry.path().extension() == ".sk") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(CorpusTest, TheValidPairLoads) {
+  // Guards the corpus harness itself: if this pair did not load, every
+  // corpus file would "pass" for the wrong reason.
+  EXPECT_NO_THROW(load_problem(kValidDomain, kValidProblem));
+}
+
+TEST(CorpusTest, TheCorpusIsNotEmpty) {
+  EXPECT_GE(corpus_files().size(), 15u);
+}
+
+TEST(CorpusTest, EveryMalformedFileRaisesError) {
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    const std::string text = slurp(path);
+    const bool is_domain = path.filename().string().rfind("domain_", 0) == 0;
+    if (is_domain) {
+      EXPECT_THROW(load_problem(text, kValidProblem), Error);
+    } else {
+      EXPECT_THROW(load_problem(kValidDomain, text), Error);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sekitei::model

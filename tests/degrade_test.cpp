@@ -1,0 +1,150 @@
+// The graceful-degradation ladder end to end: anytime incumbents returned on
+// a mid-search stop, the greedy retry on the reserved budget, and the master
+// switch that restores strict pre-ladder behavior.
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "domains/media.hpp"
+#include "service/engine.hpp"
+#include "service/request.hpp"
+
+namespace sekitei::service {
+namespace {
+
+namespace media = domains::media;
+
+std::shared_ptr<const model::LoadedProblem> loaded(std::unique_ptr<media::Instance> inst,
+                                                   char scenario) {
+  return make_loaded(std::move(inst->domain), std::move(inst->net), std::move(inst->problem),
+                     media::scenario(scenario));
+}
+
+TEST(DegradeTest, DegradedNamesExitCodeAndOk) {
+  EXPECT_STREQ(outcome_name(Outcome::Degraded), "degraded");
+  EXPECT_EQ(outcome_exit_code(Outcome::Degraded), 6);
+  EXPECT_STREQ(ladder_step_name(LadderStep::Primary), "primary");
+  EXPECT_STREQ(ladder_step_name(LadderStep::AnytimeIncumbent), "anytime_incumbent");
+  EXPECT_STREQ(ladder_step_name(LadderStep::GreedyFallback), "greedy_fallback");
+
+  PlanResponse r;
+  r.outcome = Outcome::Degraded;
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(DegradeTest, MidSearchStopReturnsTheAnytimeIncumbent) {
+  PlanningEngine engine({.workers = 1});
+
+  PlanRequest req;
+  req.id = "anytime";
+  req.problem = loaded(media::small(), 'C');
+  req.progress_every = 1;
+  // Deterministic stop: the moment the search records its first incumbent
+  // (a goal-satisfying child awaiting its optimality proof), cut it short.
+  StopSource stop = req.stop;
+  req.progress = [stop](const core::PlannerStats& s) mutable {
+    if (s.rg_incumbents > 0) stop.request_stop();
+  };
+
+  const PlanResponse r = engine.plan(std::move(req));
+  EXPECT_EQ(r.outcome, Outcome::Degraded) << r.failure;
+  EXPECT_EQ(r.ladder, LadderStep::AnytimeIncumbent);
+  EXPECT_TRUE(r.ok());
+  ASSERT_TRUE(r.plan.has_value());
+  EXPECT_FALSE(r.plan_text.empty());
+  EXPECT_TRUE(r.stats.stopped);
+  EXPECT_TRUE(r.stats.suboptimal_on_stop);
+  EXPECT_GE(r.stats.rg_incumbents, 1u);
+  // The incumbent's cost can exceed the admissible bound still open, never
+  // undercut it — the reported optimality gap is cost - open_cost_lb >= 0.
+  EXPECT_GT(r.stats.incumbent_cost, 0.0);
+  EXPECT_LE(r.stats.open_cost_lb, r.stats.incumbent_cost + 1e-9);
+  EXPECT_FALSE(r.failure.empty());
+
+  const std::string json = response_to_json(r);
+  EXPECT_NE(json.find("\"outcome\":\"degraded\""), std::string::npos);
+  EXPECT_NE(json.find("\"ladder\":\"anytime_incumbent\""), std::string::npos);
+  EXPECT_NE(json.find("\"suboptimal_on_stop\":true"), std::string::npos);
+}
+
+TEST(DegradeTest, ExhaustedPrimaryBudgetFallsBackToGreedy) {
+  PlanningEngine engine({.workers = 1});
+
+  // A fat WAN link makes the worst-case (greedy) plan feasible: the stream
+  // is forwarded whole, no splitting needed.
+  media::Params p;
+  p.wan_bw = 200.0;
+
+  PlanRequest req;
+  req.id = "fallback";
+  req.problem = loaded(media::tiny(p), 'C');
+  req.deadline_ms = 10000.0;  // generous total budget...
+  req.degrade.primary_fraction = 1e-9;  // ...but a hopeless primary slice
+  req.progress_every = 1;
+
+  const PlanResponse r = engine.plan(std::move(req));
+  EXPECT_EQ(r.outcome, Outcome::Degraded) << r.failure;
+  EXPECT_EQ(r.ladder, LadderStep::GreedyFallback);
+  ASSERT_TRUE(r.plan.has_value());
+  EXPECT_FALSE(r.plan_text.empty());
+  EXPECT_GT(r.fallback_ms, 0.0);
+  EXPECT_FALSE(r.failure.empty());
+
+  const std::string json = response_to_json(r);
+  EXPECT_NE(json.find("\"ladder\":\"greedy_fallback\""), std::string::npos);
+  EXPECT_NE(json.find("\"fallback_ms\":"), std::string::npos);
+}
+
+TEST(DegradeTest, LadderDisabledRestoresStrictDeadlineBehavior) {
+  PlanningEngine engine({.workers = 1});
+
+  PlanRequest req;
+  req.problem = loaded(media::small(), 'C');
+  req.deadline_ms = 1e-6;  // expires before planning starts
+  req.degrade.enabled = false;
+
+  const PlanResponse r = engine.plan(std::move(req));
+  EXPECT_EQ(r.outcome, Outcome::DeadlineExceeded);
+  EXPECT_FALSE(r.plan.has_value());
+  EXPECT_EQ(r.ladder, LadderStep::Primary);
+}
+
+TEST(DegradeTest, LadderPolicyDoesNotChangeUnstoppedPlans) {
+  // Acceptance criterion: with no deadline pressure the ladder is inert —
+  // plans are byte-identical whether the policy is on or off.
+  PlanningEngine engine({.workers = 1});
+
+  PlanRequest on;
+  on.problem = loaded(media::tiny(), 'C');
+  const PlanResponse with_ladder = engine.plan(std::move(on));
+  ASSERT_EQ(with_ladder.outcome, Outcome::Solved);
+
+  PlanRequest off;
+  off.problem = loaded(media::tiny(), 'C');
+  off.degrade.enabled = false;
+  const PlanResponse without_ladder = engine.plan(std::move(off));
+  ASSERT_EQ(without_ladder.outcome, Outcome::Solved);
+
+  EXPECT_EQ(with_ladder.plan_text, without_ladder.plan_text);
+  EXPECT_EQ(with_ladder.ladder, LadderStep::Primary);
+  EXPECT_EQ(without_ladder.ladder, LadderStep::Primary);
+}
+
+TEST(DegradeTest, NoIncumbentExpiredBudgetWithoutFallbackIsDeadlineExceeded) {
+  PlanningEngine engine({.workers = 1});
+
+  PlanRequest req;
+  req.problem = loaded(media::small(), 'C');
+  req.deadline_ms = 1e-6;
+  req.degrade.greedy_fallback = false;  // rung 3 switched off
+
+  const PlanResponse r = engine.plan(std::move(req));
+  EXPECT_EQ(r.outcome, Outcome::DeadlineExceeded);
+  EXPECT_FALSE(r.plan.has_value());
+  EXPECT_EQ(outcome_exit_code(r.outcome), 3);
+}
+
+}  // namespace
+}  // namespace sekitei::service

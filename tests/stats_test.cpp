@@ -64,8 +64,9 @@ TEST(StatsJson, GoldenString) {
             "\"rg_pruned_by_replay\":129,\"rg_peak_open\":103,"
             "\"slrg_memo_hits\":261,\"slrg_memo_misses\":9,"
             "\"replay_calls\":283,\"sim_rejections\":4,"
+            "\"rg_incumbents\":0,\"incumbent_cost\":0.000,\"open_cost_lb\":0.000,"
             "\"logically_unreachable\":false,\"hit_search_limit\":true,"
-            "\"stopped\":false}");
+            "\"stopped\":false,\"suboptimal_on_stop\":false}");
 }
 
 TEST(StatsJson, RoundTripThroughParser) {
@@ -78,7 +79,7 @@ TEST(StatsJson, RoundTripThroughParser) {
   std::string err;
   ASSERT_TRUE(jsonlite::parse(core::stats_to_json(s), v, &err)) << err;
   ASSERT_TRUE(v.is_object());
-  EXPECT_EQ(v.obj->size(), 19u);
+  EXPECT_EQ(v.obj->size(), 23u);
   ASSERT_NE(v.find("total_actions"), nullptr);
   EXPECT_DOUBLE_EQ(v.find("total_actions")->number, 7.0);
   EXPECT_DOUBLE_EQ(v.find("rg_peak_open")->number, 12345.0);

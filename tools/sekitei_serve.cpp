@@ -3,19 +3,33 @@
 // and stream one NDJSON record per request to stdout.
 //
 //   $ ./sekitei_serve <domain.sk> <problem.sk>... [--jobs N] [--deadline-ms D]
-//                     [--repeat K] [--greedy] [--no-validate]
-//                     [--cache-capacity N] [--log <level>]
+//                     [--repeat K] [--greedy] [--no-validate] [--no-degrade]
+//                     [--cache-capacity N] [--max-pending N] [--retries N]
+//                     [--retry-base-ms D] [--log <level>]
 //
 // --jobs          worker threads (default: hardware concurrency)
-// --deadline-ms   per-request deadline; requests that exceed it come back as
-//                 outcome "deadline_exceeded" with partial stats
+// --deadline-ms   per-request deadline; requests that exceed it either come
+//                 back "degraded" with a fallback plan (see request.hpp) or
+//                 "deadline_exceeded" with partial stats
+// --no-degrade    disable the graceful-degradation ladder (pre-ladder
+//                 behavior: a fired deadline is always deadline_exceeded)
 // --repeat        submit each problem file K times (cache hit-rate demo: the
 //                 2nd..Kth submission of a file reuses its compiled problem)
 // --cache-capacity  compiled-problem cache slots; 0 disables caching
+// --max-pending   admission control: reject submissions while this many
+//                 requests are in flight (0 = unbounded)
+// --retries       re-submit an admission-rejected request up to N times with
+//                 jittered exponential backoff (default 3; 0 disables)
+// --retry-base-ms backoff base delay (default 5; attempt k sleeps
+//                 base * 2^k plus up to 50% deterministic jitter)
+//
+// Fault injection: SEKITEI_FAULTS=<point>:<nth>[:throw|:fail][,...] arms
+// deterministic faults before any request is submitted (support/fault.hpp).
 //
 // A summary line goes to stderr; the exit code is the maximum per-request
 // exit code (solved = 0, infeasible = 1, deadline = 3, cancelled = 4,
-// rejected = 5; 2 is reserved for usage/input errors).
+// rejected = 5, degraded = 6; 2 is reserved for usage/input errors).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,11 +37,14 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/engine.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/log.hpp"
+#include "support/rng.hpp"
 #include "support/timer.hpp"
 
 namespace {
@@ -40,6 +57,11 @@ std::string slurp(const char* path) {
   return os.str();
 }
 
+bool is_queue_full(const sekitei::service::PlanResponse& r) {
+  return r.outcome == sekitei::service::Outcome::Rejected &&
+         r.failure.find("queue full") != std::string::npos;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,16 +69,27 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: %s <domain.sk> <problem.sk>... [--jobs N] [--deadline-ms D]\n"
-                 "          [--repeat K] [--greedy] [--no-validate]\n"
-                 "          [--cache-capacity N] [--log <level>]\n",
+                 "          [--repeat K] [--greedy] [--no-validate] [--no-degrade]\n"
+                 "          [--cache-capacity N] [--max-pending N] [--retries N]\n"
+                 "          [--retry-base-ms D] [--log <level>]\n",
                  argv[0]);
     return 2;
+  }
+
+  {
+    std::string fault_error;
+    if (!fault::install_from_env("SEKITEI_FAULTS", &fault_error)) {
+      std::fprintf(stderr, "error: SEKITEI_FAULTS: %s\n", fault_error.c_str());
+      return 2;
+    }
   }
 
   service::PlanningEngine::Options engine_opts;
   double deadline_ms = 0.0;
   std::size_t repeat = 1;
-  bool greedy = false, validate = true;
+  std::size_t retries = 3;
+  double retry_base_ms = 5.0;
+  bool greedy = false, validate = true, degrade = true;
   std::vector<const char*> files;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
@@ -69,10 +102,19 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--cache-capacity") == 0 && i + 1 < argc) {
       engine_opts.cache_capacity =
           static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--max-pending") == 0 && i + 1 < argc) {
+      engine_opts.max_pending =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      retries = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--retry-base-ms") == 0 && i + 1 < argc) {
+      retry_base_ms = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--greedy") == 0) {
       greedy = true;
     } else if (std::strcmp(argv[i], "--no-validate") == 0) {
       validate = false;
+    } else if (std::strcmp(argv[i], "--no-degrade") == 0) {
+      degrade = false;
     } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
       const char* name = argv[++i];
 #ifndef SEKITEI_LOG_DISABLED
@@ -113,39 +155,67 @@ int main(int argc, char** argv) {
     service::PlanningEngine engine(engine_opts);
     Stopwatch wall;
 
-    std::vector<service::PlanningEngine::Ticket> tickets;
+    auto make_request = [&](std::size_t f, std::size_t k) {
+      service::PlanRequest req;
+      req.id = repeat == 1 ? std::string(files[f])
+                           : std::string(files[f]) + "#" + std::to_string(k);
+      req.problem = problems[f];
+      if (greedy) req.mode = core::PlannerOptions::Mode::Greedy;
+      req.deadline_ms = deadline_ms;
+      req.validate = validate;
+      req.degrade.enabled = degrade;
+      return req;
+    };
+
+    struct Submitted {
+      service::PlanningEngine::Ticket ticket;
+      std::size_t file;
+      std::size_t rep;
+    };
+    std::vector<Submitted> tickets;
     tickets.reserve(files.size() * repeat);
     for (std::size_t k = 0; k < repeat; ++k) {
       for (std::size_t f = 0; f < files.size(); ++f) {
-        service::PlanRequest req;
-        req.id = repeat == 1 ? std::string(files[f])
-                             : std::string(files[f]) + "#" + std::to_string(k);
-        req.problem = problems[f];
-        if (greedy) req.mode = core::PlannerOptions::Mode::Greedy;
-        req.deadline_ms = deadline_ms;
-        req.validate = validate;
-        tickets.push_back(engine.submit(std::move(req)));
+        tickets.push_back({engine.submit(make_request(f, k)), f, k});
       }
     }
 
+    // Jitter seed is fixed so two identical invocations sleep identically —
+    // retry schedules are part of the reproducible behavior under test.
+    SplitMix64 rng(0x5ec17e15ULL);
     int worst = 0;
-    std::size_t solved = 0;
-    for (auto& ticket : tickets) {
-      service::PlanResponse r = ticket.response.get();
+    std::size_t solved = 0, degraded = 0, retried = 0;
+    for (auto& sub : tickets) {
+      service::PlanResponse r = sub.ticket.response.get();
+      // Bounded retry with jittered exponential backoff: admission-control
+      // rejections ("queue full") are transient — the queue drains as the
+      // workers finish — so re-submission after a short sleep usually lands.
+      std::uint32_t attempts = 1;
+      while (is_queue_full(r) && attempts <= retries) {
+        const double delay_ms =
+            retry_base_ms * static_cast<double>(1ULL << (attempts - 1)) *
+            rng.uniform(1.0, 1.5);
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+        r = engine.plan(make_request(sub.file, sub.rep));
+        ++attempts;
+      }
+      if (attempts > 1) ++retried;
+      r.attempts = attempts;
       const std::string line = service::response_to_json(r) + "\n";
       std::fwrite(line.data(), 1, line.size(), stdout);
       const int code = service::outcome_exit_code(r.outcome);
       if (code > worst) worst = code;
-      if (r.ok()) ++solved;
+      if (r.outcome == service::Outcome::Solved) ++solved;
+      if (r.outcome == service::Outcome::Degraded) ++degraded;
     }
     std::fflush(stdout);
 
     const double wall_ms = wall.elapsed_ms();
     const auto cache = engine.cache_stats();
     std::fprintf(stderr,
-                 "sekitei_serve: %zu/%zu solved in %.1f ms (%zu workers, "
-                 "cache %llu hits / %llu misses, hit rate %.2f)\n",
-                 solved, tickets.size(), wall_ms, engine.worker_count(),
+                 "sekitei_serve: %zu/%zu solved (%zu degraded, %zu retried) in %.1f ms "
+                 "(%zu workers, cache %llu hits / %llu misses, hit rate %.2f)\n",
+                 solved, tickets.size(), degraded, retried, wall_ms, engine.worker_count(),
                  (unsigned long long)cache.hits, (unsigned long long)cache.misses,
                  cache.hit_rate());
     return worst;
