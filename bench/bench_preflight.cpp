@@ -1,0 +1,168 @@
+// Pre-flight rejection latency vs search-to-exhaustion on provably
+// infeasible instances.
+//
+// The instance family is a value-capped delivery chain (the lint corpus's
+// `capped` case, scaled up): a server produces at most 60 units, a chain of
+// amplifier stages copies the value along, and the client demands 90.
+// Every ground action is individually viable and the goal is logically
+// reachable, so the planner's PLRG phase passes and the RG search has to
+// exhaust its whole space before answering "no plan".  The interval-
+// annotated reachability fixpoint (analysis/preflight) proves the same
+// verdict in a handful of sweeps.
+//
+// For each scale the bench reports both latencies and their ratio; the JSON
+// line records them machine-readably:
+//
+//   {"bench":"preflight","nodes":6,...,"search_ms":...,"preflight_ms":...,
+//    "speedup":...,"agreed":true,...}
+//
+// `agreed` asserts the two oracles match: preflight said infeasible AND the
+// exhaustive search found no plan.  A false here is a soundness bug.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "analysis/analyzer.hpp"
+#include "bench_json.hpp"
+#include "core/planner.hpp"
+#include "model/compile.hpp"
+#include "model/textio.hpp"
+#include "sim/executor.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace sekitei;
+
+std::string sname(int k) {
+  std::string s("S");
+  s += std::to_string(k);
+  return s;
+}
+
+std::string chain_domain(int stages) {
+  std::string d = "param demand = 90;\nparam serverCap = 60;\n";
+  for (int k = 0; k <= stages; ++k) {
+    const std::string s = sname(k);
+    d += "interface ";
+    d += s;
+    d += " {\n  property x degradable;\n  cross {\n    ";
+    d += s;
+    d += ".x' := min(";
+    d += s;
+    d += ".x, link.lbw);\n    link.lbw -= min(";
+    d += s;
+    d += ".x, link.lbw);\n  }\n  cost 1;\n}\n";
+  }
+  d += "component Server {\n  implements S0;\n  effects { S0.x := serverCap; }\n"
+       "  cost 1;\n}\n";
+  for (int k = 1; k <= stages; ++k) {
+    const std::string in = sname(k - 1);
+    const std::string out = sname(k);
+    d += "component Amp";
+    d += std::to_string(k);
+    d += " {\n  requires ";
+    d += in;
+    d += ";\n  implements ";
+    d += out;
+    d += ";\n  conditions { node.cpu >= 1; }\n  effects {\n    ";
+    d += out;
+    d += ".x := ";
+    d += in;
+    d += ".x;\n    node.cpu -= 1;\n  }\n  cost 1;\n}\n";
+  }
+  d += "component Client {\n  requires S";
+  d += std::to_string(stages);
+  d += ";\n  conditions { S";
+  d += std::to_string(stages);
+  d += ".x >= demand; }\n  cost 1;\n}\n";
+  return d;
+}
+
+std::string chain_problem(int nodes, int stages) {
+  std::string p = "network {\n";
+  for (int n = 0; n < nodes; ++n) {
+    p += "  node n";
+    p += std::to_string(n);
+    p += " { cpu 100; }\n";
+  }
+  for (int n = 0; n + 1 < nodes; ++n) {
+    p += "  link n";
+    p += std::to_string(n);
+    p += " n";
+    p += std::to_string(n + 1);
+    p += " lan { lbw 1000; delay 1; }\n";
+  }
+  p += "}\nproblem {\n  goal Client at n";
+  p += std::to_string(nodes - 1);
+  p += ";\n}\nscenario {\n";
+  for (int k = 0; k <= stages; ++k) {
+    p += "  levels S";
+    p += std::to_string(k);
+    p += ".x { 10, 30, 50 }\n";
+  }
+  p += "}\n";
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  struct Scale {
+    int nodes;
+    int stages;
+  };
+  // 5n/3amp already exhausts ~200k RG nodes (seconds of search) against a
+  // quarter-millisecond pre-flight; larger scales only inflate the runtime.
+  const Scale scales[] = {{3, 1}, {4, 2}, {5, 3}};
+
+  std::printf("%-14s %8s %10s %12s %9s %7s\n", "instance", "actions", "search_ms",
+              "preflight_ms", "speedup", "agreed");
+  for (const Scale sc : scales) {
+    const auto lp = model::load_problem(chain_domain(sc.stages),
+                                        chain_problem(sc.nodes, sc.stages));
+    const auto cp = model::compile(lp->problem, lp->scenario);
+
+    Stopwatch search_watch;
+    core::Sekitei planner(cp, {});
+    sim::Executor exec(cp);
+    const auto r = planner.plan([&](const core::Plan& plan) {
+      return exec.execute(plan).feasible;
+    });
+    const double search_ms = search_watch.elapsed_ms();
+
+    // The fixpoint runs in microseconds; average over repetitions so the
+    // reported latency is not clock-granularity noise.
+    const int reps = 50;
+    analysis::PreflightVerdict verdict;
+    Stopwatch preflight_watch;
+    for (int i = 0; i < reps; ++i) verdict = analysis::preflight(cp);
+    const double preflight_ms = preflight_watch.elapsed_ms() / reps;
+
+    const bool agreed = verdict.infeasible && !r.ok();
+    const double speedup = preflight_ms > 0.0 ? search_ms / preflight_ms : 0.0;
+    const std::string name =
+        std::to_string(sc.nodes) + "n/" + std::to_string(sc.stages) + "amp";
+    std::printf("%-14s %8zu %10.3f %12.5f %8.1fx %7s\n", name.c_str(), cp.actions.size(),
+                search_ms, preflight_ms, speedup, agreed ? "yes" : "NO");
+
+    benchjson::emit("preflight",
+                    {benchjson::kv("instance", name), benchjson::kv("nodes", sc.nodes),
+                     benchjson::kv("stages", sc.stages),
+                     benchjson::kv("actions", static_cast<std::uint64_t>(cp.actions.size())),
+                     benchjson::kv("search_ms", search_ms),
+                     benchjson::kv("preflight_ms", preflight_ms),
+                     benchjson::kv("speedup", speedup),
+                     benchjson::kv("preflight_sweeps",
+                                   static_cast<std::uint64_t>(verdict.sweeps)),
+                     benchjson::kv("verdict_code", verdict.code),
+                     benchjson::kv("agreed", agreed)},
+                    &r.stats);
+    if (!agreed) {
+      std::fprintf(stderr, "MISMATCH at %s: preflight=%d search_found_plan=%d\n",
+                   name.c_str(), verdict.infeasible ? 1 : 0, r.ok() ? 1 : 0);
+      return 1;
+    }
+  }
+  return 0;
+}

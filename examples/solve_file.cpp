@@ -4,7 +4,12 @@
 //
 //   $ ./example_solve_file <domain.sk> <problem.sk> [--greedy] [--plan-only]
 //                          [--deadline-ms <D>] [--trace <file>] [--stats-json]
-//                          [--log <level>]
+//                          [--lint] [--log <level>]
+//
+// --lint runs the static-analysis battery (analysis/analyzer.hpp) over the
+// compiled instance and prints its findings before planning; when the
+// analysis proves the instance infeasible the search is skipped entirely
+// and the exit code is 1 (the no-plan code).
 //
 // --deadline-ms bounds the planning time: when the deadline fires the run
 // stops cooperatively at the next progress tick.  If the stopped search held
@@ -31,6 +36,7 @@
 #include <memory>
 #include <sstream>
 
+#include "analysis/analyzer.hpp"
 #include "core/planner.hpp"
 #include "core/stats.hpp"
 #include "model/compile.hpp"
@@ -61,7 +67,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <domain.sk> <problem.sk> [--greedy] [--plan-only]\n"
                  "          [--deadline-ms <D>] [--trace <file>] [--stats-json]\n"
-                 "          [--log <level>]\n",
+                 "          [--lint] [--log <level>]\n",
                  argv[0]);
     return 2;
   }
@@ -72,7 +78,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  bool greedy = false, plan_only = false, stats_json = false;
+  bool greedy = false, plan_only = false, stats_json = false, lint = false;
   double deadline_ms = 0.0;
   const char* trace_path = nullptr;
   for (int i = 3; i < argc; ++i) {
@@ -84,6 +90,8 @@ int main(int argc, char** argv) {
       plan_only = true;
     } else if (std::strcmp(argv[i], "--stats-json") == 0) {
       stats_json = true;
+    } else if (std::strcmp(argv[i], "--lint") == 0) {
+      lint = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
@@ -123,6 +131,16 @@ int main(int argc, char** argv) {
     std::printf("leveling: %zu ground actions (%llu combos, %llu pruned)\n", cp.actions.size(),
                 (unsigned long long)cp.combos_considered,
                 (unsigned long long)cp.combos_pruned);
+
+    if (lint) {
+      const analysis::AnalysisReport report = analysis::analyze(cp);
+      std::printf("\nlint:\n%s\n", report.render_text().c_str());
+      if (report.provably_infeasible) {
+        std::printf("no plan: pre-flight analysis proves the instance "
+                    "infeasible; search skipped\n");
+        return 1;
+      }
+    }
 
     core::PlannerOptions opt;
     if (greedy) opt.mode = core::PlannerOptions::Mode::Greedy;

@@ -1,0 +1,329 @@
+#include "analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+#include <vector>
+
+#include "analysis/hygiene.hpp"
+#include "analysis/reachability.hpp"
+#include "model/problem.hpp"
+#include "net/network.hpp"
+
+namespace sekitei::analysis {
+
+namespace {
+
+using model::ActionKind;
+using model::CompiledProblem;
+using model::GroundAction;
+
+/// Applies suppression, --Werror promotion and the per-code cap around the
+/// raw check emissions.
+class Emitter {
+ public:
+  Emitter(AnalysisReport& report, const AnalysisOptions& options)
+      : report_(report), options_(options) {
+    emitted_.fill(0);
+    overflow_.fill(0);
+  }
+
+  void operator()(Code code, std::string subject, std::string message,
+                  std::string source) {
+    if (std::find(options_.suppress.begin(), options_.suppress.end(), code) !=
+        options_.suppress.end()) {
+      ++report_.suppressed;
+      return;
+    }
+    const auto idx = static_cast<std::size_t>(code);
+    if (options_.max_per_code != 0 && emitted_[idx] >= options_.max_per_code) {
+      ++overflow_[idx];
+      return;
+    }
+    ++emitted_[idx];
+    Diagnostic d;
+    d.code = code;
+    d.severity = default_severity(code);
+    if (options_.werror && d.severity == Severity::Warning) d.severity = Severity::Error;
+    d.subject = std::move(subject);
+    d.message = std::move(message);
+    d.source = std::move(source);
+    report_.diagnostics.push_back(std::move(d));
+  }
+
+  /// Appends one trailing note per overflowed code.
+  void flush_overflow() {
+    for (std::size_t i = 0; i < kCodeCount; ++i) {
+      if (overflow_[i] == 0) continue;
+      Diagnostic d;
+      d.code = static_cast<Code>(i);
+      d.severity = Severity::Note;
+      d.subject = "analysis";
+      d.message = std::to_string(overflow_[i]) + " further " +
+                  code_name(static_cast<Code>(i)) + " finding(s) omitted (cap " +
+                  std::to_string(options_.max_per_code) + " per code)";
+      report_.diagnostics.push_back(std::move(d));
+    }
+  }
+
+ private:
+  AnalysisReport& report_;
+  const AnalysisOptions& options_;
+  std::array<std::size_t, kCodeCount> emitted_{};
+  std::array<std::size_t, kCodeCount> overflow_{};
+};
+
+bool component_preplaced(const CompiledProblem& cp, const std::string& name) {
+  for (const auto& [comp, node] : cp.problem->preplaced) {
+    if (comp == name) return true;
+  }
+  return false;
+}
+
+bool interface_used(const CompiledProblem& cp, std::uint32_t iface) {
+  const std::string& name = cp.iface_names[iface];
+  for (std::size_t c = 0; c < cp.domain->component_count(); ++c) {
+    const spec::ComponentSpec& cs = cp.domain->component_at(c);
+    if (std::find(cs.inputs.begin(), cs.inputs.end(), name) != cs.inputs.end()) return true;
+    if (std::find(cs.outputs.begin(), cs.outputs.end(), name) != cs.outputs.end()) return true;
+  }
+  return false;
+}
+
+bool interface_available_anywhere(const CompiledProblem& cp, const ReachabilityResult& reach,
+                                  std::uint32_t iface) {
+  const std::uint32_t levels = cp.iface_levels[iface].levels.count();
+  for (NodeId n : cp.net->node_ids()) {
+    for (std::uint32_t k = 0; k < levels; ++k) {
+      if (reach.reached(cp.props.find_avail(InterfaceId(iface), n, k))) return true;
+    }
+  }
+  return false;
+}
+
+/// Stage 1's verdict on one goal proposition; emits nothing when the goal is
+/// reached (or already holds initially).
+template <class Fn>
+void goal_verdict(const CompiledProblem& cp, const ReachabilityResult& reach, PropId gp,
+                  Fn&& emit) {
+  if (cp.init_holds(gp) || reach.reached(gp)) return;
+  const model::PropKey& key = cp.props.key(gp);
+  const std::string comp = cp.domain->component_at(key.entity).name;
+  const NodeId node(key.node);
+  if (cp.achievers_of(gp).empty()) {
+    std::string why =
+        cp.problem->placeable_at(comp, node)
+            ? "every leveled placement of it was pruned during grounding — no level "
+              "combination satisfies its conditions against the node's capacities"
+            : "the problem's placement rules forbid placing it there and it is not "
+              "preplaced";
+    emit(Code::GoalUnplaceable, "goal " + cp.describe(gp),
+         "no ground action can ever achieve this goal: " + why +
+             "; the instance is provably infeasible");
+  } else {
+    emit(Code::GoalUnreachable, "goal " + cp.describe(gp),
+         "unreachable under interval-relaxed reachability: no sequence of ground "
+         "actions composes producible values that satisfy every precondition on "
+         "the way to this goal; the instance is provably infeasible");
+  }
+}
+
+void stage1_reachability(const CompiledProblem& cp, const ReachabilityResult& reach,
+                         const AnalysisOptions& options, AnalysisReport& report,
+                         Emitter& emit) {
+  if (!reach.converged) {
+    emit(Code::AnalysisInconclusive, "reachability fixpoint",
+         "interval widening did not converge within " + std::to_string(options.max_sweeps) +
+             " sweeps (a self-amplifying production cycle?); no unreachability "
+             "claims are made",
+         "");
+    return;
+  }
+  for (PropId gp : cp.goal_props) {
+    goal_verdict(cp, reach, gp,
+                 [&](Code code, std::string subject, std::string message) {
+                   if (!report.provably_infeasible) {
+                     report.provably_infeasible = true;
+                     report.infeasible_reason = subject + ": " + message;
+                   }
+                   emit(code, std::move(subject), std::move(message), "");
+                 });
+  }
+}
+
+void stage2_intervals(const CompiledProblem& cp, const ReachabilityResult& reach,
+                      Emitter& emit) {
+  // Components no node admits.
+  std::vector<char> has_place(cp.domain->component_count(), 0);
+  std::vector<char> has_cross(cp.iface_names.size(), 0);
+  for (const GroundAction& act : cp.actions) {
+    if (act.kind == ActionKind::Place) {
+      has_place[act.spec_index] = 1;
+    } else {
+      has_cross[act.spec_index] = 1;
+    }
+  }
+  for (std::size_t c = 0; c < cp.domain->component_count(); ++c) {
+    const std::string& name = cp.domain->component_at(c).name;
+    if (has_place[c] || component_preplaced(cp, name)) continue;
+    auto it = cp.problem->placement_rule.find(name);
+    const bool forbidden = it != cp.problem->placement_rule.end() && it->second.empty();
+    emit(Code::NeverPlaceableComponent, "component " + name,
+         forbidden
+             ? "placement is forbidden and it is preplaced nowhere — it can never exist"
+             : "no node admits any leveled placement of it: every (node, level) "
+               "combination was pruned against the network's capacities",
+         "");
+  }
+
+  // Interfaces no link can carry.
+  if (cp.net->link_count() > 0) {
+    for (std::uint32_t i = 0; i < cp.iface_names.size(); ++i) {
+      if (has_cross[i] || !interface_used(cp, i)) continue;
+      emit(Code::InterfaceCannotCross, "interface " + cp.iface_names[i],
+           "no level of it can cross any link (every crossing combination was "
+           "pruned against link capacities); producers and consumers must be "
+           "co-located",
+           "");
+    }
+  }
+
+  // Level cutpoints no producible value ever inhabits.
+  if (!reach.converged) return;
+  for (std::uint32_t i = 0; i < cp.iface_names.size(); ++i) {
+    const model::IfaceLevelInfo& info = cp.iface_levels[i];
+    if (!info.prop.valid() || !interface_used(cp, i)) continue;
+    if (!interface_available_anywhere(cp, reach, i)) continue;  // SK202 reports it whole
+    for (std::uint32_t k = 0; k < info.levels.count(); ++k) {
+      bool inhabited = false;
+      for (NodeId n : cp.net->node_ids()) {
+        if (reach.reached(cp.props.find_avail(InterfaceId(i), n, k))) {
+          inhabited = true;
+          break;
+        }
+      }
+      if (!inhabited) {
+        emit(Code::UninhabitedLevel,
+             "level L" + std::to_string(k) + " of " + cp.iface_names[i] + "." +
+                 cp.names.str(info.prop),
+             "interval " + info.levels.interval(k).str() +
+                 " is never inhabited at any node; the cutpoints partition no "
+                 "producible value there",
+             "");
+      }
+    }
+  }
+}
+
+void stage4_dead_code(const CompiledProblem& cp, const ReachabilityResult& reach,
+                      Emitter& emit) {
+  if (!reach.converged) return;
+  for (std::uint32_t i = 0; i < cp.iface_names.size(); ++i) {
+    if (!interface_used(cp, i)) continue;
+    if (!interface_available_anywhere(cp, reach, i)) {
+      emit(Code::UnreachableInterface, "interface " + cp.iface_names[i],
+           "never becomes available at any node: nothing produces it from the "
+           "initial state",
+           "");
+    }
+  }
+  for (std::uint32_t ai = 0; ai < cp.actions.size(); ++ai) {
+    if (reach.fired(ActionId(ai))) continue;
+    const GroundAction& act = cp.actions[ai];
+    std::string why = "no producible input values satisfy its conditions and "
+                      "asserted output levels";
+    for (PropId p : act.pre) {
+      if (!reach.reached(p)) {
+        why = "precondition " + cp.describe(p) + " is never reached";
+        break;
+      }
+    }
+    emit(Code::DeadAction, "action " + cp.describe(ActionId(ai)), why + "; the action is dead",
+         "");
+  }
+}
+
+}  // namespace
+
+std::size_t AnalysisReport::count(Severity s) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) n += d.severity == s;
+  return n;
+}
+
+int AnalysisReport::exit_code() const { return count(Severity::Error) > 0 ? 1 : 0; }
+
+std::string AnalysisReport::render_text() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.text();
+    out.push_back('\n');
+  }
+  const std::size_t errors = count(Severity::Error);
+  const std::size_t warnings = count(Severity::Warning);
+  const std::size_t notes = count(Severity::Note);
+  if (diagnostics.empty()) {
+    out += "clean: no findings";
+  } else {
+    out += std::to_string(errors) + " error(s), " + std::to_string(warnings) +
+           " warning(s), " + std::to_string(notes) + " note(s)";
+  }
+  if (suppressed > 0) out += ", " + std::to_string(suppressed) + " suppressed";
+  out.push_back('\n');
+  return out;
+}
+
+std::string AnalysisReport::render_ndjson() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.json();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+AnalysisReport analyze(const model::CompiledProblem& cp, const AnalysisOptions& options) {
+  AnalysisReport report;
+  Emitter emit(report, options);
+
+  ReachabilityResult reach;
+  if (options.reachability || options.intervals) {
+    reach = relaxed_reach(cp, options.max_sweeps);
+    report.converged = reach.converged;
+    report.sweeps = reach.sweeps;
+    report.props_reached = reach.props_reached_count();
+    report.actions_fireable = reach.actions_fired_count();
+  }
+
+  if (options.reachability) stage1_reachability(cp, reach, options, report, emit);
+  if (options.intervals) stage2_intervals(cp, reach, emit);
+  if (options.hygiene) {
+    run_hygiene_checks(cp, [&](Code code, std::string subject, std::string message,
+                               std::string source) {
+      emit(code, std::move(subject), std::move(message), std::move(source));
+    });
+  }
+  if (options.reachability) stage4_dead_code(cp, reach, emit);
+  emit.flush_overflow();
+  return report;
+}
+
+PreflightVerdict preflight(const model::CompiledProblem& cp, std::uint32_t max_sweeps) {
+  PreflightVerdict verdict;
+  const ReachabilityResult reach = relaxed_reach(cp, max_sweeps);
+  verdict.sweeps = reach.sweeps;
+  if (!reach.converged) return verdict;  // inconclusive: let the planner decide
+  for (PropId gp : cp.goal_props) {
+    goal_verdict(cp, reach, gp, [&](Code code, std::string subject, std::string message) {
+      if (!verdict.infeasible) {
+        verdict.infeasible = true;
+        verdict.code = code_id(code);
+        verdict.reason = subject + ": " + message;
+      }
+    });
+    if (verdict.infeasible) break;
+  }
+  return verdict;
+}
+
+}  // namespace sekitei::analysis

@@ -1,0 +1,88 @@
+// The static-analysis battery over a compiled problem, and the pre-flight
+// fast path used by the planning service.
+//
+// analyze() runs an ordered battery of checks:
+//
+//   1. reachability  interval-annotated relaxed reachability (reachability.hpp):
+//                    goals proven unachievable => SK001/SK002 errors and
+//                    report.provably_infeasible; non-convergent widening =>
+//                    SK205 note (no claims are made).
+//   2. intervals     capacity composition: components no node admits (SK101),
+//                    level cutpoints no producible value ever inhabits
+//                    (SK204), interfaces no link can carry (SK203).
+//   3. hygiene       spec smells (hygiene.hpp): SK102..SK108.
+//   4. dead code     interfaces that never become available (SK202) and
+//                    ground actions that can never fire (SK201) — notes:
+//                    leveled grounding *expects* dead combinations.
+//
+// preflight() is the cheap subset the service runs before spending a search
+// budget: stage 1 only, goal verdict only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "model/compile.hpp"
+
+namespace sekitei::analysis {
+
+struct AnalysisOptions {
+  bool reachability = true;  // stages 1 and 4
+  bool intervals = true;     // stage 2
+  bool hygiene = true;       // stage 3
+  /// Promote warnings to errors (notes are unaffected).
+  bool werror = false;
+  /// Codes to drop entirely (not rendered, not counted in the exit code).
+  std::vector<Code> suppress;
+  /// Widening budget of the reachability fixpoint.
+  std::uint32_t max_sweeps = 64;
+  /// At most this many findings are kept per code; a trailing note counts
+  /// the overflow.  0 = unlimited.
+  std::size_t max_per_code = 25;
+};
+
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+
+  /// True when stage 1 proved a goal unachievable (always accompanied by an
+  /// SK001/SK002 error diagnostic, suppression notwithstanding).
+  bool provably_infeasible = false;
+  std::string infeasible_reason;
+
+  bool converged = true;
+  std::uint32_t sweeps = 0;
+  std::uint64_t props_reached = 0;
+  std::uint64_t actions_fireable = 0;
+  /// Findings dropped by AnalysisOptions::suppress.
+  std::size_t suppressed = 0;
+
+  [[nodiscard]] std::size_t count(Severity s) const;
+  /// Lint exit-code convention: 1 when any error survived, else 0 (loader
+  /// failures exit 2 before a report exists).
+  [[nodiscard]] int exit_code() const;
+
+  /// Compiler-style text rendering, one finding per paragraph plus a summary
+  /// line; "clean" summary when there are no findings.
+  [[nodiscard]] std::string render_text() const;
+  /// One JSON object per line, findings in battery order.
+  [[nodiscard]] std::string render_ndjson() const;
+};
+
+[[nodiscard]] AnalysisReport analyze(const model::CompiledProblem& cp,
+                                     const AnalysisOptions& options = {});
+
+/// The service's pre-flight verdict: is the instance provably infeasible?
+/// `reason` and `code` are filled from the first goal error when it is.
+struct PreflightVerdict {
+  bool infeasible = false;
+  std::string reason;
+  const char* code = "";
+  std::uint32_t sweeps = 0;
+};
+
+[[nodiscard]] PreflightVerdict preflight(const model::CompiledProblem& cp,
+                                         std::uint32_t max_sweeps = 64);
+
+}  // namespace sekitei::analysis

@@ -1,0 +1,102 @@
+#include "analysis/diagnostic.hpp"
+
+#include "support/json.hpp"
+
+namespace sekitei::analysis {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "note";
+}
+
+namespace {
+
+struct CodeInfo {
+  Code code;
+  const char* id;
+  const char* name;
+  Severity severity;
+};
+
+constexpr CodeInfo kCodes[kCodeCount] = {
+    {Code::GoalUnreachable, "SK001", "goal-unreachable", Severity::Error},
+    {Code::GoalUnplaceable, "SK002", "goal-unplaceable", Severity::Error},
+    {Code::NeverPlaceableComponent, "SK101", "never-placeable-component", Severity::Warning},
+    {Code::NonMonotoneFormula, "SK102", "non-monotone-formula", Severity::Warning},
+    {Code::TagMismatch, "SK103", "tag-mismatch", Severity::Warning},
+    {Code::UnusedInterface, "SK104", "unused-interface", Severity::Warning},
+    {Code::UnusedProperty, "SK105", "unused-property", Severity::Warning},
+    {Code::ShadowedComponent, "SK106", "shadowed-component", Severity::Warning},
+    {Code::DuplicateName, "SK107", "duplicate-name", Severity::Warning},
+    {Code::GoalPreplaced, "SK108", "goal-preplaced", Severity::Warning},
+    {Code::DeadAction, "SK201", "dead-action", Severity::Note},
+    {Code::UnreachableInterface, "SK202", "unreachable-interface", Severity::Note},
+    {Code::InterfaceCannotCross, "SK203", "interface-cannot-cross", Severity::Note},
+    {Code::UninhabitedLevel, "SK204", "uninhabited-level", Severity::Note},
+    {Code::AnalysisInconclusive, "SK205", "analysis-inconclusive", Severity::Note},
+};
+
+const CodeInfo& info(Code c) {
+  for (const CodeInfo& ci : kCodes) {
+    if (ci.code == c) return ci;
+  }
+  return kCodes[0];
+}
+
+}  // namespace
+
+const char* code_id(Code c) { return info(c).id; }
+const char* code_name(Code c) { return info(c).name; }
+Severity default_severity(Code c) { return info(c).severity; }
+
+bool parse_code(const std::string& text, Code* out) {
+  for (const CodeInfo& ci : kCodes) {
+    if (text == ci.id || text == ci.name) {
+      *out = ci.code;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Diagnostic::text() const {
+  std::string out = severity_name(severity);
+  out += '[';
+  out += code_id(code);
+  out += "] ";
+  out += code_name(code);
+  out += ": ";
+  out += subject;
+  out += ": ";
+  out += message;
+  if (!source.empty()) {
+    out += "\n    at: ";
+    out += source;
+  }
+  return out;
+}
+
+std::string Diagnostic::json() const {
+  std::string out = "{\"code\":";
+  json::append_escaped(out, code_id(code));
+  out += ",\"name\":";
+  json::append_escaped(out, code_name(code));
+  out += ",\"severity\":";
+  json::append_escaped(out, severity_name(severity));
+  out += ",\"subject\":";
+  json::append_escaped(out, subject);
+  out += ",\"message\":";
+  json::append_escaped(out, message);
+  if (!source.empty()) {
+    out += ",\"source\":";
+    json::append_escaped(out, source);
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace sekitei::analysis

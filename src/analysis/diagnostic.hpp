@@ -1,0 +1,73 @@
+// Diagnostics emitted by the static analyzer (analysis/analyzer.hpp).
+//
+// Every finding carries a stable code (SKxxx), a severity, the entity it is
+// about (`subject`), a human-readable message and, when the finding points at
+// a concrete formula, the formula's source text as a span.  Two renderers are
+// provided: a compiler-style text form for terminals and an NDJSON form (one
+// object per line, written through support/json.hpp) for tooling.
+//
+// Severity model:
+//   error    provable infeasibility — the instance cannot have a plan
+//   warning  suspect specification — likely a mistake, possibly intended
+//   note     informational — expected on many valid instances (dead leveled
+//            actions, for example, are exactly what leveling-time pruning
+//            and unreachable regions produce)
+// `--Werror` promotes warnings to errors; notes never affect the exit code.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sekitei::analysis {
+
+enum class Severity : unsigned char { Note, Warning, Error };
+
+[[nodiscard]] const char* severity_name(Severity s);
+
+/// Stable diagnostic codes.  Numbering groups by severity family:
+/// SK0xx provable infeasibility (errors), SK1xx spec hygiene (warnings),
+/// SK2xx informational findings (notes).
+enum class Code : unsigned char {
+  GoalUnreachable,          // SK001
+  GoalUnplaceable,          // SK002
+  NeverPlaceableComponent,  // SK101
+  NonMonotoneFormula,       // SK102
+  TagMismatch,              // SK103
+  UnusedInterface,          // SK104
+  UnusedProperty,           // SK105
+  ShadowedComponent,        // SK106
+  DuplicateName,            // SK107
+  GoalPreplaced,            // SK108
+  DeadAction,               // SK201
+  UnreachableInterface,     // SK202
+  InterfaceCannotCross,     // SK203
+  UninhabitedLevel,         // SK204
+  AnalysisInconclusive,     // SK205
+};
+
+inline constexpr std::size_t kCodeCount = 15;
+
+/// "SK001", "SK101", ...
+[[nodiscard]] const char* code_id(Code c);
+/// "goal-unreachable", "dead-action", ...
+[[nodiscard]] const char* code_name(Code c);
+[[nodiscard]] Severity default_severity(Code c);
+
+/// Parses either form ("SK104" or "unused-interface"); false when unknown.
+[[nodiscard]] bool parse_code(const std::string& text, Code* out);
+
+struct Diagnostic {
+  Code code = Code::GoalUnreachable;
+  Severity severity = Severity::Error;  // effective (post --Werror promotion)
+  std::string subject;                  // entity, e.g. "component Merger"
+  std::string message;
+  std::string source;  // formula/source span when the finding points at one
+
+  /// "error[SK001] goal-unreachable: <subject>: <message>" (+ source line).
+  [[nodiscard]] std::string text() const;
+  /// One JSON object, no trailing newline.
+  [[nodiscard]] std::string json() const;
+};
+
+}  // namespace sekitei::analysis

@@ -1,0 +1,275 @@
+#include "analysis/hygiene.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "expr/monotonicity.hpp"
+
+namespace sekitei::analysis {
+
+namespace {
+
+using spec::ComponentSpec;
+using spec::DomainSpec;
+using spec::InterfaceSpec;
+using spec::LevelTag;
+
+void walk_refs(const expr::Node& n,
+               const std::function<void(const expr::RoleRef&)>& fn) {
+  if (n.kind == expr::NodeKind::Var) fn(n.ref);
+  if (n.a) walk_refs(*n.a, fn);
+  if (n.b) walk_refs(*n.b, fn);
+}
+
+/// Every (scope, property) role mentioned anywhere in the domain's formulae,
+/// effect targets included.
+std::set<std::pair<std::string, std::string>> collect_mentions(const DomainSpec& dom) {
+  std::set<std::pair<std::string, std::string>> mentions;
+  auto note = [&](const expr::RoleRef& ref) { mentions.emplace(ref.scope, ref.prop); };
+  auto scan = [&](const expr::Node* n) {
+    if (n != nullptr) walk_refs(*n, note);
+  };
+  for (std::size_t c = 0; c < dom.component_count(); ++c) {
+    const ComponentSpec& cs = dom.component_at(c);
+    for (const expr::ConditionAst& cond : cs.conditions) {
+      scan(cond.lhs.get());
+      scan(cond.rhs.get());
+    }
+    for (const expr::EffectAst& eff : cs.effects) {
+      note(eff.target);
+      scan(eff.value.get());
+    }
+    scan(cs.cost.get());
+  }
+  for (std::size_t i = 0; i < dom.interface_count(); ++i) {
+    const InterfaceSpec& is = dom.interface_at(i);
+    for (const expr::ConditionAst& cond : is.cross_conditions) {
+      scan(cond.lhs.get());
+      scan(cond.rhs.get());
+    }
+    for (const expr::EffectAst& eff : is.cross_effects) {
+      note(eff.target);
+      scan(eff.value.get());
+    }
+    scan(is.cross_cost.get());
+  }
+  return mentions;
+}
+
+void check_duplicate_names(const DomainSpec& dom, const Emit& emit) {
+  for (std::size_t i = 1; i < dom.interface_count(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (dom.interface_at(i).name == dom.interface_at(j).name) {
+        emit(Code::DuplicateName, "interface " + dom.interface_at(i).name,
+             "declared more than once; lookups by name only ever see the first "
+             "declaration",
+             "");
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 1; i < dom.component_count(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (dom.component_at(i).name == dom.component_at(j).name) {
+        emit(Code::DuplicateName, "component " + dom.component_at(i).name,
+             "declared more than once; lookups by name only ever see the first "
+             "declaration",
+             "");
+        break;
+      }
+    }
+  }
+}
+
+void check_shadowed_components(const DomainSpec& dom, const Emit& emit) {
+  auto signature = [](const ComponentSpec& cs) {
+    std::vector<std::string> in = cs.inputs;
+    std::vector<std::string> out = cs.outputs;
+    std::sort(in.begin(), in.end());
+    std::sort(out.begin(), out.end());
+    return std::make_pair(in, out);
+  };
+  for (std::size_t i = 1; i < dom.component_count(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (dom.component_at(i).name == dom.component_at(j).name) continue;  // SK107 covers it
+      if (signature(dom.component_at(i)) == signature(dom.component_at(j))) {
+        emit(Code::ShadowedComponent, "component " + dom.component_at(i).name,
+             "has the same requires/implements signature as component " +
+                 dom.component_at(j).name +
+                 "; every deployment using one admits the other, so the costlier "
+                 "of the two is shadowed",
+             "");
+        break;
+      }
+    }
+  }
+}
+
+void check_monotonicity(const DomainSpec& dom, const Emit& emit) {
+  auto check = [&](const std::string& subject, const expr::Node* ast,
+                   const std::string& source) {
+    if (ast == nullptr || expr::is_monotone(*ast)) return;
+    emit(Code::NonMonotoneFormula, subject,
+         "formula is not syntactically monotone in every variable it mentions; "
+         "optimistic interval reasoning over it is unsound (Section 2.2's "
+         "monotonicity premise)",
+         source);
+  };
+  for (std::size_t c = 0; c < dom.component_count(); ++c) {
+    const ComponentSpec& cs = dom.component_at(c);
+    const std::string subject = "component " + cs.name;
+    for (const expr::ConditionAst& cond : cs.conditions) {
+      check(subject, cond.lhs.get(), cond.str());
+      check(subject, cond.rhs.get(), cond.str());
+    }
+    for (const expr::EffectAst& eff : cs.effects) check(subject, eff.value.get(), eff.str());
+    check(subject, cs.cost.get(), cs.cost ? "cost " + cs.cost->str() : "");
+  }
+  for (std::size_t i = 0; i < dom.interface_count(); ++i) {
+    const InterfaceSpec& is = dom.interface_at(i);
+    const std::string subject = "interface " + is.name;
+    for (const expr::ConditionAst& cond : is.cross_conditions) {
+      check(subject, cond.lhs.get(), cond.str());
+      check(subject, cond.rhs.get(), cond.str());
+    }
+    for (const expr::EffectAst& eff : is.cross_effects) {
+      check(subject, eff.value.get(), eff.str());
+    }
+    check(subject, is.cross_cost.get(), is.cross_cost ? "cost " + is.cross_cost->str() : "");
+  }
+}
+
+/// Direction of consumer conditions in (iface.prop): same aggregation as
+/// DomainSpec::auto_tag_properties, used here in reverse — to flag declared
+/// tags that contradict what the formulae say.
+void check_tag_mismatch(const DomainSpec& dom, const Emit& emit) {
+  for (std::size_t i = 0; i < dom.interface_count(); ++i) {
+    const InterfaceSpec& iface = dom.interface_at(i);
+    for (const spec::PropertySpec& prop : iface.properties) {
+      if (prop.tag == LevelTag::None) continue;
+      const std::string var = iface.name + "." + prop.name;
+      bool easier = false, harder = false, mixed = false;
+      auto classify = [&](const expr::ConditionAst& cond) {
+        auto dl = expr::analyze(*cond.lhs);
+        auto dr = expr::analyze(*cond.rhs);
+        const auto itl = dl.find(var);
+        const auto itr = dr.find(var);
+        if (itl == dl.end() && itr == dr.end()) return;
+        // Conditions coupling the property to node/link resources express
+        // deployment cost, not the consumer's tolerance to level shifts;
+        // they say nothing about what the tag declares.
+        for (const auto& kv : dl) {
+          if (kv.first.starts_with("node.") || kv.first.starts_with("link.")) return;
+        }
+        for (const auto& kv : dr) {
+          if (kv.first.starts_with("node.") || kv.first.starts_with("link.")) return;
+        }
+        using expr::Direction;
+        const Direction d = expr::combine_add(
+            itl == dl.end() ? Direction::Constant : itl->second,
+            expr::flip(itr == dr.end() ? Direction::Constant : itr->second));
+        if (cond.op == expr::CmpOp::Eq || cond.op == expr::CmpOp::Ne ||
+            d == Direction::Unknown) {
+          mixed = true;
+          return;
+        }
+        if (d == Direction::Constant) return;
+        const bool ge_like = cond.op == expr::CmpOp::Ge || cond.op == expr::CmpOp::Gt;
+        const bool grows = d == Direction::NonDecreasing;
+        if (ge_like == grows) {
+          easier = true;
+        } else {
+          harder = true;
+        }
+      };
+      for (std::size_t c = 0; c < dom.component_count(); ++c) {
+        const ComponentSpec& cs = dom.component_at(c);
+        const bool consumes = std::find(cs.inputs.begin(), cs.inputs.end(), iface.name) !=
+                              cs.inputs.end();
+        if (!consumes) continue;
+        for (const expr::ConditionAst& cond : cs.conditions) classify(cond);
+      }
+      for (const expr::ConditionAst& cond : iface.cross_conditions) classify(cond);
+      if (mixed || (easier && harder) || (!easier && !harder)) continue;
+      const LevelTag derived = easier ? LevelTag::Degradable : LevelTag::Upgradable;
+      if (derived != prop.tag) {
+        emit(Code::TagMismatch, "property " + var,
+             std::string("declared ") + spec::level_tag_name(prop.tag) +
+                 " but every consumer condition derives " +
+                 spec::level_tag_name(derived) +
+                 "; the cross-level closure this tag grants is unsound if the "
+                 "declaration is wrong",
+             "");
+      }
+    }
+  }
+}
+
+void check_unused(const model::CompiledProblem& cp, const Emit& emit) {
+  const DomainSpec& dom = *cp.domain;
+  const auto mentions = collect_mentions(dom);
+
+  for (std::size_t i = 0; i < dom.interface_count(); ++i) {
+    const InterfaceSpec& iface = dom.interface_at(i);
+    bool used = false;
+    for (std::size_t c = 0; c < dom.component_count() && !used; ++c) {
+      const ComponentSpec& cs = dom.component_at(c);
+      used = std::find(cs.inputs.begin(), cs.inputs.end(), iface.name) != cs.inputs.end() ||
+             std::find(cs.outputs.begin(), cs.outputs.end(), iface.name) != cs.outputs.end();
+    }
+    if (!used) {
+      emit(Code::UnusedInterface, "interface " + iface.name,
+           "no component requires or implements it", "");
+      continue;  // per-property findings would only repeat the same news
+    }
+    for (const spec::PropertySpec& prop : iface.properties) {
+      bool referenced = mentions.count({iface.name, prop.name}) != 0;
+      // The leveled property is load-bearing even when no formula mentions it.
+      const model::IfaceLevelInfo& info = cp.iface_levels[i];
+      if (info.prop.valid() && cp.names.str(info.prop) == prop.name) referenced = true;
+      for (const model::InitialStream& is : cp.problem->initial_streams) {
+        if (is.iface == iface.name && is.prop == prop.name) referenced = true;
+      }
+      if (!referenced) {
+        emit(Code::UnusedProperty, "property " + iface.name + "." + prop.name,
+             "never referenced by any formula, level set, or initial stream", "");
+      }
+    }
+  }
+}
+
+void check_goal_preplaced(const model::CompiledProblem& cp, const Emit& emit) {
+  auto preplaced = [&](const std::string& comp, NodeId node) {
+    for (const auto& [pc, pn] : cp.problem->preplaced) {
+      if (pc == comp && pn == node) return true;
+    }
+    return false;
+  };
+  auto check = [&](const std::string& comp, NodeId node) {
+    if (preplaced(comp, node)) {
+      emit(Code::GoalPreplaced, "goal " + comp + " at " + cp.net->node(node).name,
+           "the goal component is already preplaced at its goal node; the goal "
+           "holds in the initial state and planning is a no-op for it",
+           "");
+    }
+  };
+  check(cp.problem->goal_component, cp.problem->goal_node);
+  for (const auto& [comp, node] : cp.problem->extra_goals) check(comp, node);
+}
+
+}  // namespace
+
+void run_hygiene_checks(const model::CompiledProblem& cp, const Emit& emit) {
+  const DomainSpec& dom = *cp.domain;
+  check_monotonicity(dom, emit);
+  check_tag_mismatch(dom, emit);
+  check_unused(cp, emit);
+  check_shadowed_components(dom, emit);
+  check_duplicate_names(dom, emit);
+  check_goal_preplaced(cp, emit);
+}
+
+}  // namespace sekitei::analysis

@@ -1,0 +1,23 @@
+// Spec hygiene checks (stage 3 of the analyzer battery): findings about the
+// *specification* rather than about reachability — non-monotone formulae,
+// declared degradable/upgradable tags contradicting the syntactic direction
+// analysis, unused interfaces/properties, components with identical
+// requires/implements signatures, duplicate names, and goals already
+// satisfied by the initial deployment.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "analysis/diagnostic.hpp"
+#include "model/compile.hpp"
+
+namespace sekitei::analysis {
+
+/// Emission callback: (code, subject, message, source-span).
+using Emit =
+    std::function<void(Code, std::string, std::string, std::string)>;
+
+void run_hygiene_checks(const model::CompiledProblem& cp, const Emit& emit);
+
+}  // namespace sekitei::analysis

@@ -1,6 +1,7 @@
 #include "net/generator.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,14 @@ std::map<std::string, double> link_res(double bw, double delay) {
   return {{"lbw", bw}, {"delay", delay}};
 }
 
+// Plain append instead of `"lit" + std::to_string(i)`: GCC 12's -Wrestrict
+// false-positives on the operator+(const char*, string&&) overload.
+std::string indexed(const char* prefix, std::uint64_t i) {
+  std::string s(prefix);
+  s += std::to_string(i);
+  return s;
+}
+
 }  // namespace
 
 Network transit_stub(const TransitStubParams& p, std::uint64_t seed) {
@@ -25,7 +34,7 @@ Network transit_stub(const TransitStubParams& p, std::uint64_t seed) {
   std::vector<NodeId> transit;
   transit.reserve(p.transit_nodes);
   for (std::uint32_t i = 0; i < p.transit_nodes; ++i) {
-    transit.push_back(net.add_node("t" + std::to_string(i), cpu_res(p.node_cpu)));
+    transit.push_back(net.add_node(indexed("t", i), cpu_res(p.node_cpu)));
   }
   for (std::uint32_t i = 0; i + 1 < p.transit_nodes; ++i) {
     net.add_link(transit[i], transit[i + 1], LinkClass::Wan,
@@ -51,7 +60,7 @@ Network transit_stub(const TransitStubParams& p, std::uint64_t seed) {
     for (std::uint32_t s = 0; s < p.stubs_per_transit; ++s, ++stub_index) {
       std::vector<NodeId> stub;
       stub.reserve(p.nodes_per_stub);
-      const std::string prefix = "s" + std::to_string(stub_index) + "_";
+      const std::string prefix = indexed("s", stub_index) + "_";
       for (std::uint32_t k = 0; k < p.nodes_per_stub; ++k) {
         stub.push_back(net.add_node(prefix + std::to_string(k), cpu_res(p.node_cpu)));
       }
@@ -84,7 +93,7 @@ Network waxman(const WaxmanParams& p, std::uint64_t seed) {
   for (std::uint32_t i = 0; i < p.nodes; ++i) {
     x[i] = rng.next_double();
     y[i] = rng.next_double();
-    net.add_node("w" + std::to_string(i), cpu_res(p.node_cpu));
+    net.add_node(indexed("w", i), cpu_res(p.node_cpu));
   }
   const double max_dist = std::sqrt(2.0);
   for (std::uint32_t i = 0; i < p.nodes; ++i) {
@@ -122,7 +131,7 @@ Network chain(const std::vector<ChainLinkSpec>& links, double node_cpu) {
   Network net;
   NodeId prev = net.add_node("n0", cpu_res(node_cpu));
   for (std::size_t i = 0; i < links.size(); ++i) {
-    NodeId cur = net.add_node("n" + std::to_string(i + 1), cpu_res(node_cpu));
+    NodeId cur = net.add_node(indexed("n", i + 1), cpu_res(node_cpu));
     net.add_link(prev, cur, links[i].cls, link_res(links[i].bandwidth, links[i].delay));
     prev = cur;
   }

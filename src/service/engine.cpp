@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/analyzer.hpp"
 #include "model/fingerprint.hpp"
 #include "sim/executor.hpp"
 #include "support/error.hpp"
@@ -160,6 +161,30 @@ PlanResponse PlanningEngine::process(PlanRequest& request, double wait_ms) {
   r.cache_hit = hit;
   if (!hit) r.compile_ms = entry->compile_ms;
   const model::CompiledProblem& cp = entry->cp;
+
+  // Pre-flight: a provably-infeasible instance is answered here, before a
+  // search budget (or the degradation ladder) is committed to it.  The
+  // analysis is one-sided — it only ever rejects instances no plan can
+  // exist for — so an inconclusive verdict simply falls through.
+  if (request.preflight || options_.preflight) {
+    if (SEKITEI_FAULT_POINT("preflight")) {
+      raise("injected fault at preflight");
+    }
+    const Stopwatch preflight_watch;
+    const analysis::PreflightVerdict verdict = analysis::preflight(cp);
+    r.preflight_ran = true;
+    r.preflight_ms = preflight_watch.elapsed_ms();
+    r.preflight_sweeps = verdict.sweeps;
+    if (verdict.infeasible) {
+      r.preflight_rejected = true;
+      preflight_rejections_.fetch_add(1, std::memory_order_relaxed);
+      r.outcome = Outcome::Infeasible;
+      r.failure = std::string(verdict.code) + " " + verdict.reason;
+      SEKITEI_LOG_INFO("service.engine", "preflight rejected request",
+                       log::kv("id", r.id.c_str()), log::kv("code", verdict.code));
+      return r;
+    }
+  }
 
   // Degradation ladder setup.  When a greedy retry is available, the primary
   // (optimal) attempt only gets primary_fraction of the remaining budget —

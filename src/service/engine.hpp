@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <future>
 
 #include "service/compiled_cache.hpp"
@@ -44,6 +45,9 @@ class PlanningEngine {
     /// Reject new submissions while this many requests are queued or running
     /// (admission control); 0 = unbounded.
     std::size_t max_pending = 0;
+    /// Run the pre-flight infeasibility analyzer on every request (the
+    /// engine-wide counterpart of PlanRequest::preflight).
+    bool preflight = false;
   };
 
   /// Handle returned by submit(): the response future plus the cancellation
@@ -77,6 +81,11 @@ class PlanningEngine {
   [[nodiscard]] std::size_t pending() const {
     return pending_.load(std::memory_order_relaxed);
   }
+  /// Requests answered Infeasible by the pre-flight analyzer alone (no
+  /// search was run for them).
+  [[nodiscard]] std::uint64_t preflight_rejections() const {
+    return preflight_rejections_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Non-const request: the degradation ladder re-arms the deadline on the
@@ -86,6 +95,7 @@ class PlanningEngine {
   Options options_;
   CompiledProblemCache cache_;
   std::atomic<std::size_t> pending_{0};
+  std::atomic<std::uint64_t> preflight_rejections_{0};
   ThreadPool pool_;  // last member: destroyed (joined) first, while the cache
                      // and options it reads are still alive
 };

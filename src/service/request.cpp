@@ -64,6 +64,14 @@ std::string response_to_json(const PlanResponse& r) {
   json::append_number(out, r.wait_ms);
   out += ",\"compile_ms\":";
   json::append_number(out, r.compile_ms);
+  if (r.preflight_ran) {
+    out += ",\"preflight_ms\":";
+    json::append_number(out, r.preflight_ms);
+    out += ",\"preflight_rejected\":";
+    out += r.preflight_rejected ? "true" : "false";
+    out += ",\"preflight_sweeps\":";
+    json::append_number(out, static_cast<std::uint64_t>(r.preflight_sweeps));
+  }
   out += ",\"solve_ms\":";
   json::append_number(out, r.solve_ms);
   if (r.fallback_ms > 0.0) {

@@ -105,6 +105,13 @@ struct PlanRequest {
   /// accepting them (the full solve_file pipeline).
   bool validate = true;
 
+  /// Run the pre-flight infeasibility analyzer (analysis/analyzer.hpp) after
+  /// compile and before any search: a provably-infeasible instance answers
+  /// Infeasible immediately, without consuming the search budget.  Also
+  /// enabled engine-wide by PlanningEngine::Options::preflight.  Off by
+  /// default: with it off the engine's behaviour is unchanged.
+  bool preflight = false;
+
   /// Cancellation handle: request_stop() cancels this request whether it is
   /// still queued or already planning.  The engine arms the deadline on this
   /// same source at submit time, so one token answers both questions.
@@ -144,6 +151,11 @@ struct PlanResponse {
   double solve_ms = 0.0;     // planner time across every ladder attempt
   double fallback_ms = 0.0;  // share of solve_ms spent in the greedy retry
   double wait_ms = 0.0;      // time spent queued before a worker picked it up
+  /// Pre-flight infeasibility analysis (only meaningful when it ran).
+  bool preflight_ran = false;
+  bool preflight_rejected = false;  // answered Infeasible without any search
+  double preflight_ms = 0.0;
+  std::uint32_t preflight_sweeps = 0;  // fixpoint sweeps the analysis took
   /// Submission attempts the client made (> 1 after admission-control
   /// retries, e.g. sekitei_serve's jittered backoff).
   std::uint32_t attempts = 1;

@@ -1,8 +1,9 @@
-// Minimal recursive-descent JSON parser for the observability tests: enough
-// of RFC 8259 to validate the planner's machine-readable output (stats
-// records, Chrome trace-event files) without pulling in a JSON library.
-// Numbers parse as double; \uXXXX escapes decode to UTF-8 (no surrogate
-// pairs — the planner never emits them).
+// Minimal recursive-descent JSON *reader*: enough of RFC 8259 to validate
+// the planner's own machine-readable output (stats records, NDJSON
+// diagnostics, Chrome trace-event files) without pulling in a JSON library.
+// The writer half lives in support/json.hpp; the two share the
+// sekitei::json namespace.  Numbers parse as double; \uXXXX escapes decode
+// to UTF-8 (no surrogate pairs — the planner never emits them).
 #pragma once
 
 #include <cstdlib>
@@ -12,7 +13,7 @@
 #include <string_view>
 #include <vector>
 
-namespace jsonlite {
+namespace sekitei::json {
 
 struct Value;
 using Array = std::vector<Value>;
@@ -244,4 +245,4 @@ inline bool parse(std::string_view text, Value& out, std::string* error = nullpt
   return ok;
 }
 
-}  // namespace jsonlite
+}  // namespace sekitei::json

@@ -1,0 +1,966 @@
+// Unit tests for the static-analysis battery (analysis/analyzer.hpp): one
+// positive (triggering) and one negative (silent) instance per diagnostic
+// code, plus the option knobs (--Werror promotion, suppression, the per-code
+// cap, stage toggles), the renderers, and the service's preflight() subset.
+//
+// Instances are inline .sk strings put through the normal load/compile
+// pipeline; SK102 and SK107 cannot be expressed in the DSL (the parser
+// validates monotonicity and rejects duplicate names), so their positives
+// build on the programmatic DomainSpec API the domains/ builders use.
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/diagnostic.hpp"
+#include "expr/parser.hpp"
+#include "model/compile.hpp"
+#include "model/textio.hpp"
+
+namespace sekitei::analysis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Inline instances (mirroring tests/lint_corpus/, which golden-tests the
+// NDJSON rendering of the same shapes; here we assert on the report object).
+
+/// A hygienic, feasible producer/consumer pair: silent on every code.
+constexpr const char* kCleanDomain = R"(
+interface M {
+  property ibw degradable;
+  cross {
+    M.ibw' := min(M.ibw, link.lbw);
+    link.lbw -= min(M.ibw, link.lbw);
+  }
+  cost 1;
+}
+component Server {
+  implements M;
+  effects { M.ibw := 100; }
+  cost 1;
+}
+component Client {
+  requires M;
+  conditions { M.ibw >= 50; }
+  cost 1;
+}
+)";
+
+constexpr const char* kCleanProblem = R"(
+network {
+  node n0 { cpu 30; }
+  node n1 { cpu 30; }
+  link n0 n1 lan { lbw 150; delay 1; }
+}
+problem {
+  goal Client at n1;
+}
+scenario {
+  levels M.ibw { 50 }
+}
+)";
+
+/// Value-capped chain: every action is viable but no composition of
+/// producible values satisfies the client (SK001, plus dead Client actions).
+constexpr const char* kCappedDomain = R"(
+param demand = 90;
+param serverCap = 60;
+interface M {
+  property ibw degradable;
+  cross {
+    M.ibw' := min(M.ibw, link.lbw);
+    link.lbw -= min(M.ibw, link.lbw);
+  }
+  cost 1;
+}
+interface A {
+  property x degradable;
+  cross {
+    A.x' := min(A.x, link.lbw);
+    link.lbw -= min(A.x, link.lbw);
+  }
+  cost 1;
+}
+component Server {
+  implements M;
+  effects { M.ibw := serverCap; }
+  cost 1;
+}
+component Amp {
+  requires M;
+  implements A;
+  conditions { node.cpu >= 1; }
+  effects {
+    A.x := M.ibw;
+    node.cpu -= 1;
+  }
+  cost 1;
+}
+component Client {
+  requires A;
+  conditions { A.x >= demand; }
+  cost 1;
+}
+)";
+
+constexpr const char* kCappedProblem = R"(
+network {
+  node n0 { cpu 30; }
+  node n1 { cpu 30; }
+  link n0 n1 lan { lbw 150; delay 1; }
+}
+problem {
+  goal Client at n1;
+}
+scenario {
+  levels M.ibw { 50 }
+  levels A.x { 50 }
+}
+)";
+
+struct Compiled {
+  std::unique_ptr<model::LoadedProblem> loaded;
+  model::CompiledProblem cp;
+};
+
+Compiled compile_pair(const std::string& domain, const std::string& problem) {
+  Compiled c;
+  c.loaded = model::load_problem(domain, problem);
+  c.cp = model::compile(c.loaded->problem, c.loaded->scenario);
+  return c;
+}
+
+AnalysisReport analyze_pair(const std::string& domain, const std::string& problem,
+                            const AnalysisOptions& options = {}) {
+  const Compiled c = compile_pair(domain, problem);
+  return analyze(c.cp, options);
+}
+
+std::size_t count_code(const AnalysisReport& r, Code code) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : r.diagnostics) n += d.code == code;
+  return n;
+}
+
+bool has_code(const AnalysisReport& r, Code code) { return count_code(r, code) > 0; }
+
+const Diagnostic* find_code(const AnalysisReport& r, Code code) {
+  for (const Diagnostic& d : r.diagnostics) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostic plumbing
+
+TEST(DiagnosticTest, CodeIdAndNameRoundTripThroughParse) {
+  for (std::size_t i = 0; i < kCodeCount; ++i) {
+    const Code c = static_cast<Code>(i);
+    Code parsed{};
+    EXPECT_TRUE(parse_code(code_id(c), &parsed)) << code_id(c);
+    EXPECT_EQ(parsed, c);
+    EXPECT_TRUE(parse_code(code_name(c), &parsed)) << code_name(c);
+    EXPECT_EQ(parsed, c);
+  }
+  Code parsed{};
+  EXPECT_FALSE(parse_code("SK999", &parsed));
+  EXPECT_FALSE(parse_code("bogus-name", &parsed));
+}
+
+TEST(DiagnosticTest, SeverityFamiliesFollowTheNumbering) {
+  EXPECT_EQ(default_severity(Code::GoalUnreachable), Severity::Error);
+  EXPECT_EQ(default_severity(Code::GoalUnplaceable), Severity::Error);
+  EXPECT_EQ(default_severity(Code::TagMismatch), Severity::Warning);
+  EXPECT_EQ(default_severity(Code::DeadAction), Severity::Note);
+  EXPECT_EQ(default_severity(Code::AnalysisInconclusive), Severity::Note);
+}
+
+// ---------------------------------------------------------------------------
+// The clean instance is silent everywhere (the negative for most codes).
+
+TEST(AnalyzerTest, CleanInstanceHasNoFindings) {
+  const AnalysisReport r = analyze_pair(kCleanDomain, kCleanProblem);
+  EXPECT_TRUE(r.diagnostics.empty());
+  EXPECT_FALSE(r.provably_infeasible);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.exit_code(), 0);
+  EXPECT_GT(r.props_reached, 0u);
+  EXPECT_GT(r.actions_fireable, 0u);
+  EXPECT_NE(r.render_text().find("clean: no findings"), std::string::npos);
+  EXPECT_TRUE(r.render_ndjson().empty());
+}
+
+// ---------------------------------------------------------------------------
+// SK001 goal-unreachable
+
+TEST(AnalyzerTest, Sk001ValueCappedChainIsProvablyInfeasible) {
+  const AnalysisReport r = analyze_pair(kCappedDomain, kCappedProblem);
+  EXPECT_TRUE(r.provably_infeasible);
+  EXPECT_FALSE(r.infeasible_reason.empty());
+  EXPECT_TRUE(has_code(r, Code::GoalUnreachable));
+  EXPECT_EQ(r.exit_code(), 1);
+  const Diagnostic* d = find_code(r, Code::GoalUnreachable);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_NE(d->subject.find("Client"), std::string::npos);
+}
+
+TEST(AnalyzerTest, Sk001SilentWhenDemandIsSatisfiable) {
+  const AnalysisReport r = analyze_pair(kCleanDomain, kCleanProblem);
+  EXPECT_FALSE(has_code(r, Code::GoalUnreachable));
+}
+
+// ---------------------------------------------------------------------------
+// SK002 goal-unplaceable
+
+TEST(AnalyzerTest, Sk002PlacementRuleForbidsTheGoalNode) {
+  const std::string problem = R"(
+network {
+  node n0 { cpu 30; }
+  node n1 { cpu 30; }
+  link n0 n1 lan { lbw 150; delay 1; }
+}
+problem {
+  restrict Client to n0;
+  goal Client at n1;
+}
+scenario {
+  levels M.ibw { 50 }
+}
+)";
+  const AnalysisReport r = analyze_pair(kCleanDomain, problem);
+  EXPECT_TRUE(r.provably_infeasible);
+  EXPECT_TRUE(has_code(r, Code::GoalUnplaceable));
+  EXPECT_FALSE(has_code(r, Code::GoalUnreachable));
+  const Diagnostic* d = find_code(r, Code::GoalUnplaceable);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("placement rules"), std::string::npos);
+}
+
+TEST(AnalyzerTest, Sk002SilentWhenTheRuleAllowsTheGoalNode) {
+  const std::string problem = R"(
+network {
+  node n0 { cpu 30; }
+  node n1 { cpu 30; }
+  link n0 n1 lan { lbw 150; delay 1; }
+}
+problem {
+  restrict Client to n1;
+  goal Client at n1;
+}
+scenario {
+  levels M.ibw { 50 }
+}
+)";
+  const AnalysisReport r = analyze_pair(kCleanDomain, problem);
+  EXPECT_FALSE(has_code(r, Code::GoalUnplaceable));
+  EXPECT_FALSE(r.provably_infeasible);
+}
+
+// ---------------------------------------------------------------------------
+// SK101 never-placeable-component
+
+TEST(AnalyzerTest, Sk101ForbiddenComponentThatIsNotPreplaced) {
+  const std::string problem = R"(
+network {
+  node n0 { cpu 30; }
+  node n1 { cpu 30; }
+  link n0 n1 lan { lbw 150; delay 1; }
+}
+problem {
+  forbid Server;
+  goal Client at n1;
+}
+scenario {
+  levels M.ibw { 50 }
+}
+)";
+  const AnalysisReport r = analyze_pair(kCleanDomain, problem);
+  const Diagnostic* d = find_code(r, Code::NeverPlaceableComponent);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->subject.find("Server"), std::string::npos);
+  EXPECT_NE(d->message.find("forbidden"), std::string::npos);
+}
+
+TEST(AnalyzerTest, Sk101SilentWhenTheForbiddenComponentIsPreplaced) {
+  const std::string problem = R"(
+network {
+  node n0 { cpu 30; }
+  node n1 { cpu 30; }
+  link n0 n1 lan { lbw 150; delay 1; }
+}
+problem {
+  stream M.ibw at n0 = 100;
+  preplaced Server at n0;
+  forbid Server;
+  goal Client at n1;
+}
+scenario {
+  levels M.ibw { 50 }
+}
+)";
+  const AnalysisReport r = analyze_pair(kCleanDomain, problem);
+  EXPECT_FALSE(has_code(r, Code::NeverPlaceableComponent));
+}
+
+// ---------------------------------------------------------------------------
+// SK102 non-monotone-formula (DSL validation rejects these, so the positive
+// builds the offending component programmatically — the path a domains/-style
+// builder that skips validate() would take).
+
+TEST(AnalyzerTest, Sk102NonMonotoneConditionAddedProgrammatically) {
+  auto loaded = model::load_problem(kCleanDomain, kCleanProblem);
+  spec::ComponentSpec auditor;
+  auditor.name = "Auditor";
+  auditor.inputs = {"M"};
+  auditor.conditions.push_back(expr::parse_condition_string("M.ibw - M.ibw >= 0"));
+  loaded->domain.add_component(std::move(auditor));
+  const auto cp = model::compile(loaded->problem, loaded->scenario);
+  const AnalysisReport r = analyze(cp);
+  const Diagnostic* d = find_code(r, Code::NonMonotoneFormula);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_NE(d->subject.find("Auditor"), std::string::npos);
+  EXPECT_FALSE(d->source.empty()) << "the finding should carry the formula text";
+}
+
+TEST(AnalyzerTest, Sk102SilentOnMonotoneFormulae) {
+  const AnalysisReport r = analyze_pair(kCappedDomain, kCappedProblem);
+  EXPECT_FALSE(has_code(r, Code::NonMonotoneFormula));
+}
+
+// ---------------------------------------------------------------------------
+// SK103 tag-mismatch
+
+TEST(AnalyzerTest, Sk103CeilingConditionContradictsDegradableTag) {
+  const std::string domain = R"(
+interface M {
+  property ibw degradable;
+  cross {
+    M.ibw' := min(M.ibw, link.lbw);
+    link.lbw -= min(M.ibw, link.lbw);
+  }
+  cost 1;
+}
+component Server {
+  implements M;
+  effects { M.ibw := 30; }
+  cost 1;
+}
+component Client {
+  requires M;
+  conditions { M.ibw <= 40; }
+  cost 1;
+}
+)";
+  const std::string problem = R"(
+network {
+  node n0 { cpu 30; }
+  node n1 { cpu 30; }
+  link n0 n1 lan { lbw 150; delay 1; }
+}
+problem {
+  goal Client at n1;
+}
+scenario {
+  levels M.ibw { 20 }
+}
+)";
+  const AnalysisReport r = analyze_pair(domain, problem);
+  const Diagnostic* d = find_code(r, Code::TagMismatch);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->subject.find("M.ibw"), std::string::npos);
+  EXPECT_NE(d->message.find("upgradable"), std::string::npos);
+}
+
+TEST(AnalyzerTest, Sk103SilentWhenTheTagMatchesTheConditions) {
+  const AnalysisReport r = analyze_pair(kCleanDomain, kCleanProblem);
+  EXPECT_FALSE(has_code(r, Code::TagMismatch));
+}
+
+TEST(AnalyzerTest, Sk103IgnoresResourceCoupledConditions) {
+  // `node.cpu >= M.ibw / 5` expresses deployment cost, not the consumer's
+  // tolerance to level shifts: it must not flip the derived direction (the
+  // stock media.sk domain relies on this).
+  const std::string domain = R"(
+interface M {
+  property ibw degradable;
+  cross {
+    M.ibw' := min(M.ibw, link.lbw);
+    link.lbw -= min(M.ibw, link.lbw);
+  }
+  cost 1;
+}
+component Server {
+  implements M;
+  effects { M.ibw := 100; }
+  cost 1;
+}
+component Client {
+  requires M;
+  conditions { node.cpu >= M.ibw / 5; }
+  effects { node.cpu -= M.ibw / 5; }
+  cost 1;
+}
+)";
+  const AnalysisReport r = analyze_pair(domain, kCleanProblem);
+  EXPECT_FALSE(has_code(r, Code::TagMismatch));
+}
+
+// ---------------------------------------------------------------------------
+// SK104 unused-interface / SK105 unused-property
+
+TEST(AnalyzerTest, Sk104InterfaceNoComponentTouches) {
+  const std::string domain = R"(
+interface M {
+  property ibw degradable;
+  cross {
+    M.ibw' := min(M.ibw, link.lbw);
+    link.lbw -= min(M.ibw, link.lbw);
+  }
+  cost 1;
+}
+interface U {
+  property q degradable;
+  cost 1;
+}
+component Server {
+  implements M;
+  effects { M.ibw := 100; }
+  cost 1;
+}
+component Client {
+  requires M;
+  conditions { M.ibw >= 50; }
+  cost 1;
+}
+)";
+  const AnalysisReport r = analyze_pair(domain, kCleanProblem);
+  const Diagnostic* d = find_code(r, Code::UnusedInterface);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->subject.find("U"), std::string::npos);
+  // The unused interface is the whole story: its (also unreferenced)
+  // property must not produce a second finding.
+  EXPECT_FALSE(has_code(r, Code::UnusedProperty));
+}
+
+TEST(AnalyzerTest, Sk105PropertyNothingReferences) {
+  const std::string domain = R"(
+interface M {
+  property ibw degradable;
+  property junk;
+  cross {
+    M.ibw' := min(M.ibw, link.lbw);
+    link.lbw -= min(M.ibw, link.lbw);
+  }
+  cost 1;
+}
+component Server {
+  implements M;
+  effects { M.ibw := 100; }
+  cost 1;
+}
+component Client {
+  requires M;
+  conditions { M.ibw >= 50; }
+  cost 1;
+}
+)";
+  const AnalysisReport r = analyze_pair(domain, kCleanProblem);
+  const Diagnostic* d = find_code(r, Code::UnusedProperty);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->subject.find("M.junk"), std::string::npos);
+  EXPECT_FALSE(has_code(r, Code::UnusedInterface));
+}
+
+TEST(AnalyzerTest, Sk104Sk105SilentWhenEverythingIsReferenced) {
+  const AnalysisReport r = analyze_pair(kCleanDomain, kCleanProblem);
+  EXPECT_FALSE(has_code(r, Code::UnusedInterface));
+  EXPECT_FALSE(has_code(r, Code::UnusedProperty));
+}
+
+// ---------------------------------------------------------------------------
+// SK106 shadowed-component
+
+TEST(AnalyzerTest, Sk106TwoComponentsWithTheSameSignature) {
+  const std::string domain = R"(
+interface M {
+  property ibw degradable;
+  cross {
+    M.ibw' := min(M.ibw, link.lbw);
+    link.lbw -= min(M.ibw, link.lbw);
+  }
+  cost 1;
+}
+component ServerA {
+  implements M;
+  effects { M.ibw := 100; }
+  cost 1;
+}
+component ServerB {
+  implements M;
+  effects { M.ibw := 80; }
+  cost 5;
+}
+component Client {
+  requires M;
+  conditions { M.ibw >= 50; }
+  cost 1;
+}
+)";
+  const AnalysisReport r = analyze_pair(domain, kCleanProblem);
+  const Diagnostic* d = find_code(r, Code::ShadowedComponent);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->subject.find("ServerB"), std::string::npos);
+  EXPECT_NE(d->message.find("ServerA"), std::string::npos);
+}
+
+TEST(AnalyzerTest, Sk106SilentWhenSignaturesDiffer) {
+  const AnalysisReport r = analyze_pair(kCappedDomain, kCappedProblem);
+  EXPECT_FALSE(has_code(r, Code::ShadowedComponent));
+}
+
+// ---------------------------------------------------------------------------
+// SK107 duplicate-name (add_component rejects duplicates up front, but the
+// stored spec stays mutable through the builder reference — renaming after
+// insertion is exactly the defensive hole this check covers).
+
+TEST(AnalyzerTest, Sk107DuplicateComponentNameViaBuilderMutation) {
+  auto loaded = model::load_problem(kCleanDomain, kCleanProblem);
+  spec::ComponentSpec clone;
+  clone.name = "Client2";
+  clone.inputs = {"M"};
+  clone.conditions.push_back(expr::parse_condition_string("M.ibw >= 50"));
+  spec::ComponentSpec& stored = loaded->domain.add_component(std::move(clone));
+  stored.name = "Client";  // now a duplicate of the parsed Client
+  const auto cp = model::compile(loaded->problem, loaded->scenario);
+  const AnalysisReport r = analyze(cp);
+  const Diagnostic* d = find_code(r, Code::DuplicateName);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->subject.find("Client"), std::string::npos);
+  // Same name pairs are SK107's story; the shadow check must skip them.
+  EXPECT_FALSE(has_code(r, Code::ShadowedComponent));
+}
+
+TEST(AnalyzerTest, Sk107SilentOnUniqueNames) {
+  const AnalysisReport r = analyze_pair(kCappedDomain, kCappedProblem);
+  EXPECT_FALSE(has_code(r, Code::DuplicateName));
+}
+
+// ---------------------------------------------------------------------------
+// SK108 goal-preplaced
+
+TEST(AnalyzerTest, Sk108GoalComponentAlreadyAtItsGoalNode) {
+  const std::string problem = R"(
+network {
+  node n0 { cpu 30; }
+  node n1 { cpu 30; }
+  link n0 n1 lan { lbw 150; delay 1; }
+}
+problem {
+  stream M.ibw at n1 = 100;
+  preplaced Client at n1;
+  goal Client at n1;
+}
+scenario {
+  levels M.ibw { 50 }
+}
+)";
+  const AnalysisReport r = analyze_pair(kCleanDomain, problem);
+  const Diagnostic* d = find_code(r, Code::GoalPreplaced);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->subject.find("Client"), std::string::npos);
+  EXPECT_FALSE(r.provably_infeasible) << "a trivially satisfied goal is not infeasible";
+}
+
+TEST(AnalyzerTest, Sk108SilentWhenTheGoalNeedsPlanning) {
+  const AnalysisReport r = analyze_pair(kCleanDomain, kCleanProblem);
+  EXPECT_FALSE(has_code(r, Code::GoalPreplaced));
+}
+
+// ---------------------------------------------------------------------------
+// SK201 dead-action
+
+TEST(AnalyzerTest, Sk201DeadActionsAreNotesAndDoNotFailTheExit) {
+  // The 500 cutpoint is uninhabited, so its Client placements are dead —
+  // but the instance is feasible and the exit code must stay 0.
+  const std::string problem = R"(
+network {
+  node n0 { cpu 30; }
+  node n1 { cpu 30; }
+  link n0 n1 lan { lbw 150; delay 1; }
+}
+problem {
+  goal Client at n1;
+}
+scenario {
+  levels M.ibw { 50, 500 }
+}
+)";
+  const AnalysisReport r = analyze_pair(kCleanDomain, problem);
+  const Diagnostic* d = find_code(r, Code::DeadAction);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Note);
+  EXPECT_FALSE(r.provably_infeasible);
+  EXPECT_EQ(r.exit_code(), 0);
+}
+
+TEST(AnalyzerTest, Sk201SilentWhenEveryActionCanFire) {
+  const AnalysisReport r = analyze_pair(kCleanDomain, kCleanProblem);
+  EXPECT_FALSE(has_code(r, Code::DeadAction));
+}
+
+// ---------------------------------------------------------------------------
+// SK202 unreachable-interface
+
+TEST(AnalyzerTest, Sk202NothingProducesARequiredInterface) {
+  const std::string domain = R"(
+interface M {
+  property ibw degradable;
+  cross {
+    M.ibw' := min(M.ibw, link.lbw);
+    link.lbw -= min(M.ibw, link.lbw);
+  }
+  cost 1;
+}
+component Client {
+  requires M;
+  conditions { M.ibw >= 50; }
+  cost 1;
+}
+)";
+  const AnalysisReport r = analyze_pair(domain, kCleanProblem);
+  const Diagnostic* d = find_code(r, Code::UnreachableInterface);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->subject.find("M"), std::string::npos);
+  EXPECT_TRUE(r.provably_infeasible) << "the goal depends on the unreachable interface";
+}
+
+TEST(AnalyzerTest, Sk202SilentWhenAProducerExists) {
+  const AnalysisReport r = analyze_pair(kCleanDomain, kCleanProblem);
+  EXPECT_FALSE(has_code(r, Code::UnreachableInterface));
+}
+
+// ---------------------------------------------------------------------------
+// SK203 interface-cannot-cross
+
+TEST(AnalyzerTest, Sk203CrossConditionsExceedEveryLink) {
+  const std::string domain = R"(
+interface M {
+  property ibw degradable;
+  cross {
+    link.lbw >= 500;
+    M.ibw' := min(M.ibw, link.lbw);
+    link.lbw -= min(M.ibw, link.lbw);
+  }
+  cost 1;
+}
+component Server {
+  implements M;
+  effects { M.ibw := 100; }
+  cost 1;
+}
+component Client {
+  requires M;
+  conditions { M.ibw >= 50; }
+  cost 1;
+}
+)";
+  const std::string problem = R"(
+network {
+  node n0 { cpu 30; }
+  node n1 { cpu 30; }
+  link n0 n1 lan { lbw 150; delay 1; }
+}
+problem {
+  goal Client at n0;
+}
+scenario {
+  levels M.ibw { 50 }
+}
+)";
+  const AnalysisReport r = analyze_pair(domain, problem);
+  const Diagnostic* d = find_code(r, Code::InterfaceCannotCross);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->subject.find("M"), std::string::npos);
+  // Producer and consumer can co-locate on n0: flagged, yet feasible.
+  EXPECT_FALSE(r.provably_infeasible);
+  EXPECT_EQ(r.exit_code(), 0);
+}
+
+TEST(AnalyzerTest, Sk203SilentWhenTheLinkAdmitsTheCrossing) {
+  const AnalysisReport r = analyze_pair(kCleanDomain, kCleanProblem);
+  EXPECT_FALSE(has_code(r, Code::InterfaceCannotCross));
+}
+
+// ---------------------------------------------------------------------------
+// SK204 uninhabited-level
+
+TEST(AnalyzerTest, Sk204CutpointAboveEveryProducibleValue) {
+  const std::string problem = R"(
+network {
+  node n0 { cpu 30; }
+  node n1 { cpu 30; }
+  link n0 n1 lan { lbw 150; delay 1; }
+}
+problem {
+  goal Client at n1;
+}
+scenario {
+  levels M.ibw { 50, 500 }
+}
+)";
+  const AnalysisReport r = analyze_pair(kCleanDomain, problem);
+  const Diagnostic* d = find_code(r, Code::UninhabitedLevel);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->subject.find("M.ibw"), std::string::npos);
+  EXPECT_NE(d->message.find("never inhabited"), std::string::npos);
+}
+
+TEST(AnalyzerTest, Sk204SilentWhenEveryLevelIsInhabited) {
+  const AnalysisReport r = analyze_pair(kCleanDomain, kCleanProblem);
+  EXPECT_FALSE(has_code(r, Code::UninhabitedLevel));
+}
+
+// ---------------------------------------------------------------------------
+// SK205 analysis-inconclusive
+
+/// A self-amplifying production cycle: P doubles A.x into B.y, Q copies B.y
+/// back into A.x.  The producible hulls grow without bound, so the widening
+/// cannot converge within a small sweep budget.
+constexpr const char* kCycleDomain = R"(
+interface A {
+  property x degradable;
+  cost 1;
+}
+interface B {
+  property y degradable;
+  cost 1;
+}
+component P {
+  requires A;
+  implements B;
+  effects { B.y := A.x * 2; }
+  cost 1;
+}
+component Q {
+  requires B;
+  implements A;
+  effects { A.x := B.y; }
+  cost 1;
+}
+component Client {
+  requires B;
+  conditions { B.y >= 1000000; }
+  cost 1;
+}
+)";
+
+constexpr const char* kCycleProblem = R"(
+network {
+  node n0 { cpu 30; }
+}
+problem {
+  stream A.x at n0 = 1;
+  goal Client at n0;
+}
+scenario {
+  levels A.x { 1 }
+  levels B.y { 1 }
+}
+)";
+
+TEST(AnalyzerTest, Sk205AmplifyingCycleExhaustsTheSweepBudget) {
+  AnalysisOptions options;
+  options.max_sweeps = 4;
+  const AnalysisReport r = analyze_pair(kCycleDomain, kCycleProblem, options);
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(has_code(r, Code::AnalysisInconclusive));
+  // No claims are made on non-convergence — even though the client's demand
+  // looks unreachable after four sweeps.
+  EXPECT_FALSE(r.provably_infeasible);
+  EXPECT_FALSE(has_code(r, Code::GoalUnreachable));
+  EXPECT_FALSE(has_code(r, Code::DeadAction));
+  EXPECT_EQ(r.exit_code(), 0);
+}
+
+TEST(AnalyzerTest, Sk205SilentWhenTheFixpointConverges) {
+  const AnalysisReport r = analyze_pair(kCleanDomain, kCleanProblem);
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(has_code(r, Code::AnalysisInconclusive));
+}
+
+// ---------------------------------------------------------------------------
+// Option knobs
+
+TEST(AnalyzerOptionsTest, WerrorPromotesWarningsOnly) {
+  auto loaded = model::load_problem(kCleanDomain, kCleanProblem);
+  spec::ComponentSpec auditor;
+  auditor.name = "Auditor";
+  auditor.inputs = {"M"};
+  auditor.conditions.push_back(expr::parse_condition_string("M.ibw - M.ibw >= 0"));
+  loaded->domain.add_component(std::move(auditor));
+  const auto cp = model::compile(loaded->problem, loaded->scenario);
+
+  const AnalysisReport plain = analyze(cp);
+  ASSERT_NE(find_code(plain, Code::NonMonotoneFormula), nullptr);
+  EXPECT_EQ(find_code(plain, Code::NonMonotoneFormula)->severity, Severity::Warning);
+  EXPECT_EQ(plain.exit_code(), 0);
+
+  AnalysisOptions options;
+  options.werror = true;
+  const AnalysisReport strict = analyze(cp, options);
+  ASSERT_NE(find_code(strict, Code::NonMonotoneFormula), nullptr);
+  EXPECT_EQ(find_code(strict, Code::NonMonotoneFormula)->severity, Severity::Error);
+  EXPECT_EQ(strict.exit_code(), 1);
+  // Notes stay notes under --Werror.
+  for (const Diagnostic& d : strict.diagnostics) {
+    if (default_severity(d.code) == Severity::Note) {
+      EXPECT_EQ(d.severity, Severity::Note);
+    }
+  }
+}
+
+TEST(AnalyzerOptionsTest, SuppressedCodesAreDroppedAndCounted) {
+  AnalysisOptions options;
+  options.suppress = {Code::DeadAction};
+  const AnalysisReport r = analyze_pair(kCappedDomain, kCappedProblem, options);
+  EXPECT_FALSE(has_code(r, Code::DeadAction));
+  EXPECT_GT(r.suppressed, 0u);
+  EXPECT_NE(r.render_text().find("suppressed"), std::string::npos);
+}
+
+TEST(AnalyzerOptionsTest, SuppressingTheGoalErrorKeepsTheVerdict) {
+  // Suppression is a rendering/exit-code concern; provable infeasibility is
+  // a fact about the instance and survives it.
+  AnalysisOptions options;
+  options.suppress = {Code::GoalUnreachable};
+  const AnalysisReport r = analyze_pair(kCappedDomain, kCappedProblem, options);
+  EXPECT_FALSE(has_code(r, Code::GoalUnreachable));
+  EXPECT_TRUE(r.provably_infeasible);
+  EXPECT_EQ(r.exit_code(), 0) << "exit code follows surviving diagnostics only";
+}
+
+TEST(AnalyzerOptionsTest, PerCodeCapEmitsOneOverflowNote) {
+  AnalysisOptions options;
+  options.max_per_code = 1;
+  const AnalysisReport r = analyze_pair(kCappedDomain, kCappedProblem, options);
+  // The capped instance yields two dead Client placements: one survives the
+  // cap, the second becomes the overflow note.
+  std::size_t real = 0, overflow = 0;
+  for (const Diagnostic& d : r.diagnostics) {
+    if (d.code != Code::DeadAction) continue;
+    if (d.subject == "analysis") {
+      ++overflow;
+      EXPECT_NE(d.message.find("omitted"), std::string::npos);
+      EXPECT_EQ(d.severity, Severity::Note);
+    } else {
+      ++real;
+    }
+  }
+  EXPECT_EQ(real, 1u);
+  EXPECT_EQ(overflow, 1u);
+}
+
+TEST(AnalyzerOptionsTest, StageTogglesDisableTheirFindings) {
+  AnalysisOptions no_reach;
+  no_reach.reachability = false;
+  const AnalysisReport r1 = analyze_pair(kCappedDomain, kCappedProblem, no_reach);
+  EXPECT_FALSE(has_code(r1, Code::GoalUnreachable));
+  EXPECT_FALSE(has_code(r1, Code::DeadAction));
+  EXPECT_FALSE(r1.provably_infeasible);
+
+  AnalysisOptions no_hygiene;
+  no_hygiene.hygiene = false;
+  const AnalysisReport r2 = analyze_pair(kCleanDomain, kCleanProblem, no_hygiene);
+  EXPECT_TRUE(r2.diagnostics.empty());
+
+  AnalysisOptions no_intervals;
+  no_intervals.intervals = false;
+  const std::string leveled_problem = R"(
+network {
+  node n0 { cpu 30; }
+  node n1 { cpu 30; }
+  link n0 n1 lan { lbw 150; delay 1; }
+}
+problem {
+  goal Client at n1;
+}
+scenario {
+  levels M.ibw { 50, 500 }
+}
+)";
+  const AnalysisReport r3 = analyze_pair(kCleanDomain, leveled_problem, no_intervals);
+  EXPECT_FALSE(has_code(r3, Code::UninhabitedLevel));
+}
+
+// ---------------------------------------------------------------------------
+// Renderers
+
+TEST(AnalyzerRenderTest, TextFormCarriesSeverityCodeAndSummary) {
+  const AnalysisReport r = analyze_pair(kCappedDomain, kCappedProblem);
+  const std::string text = r.render_text();
+  EXPECT_NE(text.find("error[SK001] goal-unreachable"), std::string::npos);
+  EXPECT_NE(text.find("1 error(s)"), std::string::npos);
+}
+
+TEST(AnalyzerRenderTest, NdjsonIsOneObjectPerDiagnostic) {
+  const AnalysisReport r = analyze_pair(kCappedDomain, kCappedProblem);
+  const std::string nd = r.render_ndjson();
+  std::size_t lines = 0;
+  for (char c : nd) lines += c == '\n';
+  EXPECT_EQ(lines, r.diagnostics.size());
+  EXPECT_EQ(nd.rfind("{\"code\":\"SK001\"", 0), 0u) << "battery order: goal verdict first";
+}
+
+// ---------------------------------------------------------------------------
+// preflight() — the service's stage-1 subset
+
+TEST(PreflightTest, RejectsTheValueCappedChain) {
+  const Compiled c = compile_pair(kCappedDomain, kCappedProblem);
+  const PreflightVerdict v = preflight(c.cp);
+  EXPECT_TRUE(v.infeasible);
+  EXPECT_STREQ(v.code, "SK001");
+  EXPECT_FALSE(v.reason.empty());
+  EXPECT_GT(v.sweeps, 0u);
+}
+
+TEST(PreflightTest, ReportsThePlacementRuleAsUnplaceable) {
+  const std::string problem = R"(
+network {
+  node n0 { cpu 30; }
+  node n1 { cpu 30; }
+  link n0 n1 lan { lbw 150; delay 1; }
+}
+problem {
+  restrict Client to n0;
+  goal Client at n1;
+}
+scenario {
+  levels M.ibw { 50 }
+}
+)";
+  const Compiled c = compile_pair(kCleanDomain, problem);
+  const PreflightVerdict v = preflight(c.cp);
+  EXPECT_TRUE(v.infeasible);
+  EXPECT_STREQ(v.code, "SK002");
+}
+
+TEST(PreflightTest, PassesAFeasibleInstance) {
+  const Compiled c = compile_pair(kCleanDomain, kCleanProblem);
+  const PreflightVerdict v = preflight(c.cp);
+  EXPECT_FALSE(v.infeasible);
+  EXPECT_STREQ(v.code, "");
+}
+
+TEST(PreflightTest, NonConvergenceIsInconclusiveNotInfeasible) {
+  const Compiled c = compile_pair(kCycleDomain, kCycleProblem);
+  const PreflightVerdict v = preflight(c.cp, /*max_sweeps=*/4);
+  EXPECT_FALSE(v.infeasible) << "an unconverged fixpoint must defer to the planner";
+}
+
+}  // namespace
+}  // namespace sekitei::analysis

@@ -1,0 +1,175 @@
+// Golden tests for the analyzer corpus: every instance pair under
+// tests/lint_corpus/ (<name>.domain.sk + <name>.problem.sk) must render
+// exactly its <name>.golden.ndjson under default analysis options — the
+// NDJSON form is the machine-readable contract of sekitei_lint, so any
+// change to codes, subjects or messages shows up here as a diff.
+//
+// The malformed corpus (tests/corpus/) is also replayed through the
+// analyzer's entry path: a loader/compile error must surface as
+// sekitei::Error, never be swallowed into a lint report.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "model/compile.hpp"
+#include "model/textio.hpp"
+#include "support/error.hpp"
+
+#ifndef SEKITEI_TEST_LINT_CORPUS_DIR
+#error "SEKITEI_TEST_LINT_CORPUS_DIR must point at tests/lint_corpus (set by CMake)"
+#endif
+#ifndef SEKITEI_TEST_CORPUS_DIR
+#error "SEKITEI_TEST_CORPUS_DIR must point at tests/corpus (set by CMake)"
+#endif
+
+namespace sekitei::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// The corpus cases, identified by the stem of their <stem>.domain.sk file.
+std::vector<std::string> corpus_cases() {
+  std::vector<std::string> stems;
+  const std::string suffix = ".domain.sk";
+  for (const auto& entry : fs::directory_iterator(SEKITEI_TEST_LINT_CORPUS_DIR)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      stems.push_back(name.substr(0, name.size() - suffix.size()));
+    }
+  }
+  std::sort(stems.begin(), stems.end());
+  return stems;
+}
+
+TEST(LintCorpusTest, TheCorpusIsNotEmpty) {
+  EXPECT_GE(corpus_cases().size(), 9u);
+}
+
+TEST(LintCorpusTest, EveryCaseHasAllThreeFiles) {
+  const fs::path dir(SEKITEI_TEST_LINT_CORPUS_DIR);
+  for (const std::string& stem : corpus_cases()) {
+    SCOPED_TRACE(stem);
+    EXPECT_TRUE(fs::exists(dir / (stem + ".problem.sk")));
+    EXPECT_TRUE(fs::exists(dir / (stem + ".golden.ndjson")));
+  }
+}
+
+TEST(LintCorpusTest, NdjsonMatchesTheGoldenFiles) {
+  const fs::path dir(SEKITEI_TEST_LINT_CORPUS_DIR);
+  for (const std::string& stem : corpus_cases()) {
+    SCOPED_TRACE(stem);
+    const std::string domain = slurp(dir / (stem + ".domain.sk"));
+    const std::string problem = slurp(dir / (stem + ".problem.sk"));
+    const std::string golden = slurp(dir / (stem + ".golden.ndjson"));
+
+    const auto loaded = model::load_problem(domain, problem);
+    const auto cp = model::compile(loaded->problem, loaded->scenario);
+    const AnalysisReport report = analyze(cp);
+    EXPECT_EQ(report.render_ndjson(), golden)
+        << "regenerate with: sekitei_lint --format ndjson " << stem << ".domain.sk "
+        << stem << ".problem.sk > " << stem << ".golden.ndjson";
+  }
+}
+
+TEST(LintCorpusTest, TheCleanCaseIsActuallyClean) {
+  // Guards the golden harness itself: an empty golden must mean "no
+  // findings", not "the comparison never ran".
+  const fs::path dir(SEKITEI_TEST_LINT_CORPUS_DIR);
+  const auto loaded = model::load_problem(slurp(dir / "clean.domain.sk"),
+                                          slurp(dir / "clean.problem.sk"));
+  const auto cp = model::compile(loaded->problem, loaded->scenario);
+  const AnalysisReport report = analyze(cp);
+  EXPECT_TRUE(report.diagnostics.empty());
+  EXPECT_EQ(report.exit_code(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed inputs stay loader errors on the analyzer path.
+
+// Mirrors tests/corpus_test.cpp: the half not under test is always valid.
+constexpr const char* kValidDomain = R"(
+interface M {
+  property ibw degradable;
+  cross {
+    M.ibw' := min(M.ibw, link.lbw);
+    link.lbw -= min(M.ibw, link.lbw);
+  }
+  cost 1 + M.ibw / 10;
+}
+component Server {
+  implements M;
+  effects { M.ibw := 100; }
+  cost 1;
+}
+component Client {
+  requires M;
+  conditions { M.ibw >= 10; }
+  cost 1;
+}
+)";
+
+constexpr const char* kValidProblem = R"(
+network {
+  node n0 { cpu 30; }
+  node n1 { cpu 30; }
+  link n0 n1 wan { lbw 70; }
+}
+problem {
+  stream M.ibw at n0 = [0, 100];
+  preplaced Server at n0;
+  goal Client at n1;
+}
+scenario {
+  levels M.ibw { 10, 100 }
+}
+)";
+
+/// What sekitei_lint does per instance: load, compile, analyze.
+AnalysisReport lint_path(const std::string& domain, const std::string& problem) {
+  const auto loaded = model::load_problem(domain, problem);
+  const auto cp = model::compile(loaded->problem, loaded->scenario);
+  return analyze(cp);
+}
+
+TEST(LintCorpusTest, MalformedInputsRaiseBeforeAnyReportExists) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(SEKITEI_TEST_CORPUS_DIR)) {
+    if (entry.path().extension() == ".sk") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GE(files.size(), 15u);
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    const std::string text = slurp(path);
+    const bool is_domain = path.filename().string().rfind("domain_", 0) == 0;
+    if (is_domain) {
+      EXPECT_THROW(lint_path(text, kValidProblem), Error);
+    } else {
+      EXPECT_THROW(lint_path(kValidDomain, text), Error);
+    }
+  }
+}
+
+TEST(LintCorpusTest, TheValidPairLintsClean) {
+  const AnalysisReport report = lint_path(kValidDomain, kValidProblem);
+  EXPECT_EQ(report.exit_code(), 0);
+  EXPECT_FALSE(report.provably_infeasible);
+}
+
+}  // namespace
+}  // namespace sekitei::analysis

@@ -24,7 +24,9 @@ TEST(Plrg, InitialPropsCostZero) {
   Plrg plrg(cp, leveled_cost(cp));
   plrg.build(cp.goal_prop);
   for (PropId p : cp.init_props) {
-    if (plrg.reachable(p)) EXPECT_DOUBLE_EQ(plrg.cost(p), 0.0);
+    if (plrg.reachable(p)) {
+      EXPECT_DOUBLE_EQ(plrg.cost(p), 0.0);
+    }
   }
 }
 

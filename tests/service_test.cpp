@@ -253,6 +253,151 @@ TEST(ServiceTest, CompileErrorYieldsRejectedAndWorkerSurvives) {
   EXPECT_EQ(engine.plan(std::move(good)).outcome, Outcome::Solved);
 }
 
+// ---------------------------------------------------------------------------
+// Pre-flight infeasibility analysis
+
+namespace {
+
+/// The lint corpus's value-capped chain: logically reachable, provably
+/// infeasible on producible values — search would exhaust, preflight won't.
+constexpr const char* kCappedDomain = R"(
+param demand = 90;
+param serverCap = 60;
+interface M {
+  property ibw degradable;
+  cross {
+    M.ibw' := min(M.ibw, link.lbw);
+    link.lbw -= min(M.ibw, link.lbw);
+  }
+  cost 1;
+}
+interface A {
+  property x degradable;
+  cross {
+    A.x' := min(A.x, link.lbw);
+    link.lbw -= min(A.x, link.lbw);
+  }
+  cost 1;
+}
+component Server {
+  implements M;
+  effects { M.ibw := serverCap; }
+  cost 1;
+}
+component Amp {
+  requires M;
+  implements A;
+  conditions { node.cpu >= 1; }
+  effects {
+    A.x := M.ibw;
+    node.cpu -= 1;
+  }
+  cost 1;
+}
+component Client {
+  requires A;
+  conditions { A.x >= demand; }
+  cost 1;
+}
+)";
+
+constexpr const char* kCappedProblem = R"(
+network {
+  node n0 { cpu 30; }
+  node n1 { cpu 30; }
+  link n0 n1 lan { lbw 150; delay 1; }
+}
+problem {
+  goal Client at n1;
+}
+scenario {
+  levels M.ibw { 50 }
+  levels A.x { 50 }
+}
+)";
+
+std::shared_ptr<const model::LoadedProblem> loaded_from_text(const char* domain,
+                                                             const char* problem) {
+  return std::shared_ptr<const model::LoadedProblem>(model::load_problem(domain, problem));
+}
+
+}  // namespace
+
+TEST(PreflightServiceTest, RejectsProvablyInfeasibleWithoutSearching) {
+  PlanningEngine engine({.workers = 1});
+  PlanRequest req;
+  req.id = "capped";
+  req.problem = loaded_from_text(kCappedDomain, kCappedProblem);
+  req.preflight = true;
+  const PlanResponse r = engine.plan(std::move(req));
+
+  EXPECT_EQ(r.outcome, Outcome::Infeasible);
+  EXPECT_FALSE(r.plan.has_value());
+  EXPECT_TRUE(r.preflight_ran);
+  EXPECT_TRUE(r.preflight_rejected);
+  EXPECT_GT(r.preflight_sweeps, 0u);
+  EXPECT_EQ(r.failure.rfind("SK001", 0), 0u) << r.failure;
+  // The verdict came before any search: planner time and stats stay zero.
+  EXPECT_EQ(r.solve_ms, 0.0);
+  EXPECT_EQ(r.stats.rg_nodes, 0u);
+  EXPECT_EQ(r.stats.plrg_props, 0u);
+  EXPECT_EQ(engine.preflight_rejections(), 1u);
+
+  const std::string json = response_to_json(r);
+  EXPECT_NE(json.find("\"preflight_rejected\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"preflight_ms\""), std::string::npos);
+}
+
+TEST(PreflightServiceTest, EngineWideOptionAppliesToEveryRequest) {
+  PlanningEngine engine({.workers = 1, .preflight = true});
+  PlanRequest req;
+  req.id = "capped-engine-wide";
+  req.problem = loaded_from_text(kCappedDomain, kCappedProblem);
+  const PlanResponse r = engine.plan(std::move(req));
+  EXPECT_EQ(r.outcome, Outcome::Infeasible);
+  EXPECT_TRUE(r.preflight_rejected);
+}
+
+TEST(PreflightServiceTest, FeasibleInstancePassesThroughToTheSolver) {
+  PlanningEngine engine({.workers = 1});
+  PlanRequest req;
+  req.id = "tiny-preflight";
+  req.problem = loaded_instance(media::tiny(), 'C');
+  req.preflight = true;
+  const PlanResponse r = engine.plan(std::move(req));
+  EXPECT_EQ(r.outcome, Outcome::Solved);
+  EXPECT_TRUE(r.preflight_ran);
+  EXPECT_FALSE(r.preflight_rejected);
+  EXPECT_EQ(engine.preflight_rejections(), 0u);
+}
+
+TEST(PreflightServiceTest, OffByDefaultAndAbsentFromTheJson) {
+  PlanningEngine engine({.workers = 1});
+  PlanRequest req;
+  req.id = "tiny-default";
+  req.problem = loaded_instance(media::tiny(), 'C');
+  const PlanResponse r = engine.plan(std::move(req));
+  EXPECT_EQ(r.outcome, Outcome::Solved);
+  EXPECT_FALSE(r.preflight_ran);
+  // With preflight off the response JSON is exactly the pre-analyzer shape:
+  // no preflight_* keys at all.
+  EXPECT_EQ(response_to_json(r).find("preflight"), std::string::npos);
+}
+
+TEST(PreflightServiceTest, DisabledPreflightStillAnswersInfeasibleViaSearch) {
+  // Same capped instance, preflight off: the search exhausts and reaches the
+  // same verdict the slow way — behaviour identical to the pre-analyzer
+  // engine, with no preflight fields set.
+  PlanningEngine engine({.workers = 1});
+  PlanRequest req;
+  req.id = "capped-no-preflight";
+  req.problem = loaded_from_text(kCappedDomain, kCappedProblem);
+  const PlanResponse r = engine.plan(std::move(req));
+  EXPECT_EQ(r.outcome, Outcome::Infeasible);
+  EXPECT_FALSE(r.preflight_ran);
+  EXPECT_GT(r.stats.rg_nodes, 0u) << "the verdict must have come from the search";
+}
+
 TEST(ServiceTest, QueueFullRejectsImmediately) {
   PlanningEngine engine({.workers = 1, .max_pending = 1});
 

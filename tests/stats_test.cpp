@@ -19,7 +19,7 @@
 #include "core/planner.hpp"
 #include "core/stats.hpp"
 #include "domains/media.hpp"
-#include "json_lite.hpp"
+#include "support/json_reader.hpp"
 #include "model/compile.hpp"
 #include "sim/executor.hpp"
 #include "support/log.hpp"
@@ -75,9 +75,9 @@ TEST(StatsJson, RoundTripThroughParser) {
   s.rg_peak_open = 12345;
   s.time_graph_ms = 0.125;
   s.logically_unreachable = true;
-  jsonlite::Value v;
+  sekitei::json::Value v;
   std::string err;
-  ASSERT_TRUE(jsonlite::parse(core::stats_to_json(s), v, &err)) << err;
+  ASSERT_TRUE(sekitei::json::parse(core::stats_to_json(s), v, &err)) << err;
   ASSERT_TRUE(v.is_object());
   EXPECT_EQ(v.obj->size(), 23u);
   ASSERT_NE(v.find("total_actions"), nullptr);
@@ -165,10 +165,10 @@ TEST(Trace, ToJsonIsChromeTraceFormat) {
   }
   trace::uninstall();
 
-  jsonlite::Value v;
+  sekitei::json::Value v;
   std::string err;
-  ASSERT_TRUE(jsonlite::parse(c.to_json(), v, &err)) << err;
-  const jsonlite::Value* events = v.find("traceEvents");
+  ASSERT_TRUE(sekitei::json::parse(c.to_json(), v, &err)) << err;
+  const sekitei::json::Value* events = v.find("traceEvents");
   ASSERT_NE(events, nullptr);
   ASSERT_TRUE(events->is_array());
   ASSERT_EQ(events->arr->size(), 3u);
@@ -187,7 +187,7 @@ TEST(Trace, ToJsonIsChromeTraceFormat) {
       EXPECT_NE(e.find("dur"), nullptr);
     } else if (ph == "C") {
       saw_counter = true;
-      const jsonlite::Value* cargs = e.find("args");
+      const sekitei::json::Value* cargs = e.find("args");
       ASSERT_NE(cargs, nullptr);
       ASSERT_NE(cargs->find("value"), nullptr);
       EXPECT_DOUBLE_EQ(cargs->find("value")->number, 42.0);
@@ -239,9 +239,9 @@ TEST(Log, JsonLinesSinkRendersStructuredRecord) {
   log::set_level(log::Level::Info);
 
   ASSERT_EQ(sink->lines.size(), 1u);
-  jsonlite::Value v;
+  sekitei::json::Value v;
   std::string err;
-  ASSERT_TRUE(jsonlite::parse(sink->lines[0], v, &err)) << err << "\n" << sink->lines[0];
+  ASSERT_TRUE(sekitei::json::parse(sink->lines[0], v, &err)) << err << "\n" << sink->lines[0];
   EXPECT_EQ(v.find("level")->str, "debug");
   EXPECT_EQ(v.find("component")->str, "tests.log");
   EXPECT_EQ(v.find("message")->str, "hello \"world\"");
@@ -313,9 +313,9 @@ TEST(PlannerObservability, EarlyReturnStillPopulatesStats) {
   EXPECT_GT(r.stats.plrg_props, 0u);
   EXPECT_GT(r.stats.plrg_actions, 0u);
   EXPECT_GE(r.stats.time_graph_ms, 0.0);
-  jsonlite::Value v;
+  sekitei::json::Value v;
   std::string err;
-  ASSERT_TRUE(jsonlite::parse(core::stats_to_json(r.stats), v, &err)) << err;
+  ASSERT_TRUE(sekitei::json::parse(core::stats_to_json(r.stats), v, &err)) << err;
 }
 
 TEST(PlannerObservability, LogDisabledPlanIsByteIdentical) {
@@ -368,10 +368,10 @@ TEST(SolveFileCli, TraceFileIsValidChromeTrace) {
   std::ostringstream os;
   os << in.rdbuf();
 
-  jsonlite::Value v;
+  sekitei::json::Value v;
   std::string err;
-  ASSERT_TRUE(jsonlite::parse(os.str(), v, &err)) << err;
-  const jsonlite::Value* events = v.find("traceEvents");
+  ASSERT_TRUE(sekitei::json::parse(os.str(), v, &err)) << err;
+  const sekitei::json::Value* events = v.find("traceEvents");
   ASSERT_NE(events, nullptr);
   ASSERT_TRUE(events->is_array());
   EXPECT_GT(events->arr->size(), 0u);

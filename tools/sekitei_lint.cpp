@@ -1,0 +1,156 @@
+// Domain linter and pre-flight infeasibility analyzer, as a command-line
+// tool.  Loads a domain and one or more problem files, compiles each pair,
+// and runs the full analysis battery (analysis/analyzer.hpp) over the
+// compiled instance.
+//
+//   $ ./sekitei_lint <domain.sk> <problem.sk> [<problem2.sk> ...]
+//                    [--format text|ndjson] [--Werror]
+//                    [--suppress CODE[,CODE...]] [--max-sweeps N]
+//                    [--no-reachability] [--no-intervals] [--no-hygiene]
+//
+// Exit codes:
+//   0  no error-severity findings in any instance
+//   1  at least one error-severity finding (SK0xx, or any warning under
+//      --Werror) — notes never affect the exit code
+//   2  usage error, unreadable file, or a load/compile failure
+//
+// --suppress accepts either numeric ids ("SK104") or names
+// ("unused-interface").  --format ndjson prints one JSON object per finding
+// per line; with several problem files each object gains a "file" field.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "model/compile.hpp"
+#include "model/textio.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+bool slurp(const char* path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream os;
+  os << in.rdbuf();
+  *out = os.str();
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <domain.sk> <problem.sk> [<problem2.sk> ...]\n"
+               "          [--format text|ndjson] [--Werror]\n"
+               "          [--suppress CODE[,CODE...]] [--max-sweeps N]\n"
+               "          [--no-reachability] [--no-intervals] [--no-hygiene]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sekitei;
+  std::vector<const char*> problem_paths;
+  const char* domain_path = nullptr;
+  bool ndjson = false;
+  analysis::AnalysisOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
+      const char* fmt = argv[++i];
+      if (std::strcmp(fmt, "ndjson") == 0) {
+        ndjson = true;
+      } else if (std::strcmp(fmt, "text") == 0) {
+        ndjson = false;
+      } else {
+        std::fprintf(stderr, "error: unknown format '%s' (text|ndjson)\n", fmt);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--Werror") == 0) {
+      options.werror = true;
+    } else if (std::strcmp(argv[i], "--suppress") == 0 && i + 1 < argc) {
+      std::string list = argv[++i];
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string item = list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        analysis::Code code;
+        if (!analysis::parse_code(item, &code)) {
+          std::fprintf(stderr, "error: unknown diagnostic code '%s'\n", item.c_str());
+          return 2;
+        }
+        options.suppress.push_back(code);
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else if (std::strcmp(argv[i], "--max-sweeps") == 0 && i + 1 < argc) {
+      options.max_sweeps = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (options.max_sweeps == 0) {
+        std::fprintf(stderr, "error: --max-sweeps must be positive\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--no-reachability") == 0) {
+      options.reachability = false;
+    } else if (std::strcmp(argv[i], "--no-intervals") == 0) {
+      options.intervals = false;
+    } else if (std::strcmp(argv[i], "--no-hygiene") == 0) {
+      options.hygiene = false;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", argv[i]);
+      return usage(argv[0]);
+    } else if (domain_path == nullptr) {
+      domain_path = argv[i];
+    } else {
+      problem_paths.push_back(argv[i]);
+    }
+  }
+  if (domain_path == nullptr || problem_paths.empty()) return usage(argv[0]);
+
+  std::string domain_text;
+  if (!slurp(domain_path, &domain_text)) {
+    std::fprintf(stderr, "error: cannot open %s\n", domain_path);
+    return 2;
+  }
+
+  const bool many = problem_paths.size() > 1;
+  int exit_code = 0;
+  for (const char* path : problem_paths) {
+    std::string problem_text;
+    if (!slurp(path, &problem_text)) {
+      std::fprintf(stderr, "error: cannot open %s\n", path);
+      return 2;
+    }
+    try {
+      const auto lp = model::load_problem(domain_text, problem_text);
+      const auto cp = model::compile(lp->problem, lp->scenario);
+      const analysis::AnalysisReport report = analysis::analyze(cp, options);
+      if (ndjson) {
+        for (const analysis::Diagnostic& d : report.diagnostics) {
+          if (many) {
+            std::string line = d.json();
+            std::string field = ",\"file\":";
+            json::append_escaped(field, path);
+            line.insert(line.size() - 1, field);
+            std::fputs(line.c_str(), stdout);
+          } else {
+            std::fputs(d.json().c_str(), stdout);
+          }
+          std::fputc('\n', stdout);
+        }
+      } else {
+        if (many) std::printf("== %s ==\n", path);
+        std::fputs(report.render_text().c_str(), stdout);
+      }
+      if (report.exit_code() > exit_code) exit_code = report.exit_code();
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s: %s\n", path, e.what());
+      return 2;
+    }
+  }
+  return exit_code;
+}

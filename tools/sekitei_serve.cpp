@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
                  "usage: %s <domain.sk> <problem.sk>... [--jobs N] [--deadline-ms D]\n"
                  "          [--repeat K] [--greedy] [--no-validate] [--no-degrade]\n"
                  "          [--cache-capacity N] [--max-pending N] [--retries N]\n"
-                 "          [--retry-base-ms D] [--log <level>]\n",
+                 "          [--retry-base-ms D] [--preflight] [--log <level>]\n",
                  argv[0]);
     return 2;
   }
@@ -115,6 +115,8 @@ int main(int argc, char** argv) {
       validate = false;
     } else if (std::strcmp(argv[i], "--no-degrade") == 0) {
       degrade = false;
+    } else if (std::strcmp(argv[i], "--preflight") == 0) {
+      engine_opts.preflight = true;
     } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
       const char* name = argv[++i];
 #ifndef SEKITEI_LOG_DISABLED
