@@ -1,0 +1,90 @@
+// Fuzz-harness throughput: how many generated instances per second the
+// differential battery sustains, split by how much of the battery runs.
+//
+// Three sweeps over the same fixed seed range:
+//   * generate   render-only (no planning) — generator + parser cost floor
+//   * solve      base leveled run only (all oracles off)
+//   * battery    the full seven-oracle battery
+//
+// Machine-readable lines (grep '^{"bench"'):
+//   {"bench":"fuzz","sweep":"battery","runs":32,"solved":...,
+//    "runs_per_sec":...,"oracle_checks":...,"failing_runs":0,...}
+//
+// `failing_runs` doubles as a soundness assertion: a nonzero value in a
+// bench log means an oracle disagreement slipped into a released build.
+#include <cstdio>
+#include <string>
+
+#include "bench_json.hpp"
+#include "model/textio.hpp"
+#include "support/timer.hpp"
+#include "testing/fuzzer.hpp"
+
+namespace {
+
+using namespace sekitei;
+
+constexpr std::uint64_t kSeed = 1;
+constexpr std::size_t kRuns = 32;
+
+void sweep_generate() {
+  Stopwatch wall;
+  std::size_t total_lines = 0;
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    const testing::GenInstance inst = testing::generate(kSeed + i);
+    const auto lp = model::load_problem(inst.domain_text(), inst.problem_text());
+    total_lines += inst.line_count() + lp->domain.component_count();
+  }
+  const double ms = wall.elapsed_ms();
+  benchjson::emit("fuzz",
+                  {benchjson::kv("sweep", "generate"),
+                   benchjson::kv("runs", static_cast<std::uint64_t>(kRuns)),
+                   benchjson::kv("total_lines", static_cast<std::uint64_t>(total_lines)),
+                   benchjson::kv("wall_ms", ms),
+                   benchjson::kv("runs_per_sec", 1000.0 * static_cast<double>(kRuns) / ms)},
+                  nullptr);
+}
+
+void sweep(const char* name, const testing::OracleConfig& oracles) {
+  testing::FuzzParams params;
+  params.seed = kSeed;
+  params.runs = kRuns;
+  params.oracles = oracles;
+  params.minimize_repros = false;
+  params.out_dir = "/tmp/sekitei-bench-fuzz";
+
+  Stopwatch wall;
+  const testing::FuzzStats stats = testing::fuzz(params);
+  const double ms = wall.elapsed_ms();
+  benchjson::emit(
+      "fuzz",
+      {benchjson::kv("sweep", name),
+       benchjson::kv("runs", static_cast<std::uint64_t>(stats.runs)),
+       benchjson::kv("solved", static_cast<std::uint64_t>(stats.solved)),
+       benchjson::kv("infeasible", static_cast<std::uint64_t>(stats.infeasible)),
+       benchjson::kv("unknown", static_cast<std::uint64_t>(stats.unknown)),
+       benchjson::kv("oracle_checks", static_cast<std::uint64_t>(stats.oracle_checks)),
+       benchjson::kv("failing_runs", static_cast<std::uint64_t>(stats.failing_runs)),
+       benchjson::kv("wall_ms", ms),
+       benchjson::kv("runs_per_sec", 1000.0 * static_cast<double>(stats.runs) / ms)},
+      nullptr);
+  std::printf("%-10s %3zu runs in %8.1f ms (%5.1f runs/s, %zu checks, %zu failing)\n", name,
+              stats.runs, ms, 1000.0 * static_cast<double>(stats.runs) / ms,
+              stats.oracle_checks, stats.failing_runs);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("fuzz-harness throughput, seeds %llu..%llu\n",
+              (unsigned long long)kSeed, (unsigned long long)(kSeed + kRuns - 1));
+  sweep_generate();
+
+  testing::OracleConfig none;
+  none.greedy = none.preflight = none.validator = false;
+  none.permutation = none.widening = none.refinement = none.service = false;
+  sweep("solve", none);
+
+  sweep("battery", testing::OracleConfig{});
+  return 0;
+}

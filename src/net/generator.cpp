@@ -138,4 +138,14 @@ Network chain(const std::vector<ChainLinkSpec>& links, double node_cpu) {
   return net;
 }
 
+Network star(const std::vector<ChainLinkSpec>& spokes, double node_cpu) {
+  Network net;
+  const NodeId hub = net.add_node("n0", cpu_res(node_cpu));
+  for (std::size_t i = 0; i < spokes.size(); ++i) {
+    const NodeId tip = net.add_node(indexed("n", i + 1), cpu_res(node_cpu));
+    net.add_link(hub, tip, spokes[i].cls, link_res(spokes[i].bandwidth, spokes[i].delay));
+  }
+  return net;
+}
+
 }  // namespace sekitei::net

@@ -56,4 +56,10 @@ struct ChainLinkSpec {
 
 [[nodiscard]] Network chain(const std::vector<ChainLinkSpec>& links, double node_cpu);
 
+/// A hub-and-spoke star: n0 is the hub, n1..n{k} hang off it over the given
+/// per-spoke links (links[i] connects the hub to n{i+1}).  The degenerate
+/// deployment topology of an access router fronting edge hosts; the fuzz
+/// workload generator (src/testing) draws from it.
+[[nodiscard]] Network star(const std::vector<ChainLinkSpec>& spokes, double node_cpu);
+
 }  // namespace sekitei::net

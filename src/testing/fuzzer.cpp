@@ -1,0 +1,218 @@
+#include "testing/fuzzer.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "support/fault.hpp"
+#include "support/json.hpp"
+#include "testing/minimize.hpp"
+
+namespace sekitei::testing {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Re-arms the faults that were armed when the session started.  Single-shot
+/// points fire once per arming, so without this a planted fault would fire
+/// on run 0 and be invisible to every later run and minimizer probe.
+struct FaultRearmer {
+  std::vector<fault::PointStatus> snapshot = fault::status();
+
+  void rearm() const {
+    if (snapshot.empty()) return;
+    fault::disarm_all();
+    for (const fault::PointStatus& p : snapshot) fault::arm(p.point, p.fire_on_nth, p.mode);
+  }
+};
+
+/// Config with exactly one oracle enabled — minimizer probes re-check only
+/// the disagreeing oracle, which keeps probes cheap and the failure
+/// predicate sharp.  "crash" keeps the full battery (any stage may throw).
+OracleConfig solo(OracleConfig cfg, const std::string& oracle) {
+  if (oracle == "crash") return cfg;
+  cfg.greedy = oracle == "greedy";
+  cfg.preflight = oracle == "preflight";
+  cfg.validator = oracle == "validator";
+  cfg.permutation = oracle == "permutation";
+  cfg.widening = oracle == "widening";
+  cfg.refinement = oracle == "refinement";
+  cfg.service = oracle == "service";
+  return cfg;
+}
+
+bool has_disagreement(const OracleReport& report, const std::string& oracle) {
+  for (const Disagreement& d : report.disagreements) {
+    if (d.oracle == oracle) return true;
+  }
+  return false;
+}
+
+void kv_str(std::string& out, const char* key, const std::string& value) {
+  out += '"';
+  out += key;
+  out += "\":";
+  json::append_escaped(out, value);
+}
+
+void kv_u64(std::string& out, const char* key, std::uint64_t value) {
+  out += '"';
+  out += key;
+  out += "\":";
+  json::append_number(out, value);
+}
+
+void kv_f(std::string& out, const char* key, double value) {
+  out += '"';
+  out += key;
+  out += "\":";
+  json::append_number(out, value);
+}
+
+}  // namespace
+
+FuzzStats fuzz(const FuzzParams& params, const EmitLine& emit) {
+  FuzzStats stats;
+  const FaultRearmer faults;
+  const Clock::time_point session_start = Clock::now();
+
+  for (std::size_t run = 0; run < params.runs; ++run) {
+    if (params.time_budget_ms != 0 &&
+        ms_since(session_start) >= static_cast<double>(params.time_budget_ms)) {
+      stats.budget_exhausted = true;
+      break;
+    }
+    const std::uint64_t seed = params.seed + run;
+    const Clock::time_point run_start = Clock::now();
+    const GenInstance inst = generate(seed, params.workload);
+    faults.rearm();
+    const OracleReport report = run_oracles(inst, params.oracles);
+
+    ++stats.runs;
+    stats.oracle_checks += report.oracles_run;
+    switch (report.optimal.verdict) {
+      case Verdict::Solved: ++stats.solved; break;
+      case Verdict::Infeasible: ++stats.infeasible; break;
+      case Verdict::Unknown: ++stats.unknown; break;
+    }
+
+    std::string repro_path;
+    std::string repro_error;
+    std::size_t repro_lines = 0;
+    std::size_t min_probes = 0;
+    if (report.failed()) {
+      ++stats.failing_runs;
+      stats.disagreements += report.disagreements.size();
+
+      GenInstance small = inst;
+      if (params.minimize_repros) {
+        const std::string target = report.disagreements.front().oracle;
+        const OracleConfig probe_cfg = solo(params.oracles, target);
+        const StillFails still_fails = [&](const GenInstance& cand) {
+          faults.rearm();
+          return has_disagreement(run_oracles(cand, probe_cfg), target);
+        };
+        MinimizeResult mr = minimize(inst, still_fails, params.max_minimize_probes);
+        small = std::move(mr.instance);
+        min_probes = mr.probes;
+      }
+      repro_lines = small.line_count();
+      try {
+        repro_path = write_repro(small, params.out_dir, "seed" + std::to_string(seed));
+        stats.repro_paths.push_back(repro_path);
+      } catch (const std::exception& e) {
+        repro_error = e.what();
+      }
+    }
+
+    if (emit) {
+      std::string line = "{\"fuzz\":\"run\",";
+      kv_u64(line, "run", run);
+      line += ',';
+      kv_u64(line, "seed", seed);
+      line += ',';
+      kv_str(line, "verdict", verdict_name(report.optimal.verdict));
+      if (report.optimal.verdict == Verdict::Solved) {
+        line += ',';
+        kv_f(line, "cost_lb", report.optimal.cost_lb);
+        line += ',';
+        kv_f(line, "actual_cost", report.optimal.actual_cost);
+      }
+      line += ',';
+      kv_str(line, "greedy", verdict_name(report.greedy.verdict));
+      line += ",\"preflight_infeasible\":";
+      line += report.preflight_infeasible ? "true" : "false";
+      line += ',';
+      kv_u64(line, "oracles", report.oracles_run);
+      line += ',';
+      kv_u64(line, "rg_expansions", report.optimal.rg_expansions);
+      line += ',';
+      kv_u64(line, "lines", inst.line_count());
+      if (report.failed()) {
+        line += ",\"disagreements\":[";
+        for (std::size_t i = 0; i < report.disagreements.size(); ++i) {
+          if (i != 0) line += ',';
+          line += "{\"oracle\":";
+          json::append_escaped(line, report.disagreements[i].oracle);
+          line += ",\"detail\":";
+          json::append_escaped(line, report.disagreements[i].detail);
+          line += '}';
+        }
+        line += ']';
+        if (!repro_path.empty()) {
+          line += ',';
+          kv_str(line, "repro", repro_path);
+          line += ',';
+          kv_u64(line, "repro_lines", repro_lines);
+          line += ',';
+          kv_u64(line, "min_probes", min_probes);
+        }
+        if (!repro_error.empty()) {
+          line += ',';
+          kv_str(line, "repro_error", repro_error);
+        }
+      }
+      line += ',';
+      kv_f(line, "ms", ms_since(run_start));
+      line += '}';
+      emit(line);
+    }
+  }
+
+  if (emit) {
+    std::string line = "{\"fuzz\":\"summary\",";
+    kv_u64(line, "seed", params.seed);
+    line += ',';
+    kv_u64(line, "runs", stats.runs);
+    line += ',';
+    kv_u64(line, "solved", stats.solved);
+    line += ',';
+    kv_u64(line, "infeasible", stats.infeasible);
+    line += ',';
+    kv_u64(line, "unknown", stats.unknown);
+    line += ',';
+    kv_u64(line, "oracle_checks", stats.oracle_checks);
+    line += ',';
+    kv_u64(line, "failing_runs", stats.failing_runs);
+    line += ',';
+    kv_u64(line, "disagreements", stats.disagreements);
+    line += ",\"budget_exhausted\":";
+    line += stats.budget_exhausted ? "true" : "false";
+    line += ",\"repros\":[";
+    for (std::size_t i = 0; i < stats.repro_paths.size(); ++i) {
+      if (i != 0) line += ',';
+      json::append_escaped(line, stats.repro_paths[i]);
+    }
+    line += "],";
+    kv_f(line, "ms", ms_since(session_start));
+    line += '}';
+    emit(line);
+  }
+  return stats;
+}
+
+}  // namespace sekitei::testing

@@ -1,0 +1,67 @@
+// Differential fuzzing session driver.
+//
+// fuzz() runs `runs` seeded instances (per-run seed = base seed + run index)
+// through the oracle battery, emits one NDJSON record per run plus a final
+// summary record, and on any disagreement shrinks the instance with the
+// delta-debugging minimizer and writes a `<out_dir>/seed<N>.domain.sk` /
+// `.problem.sk` repro pair.
+//
+// Determinism: the search itself never races a clock — every run uses the
+// fixed expansion budgets in OracleConfig, so a given (seed, params) pair
+// always produces the same verdicts.  The optional `time_budget_ms` is a
+// session-level bound checked before *starting* each run; exhausting it
+// stops cleanly after a whole run and is reported in the summary, so a
+// budget-truncated sweep is a prefix of the untruncated one.
+//
+// Fault interplay: any faults armed when fuzz() starts (e.g. CI's
+// SEKITEI_FAULTS=fuzz.misreport:1:fail) are snapshotted and re-armed before
+// every battery evaluation — including each minimizer probe — so a planted
+// single-shot fault persists through minimization instead of firing once
+// and vanishing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "testing/oracles.hpp"
+#include "testing/workload.hpp"
+
+namespace sekitei::testing {
+
+struct FuzzParams {
+  std::uint64_t seed = 1;            // run i fuzzes generate(seed + i)
+  std::size_t runs = 100;
+  std::uint64_t time_budget_ms = 0;  // 0 = unbounded; see header comment
+  WorkloadParams workload;
+  OracleConfig oracles;
+  std::string out_dir = "fuzz-repros";  // where repro pairs are written
+  bool minimize_repros = true;
+  std::size_t max_minimize_probes = 400;
+};
+
+struct FuzzStats {
+  std::size_t runs = 0;  // runs actually executed
+  std::size_t solved = 0;
+  std::size_t infeasible = 0;
+  std::size_t unknown = 0;
+  std::size_t oracle_checks = 0;   // individual oracle evaluations
+  std::size_t failing_runs = 0;    // runs with >= 1 disagreement
+  std::size_t disagreements = 0;   // total disagreements across runs
+  bool budget_exhausted = false;   // stopped early on time_budget_ms
+  std::vector<std::string> repro_paths;  // domain-file path per written repro
+
+  [[nodiscard]] bool clean() const { return failing_runs == 0; }
+};
+
+/// Receives each NDJSON record (no trailing newline).  May be empty.
+using EmitLine = std::function<void(const std::string&)>;
+
+/// Runs the session.  Never throws on oracle disagreements (they are data);
+/// raises sekitei::Error only for environmental failures such as an
+/// unwritable out_dir.
+FuzzStats fuzz(const FuzzParams& params, const EmitLine& emit = {});
+
+}  // namespace sekitei::testing

@@ -1,0 +1,265 @@
+#include "testing/minimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace sekitei::testing {
+
+namespace {
+
+/// Drops interface declarations nothing references any more (a removed
+/// component may orphan its private C stream).
+void drop_orphan_ifaces(GenInstance& inst) {
+  std::set<std::string> used{inst.source_iface};
+  for (const GenComponent& c : inst.comps) {
+    for (const std::string& in : c.ins) used.insert(in);
+    if (!c.out.empty()) used.insert(c.out);
+  }
+  inst.ifaces.erase(std::remove_if(inst.ifaces.begin(), inst.ifaces.end(),
+                                   [&used](const GenInterface& f) {
+                                     return used.find(f.name) == used.end();
+                                   }),
+                    inst.ifaces.end());
+}
+
+/// One probe: keep `candidate` as the new best iff it still fails.
+struct Prober {
+  const StillFails& still_fails;
+  std::size_t max_probes;
+  std::size_t probes = 0;
+  std::size_t accepted = 0;
+
+  [[nodiscard]] bool budget_left() const { return probes < max_probes; }
+
+  bool try_accept(GenInstance& best, GenInstance candidate) {
+    if (!budget_left()) return false;
+    // A mutation that renders identically is a no-op; accepting it would keep
+    // the fixpoint loop spinning until the probe budget drains.
+    if (candidate.domain_text() == best.domain_text() &&
+        candidate.problem_text() == best.problem_text()) {
+      return false;
+    }
+    ++probes;
+    if (!still_fails(candidate)) return false;
+    best = std::move(candidate);
+    ++accepted;
+    return true;
+  }
+};
+
+bool pass_drop_components(GenInstance& best, Prober& p) {
+  bool any = false;
+  for (std::size_t i = 0; i < best.comps.size() && p.budget_left();) {
+    const GenComponent& c = best.comps[i];
+    if (c.name == best.source_comp || c.name == best.sink_comp) {
+      ++i;
+      continue;
+    }
+    GenInstance cand = best;
+    cand.comps.erase(cand.comps.begin() + static_cast<std::ptrdiff_t>(i));
+    drop_orphan_ifaces(cand);
+    if (p.try_accept(best, std::move(cand))) {
+      any = true;  // the element at i was removed; i now names the next one
+    } else {
+      ++i;
+    }
+  }
+  return any;
+}
+
+/// Splices out 1-in/1-out transformers that are the sole producer of their
+/// output: consumers of the output are rewired to the input, shortening the
+/// pipeline by one stage.
+bool pass_splice_stages(GenInstance& best, Prober& p) {
+  bool any = false;
+  for (std::size_t i = 0; i < best.comps.size() && p.budget_left();) {
+    const GenComponent& c = best.comps[i];
+    const bool spliceable = c.ins.size() == 1 && !c.out.empty() &&
+                            c.out != best.source_iface && c.ins[0] != c.out;
+    std::size_t producers = 0;
+    if (spliceable) {
+      for (const GenComponent& o : best.comps) producers += (o.out == c.out) ? 1 : 0;
+    }
+    if (!spliceable || producers != 1) {
+      ++i;
+      continue;
+    }
+    GenInstance cand = best;
+    const std::string from = c.out, to = c.ins[0];
+    cand.comps.erase(cand.comps.begin() + static_cast<std::ptrdiff_t>(i));
+    for (GenComponent& o : cand.comps) {
+      for (std::string& in : o.ins) {
+        if (in == from) in = to;
+      }
+    }
+    drop_orphan_ifaces(cand);
+    if (p.try_accept(best, std::move(cand))) {
+      any = true;
+    } else {
+      ++i;
+    }
+  }
+  return any;
+}
+
+bool pass_drop_nodes(GenInstance& best, Prober& p) {
+  bool any = false;
+  // Collapsing the goal onto the source node first frees the goal node (and
+  // every link) for removal — the smallest repros are single-node.
+  if (best.goal_node != best.source_node && p.budget_left()) {
+    GenInstance cand = best;
+    cand.goal_node = cand.source_node;
+    if (p.try_accept(best, std::move(cand))) any = true;
+  }
+  for (std::uint32_t i = 0; i < best.nodes.size() && p.budget_left();) {
+    if (i == best.source_node || i == best.goal_node) {
+      ++i;
+      continue;
+    }
+    GenInstance cand = best;
+    cand.nodes.erase(cand.nodes.begin() + i);
+    cand.links.erase(std::remove_if(cand.links.begin(), cand.links.end(),
+                                    [i](const GenLink& l) { return l.a == i || l.b == i; }),
+                     cand.links.end());
+    for (GenLink& l : cand.links) {
+      if (l.a > i) --l.a;
+      if (l.b > i) --l.b;
+    }
+    if (cand.source_node > i) --cand.source_node;
+    if (cand.goal_node > i) --cand.goal_node;
+    if (p.try_accept(best, std::move(cand))) {
+      any = true;
+    } else {
+      ++i;
+    }
+  }
+  return any;
+}
+
+bool pass_drop_links(GenInstance& best, Prober& p) {
+  bool any = false;
+  for (std::size_t i = 0; i < best.links.size() && p.budget_left();) {
+    GenInstance cand = best;
+    cand.links.erase(cand.links.begin() + static_cast<std::ptrdiff_t>(i));
+    if (p.try_accept(best, std::move(cand))) {
+      any = true;
+    } else {
+      ++i;
+    }
+  }
+  return any;
+}
+
+bool pass_drop_levels(GenInstance& best, Prober& p) {
+  bool any = false;
+  auto try_mutation = [&](auto&& mutate) {
+    if (!p.budget_left()) return;
+    GenInstance cand = best;
+    mutate(cand);
+    if (p.try_accept(best, std::move(cand))) any = true;
+  };
+  for (std::size_t f = 0; f < best.ifaces.size(); ++f) {
+    if (best.ifaces[f].cuts.empty()) continue;
+    try_mutation([f](GenInstance& c) { c.ifaces[f].cuts.clear(); });
+    for (std::size_t k = 0; k < best.ifaces[f].cuts.size(); ++k) {
+      if (k >= best.ifaces[f].cuts.size()) break;
+      try_mutation([f, k](GenInstance& c) {
+        if (k < c.ifaces[f].cuts.size()) {
+          c.ifaces[f].cuts.erase(c.ifaces[f].cuts.begin() + static_cast<std::ptrdiff_t>(k));
+        }
+      });
+    }
+  }
+  if (!best.link_cuts.empty()) try_mutation([](GenInstance& c) { c.link_cuts.clear(); });
+  if (!best.node_cuts.empty()) try_mutation([](GenInstance& c) { c.node_cuts.clear(); });
+  return any;
+}
+
+bool pass_simplify_numbers(GenInstance& best, Prober& p) {
+  bool any = false;
+  auto try_mutation = [&](auto&& mutate) {
+    if (!p.budget_left()) return;
+    GenInstance cand = best;
+    mutate(cand);
+    if (p.try_accept(best, std::move(cand))) any = true;
+  };
+  if (best.restrict_sink) try_mutation([](GenInstance& c) { c.restrict_sink = false; });
+  if (best.forbid_source) try_mutation([](GenInstance& c) { c.forbid_source = false; });
+  if (best.preplace_source) try_mutation([](GenInstance& c) { c.preplace_source = false; });
+  for (std::size_t i = 0; i < best.comps.size(); ++i) {
+    if (best.comps[i].is_sink() && best.comps[i].demand > 0.0) {
+      try_mutation([i](GenInstance& c) { c.comps[i].demand = 0.0; });
+    }
+    if (best.comps[i].cost_per_unit > 0.0) {
+      try_mutation([i](GenInstance& c) { c.comps[i].cost_per_unit = 0.0; });
+    }
+    if (best.comps[i].cpu_div > 0.0) {
+      try_mutation([i](GenInstance& c) { c.comps[i].cpu_div = 0.0; });
+    }
+    if (best.comps[i].scale != 1.0 && !best.comps[i].is_source() &&
+        !best.comps[i].is_sink()) {
+      try_mutation([i](GenInstance& c) { c.comps[i].scale = 1.0; });
+    }
+  }
+  for (std::size_t f = 0; f < best.ifaces.size(); ++f) {
+    if (best.ifaces[f].cross_cost_per_unit > 0.0) {
+      try_mutation([f](GenInstance& c) { c.ifaces[f].cross_cost_per_unit = 0.0; });
+    }
+    if (!best.ifaces[f].omit_cross) {
+      try_mutation([f](GenInstance& c) { c.ifaces[f].omit_cross = true; });
+    }
+  }
+  auto rounded = [](double v) { return std::max(1.0, std::round(v)); };
+  try_mutation([&rounded](GenInstance& c) {
+    for (GenNode& n : c.nodes) n.cpu = rounded(n.cpu);
+    for (GenLink& l : c.links) l.lbw = rounded(l.lbw);
+    c.stream_hi = rounded(c.stream_hi);
+    for (GenComponent& comp : c.comps) {
+      if (comp.demand > 0.0) comp.demand = rounded(comp.demand);
+      if (comp.produce > 0.0) comp.produce = rounded(comp.produce);
+    }
+  });
+  return any;
+}
+
+}  // namespace
+
+MinimizeResult minimize(GenInstance inst, const StillFails& still_fails,
+                        std::size_t max_probes) {
+  Prober prober{still_fails, max_probes};
+  bool changed = true;
+  while (changed && prober.budget_left()) {
+    changed = false;
+    changed |= pass_drop_components(inst, prober);
+    changed |= pass_splice_stages(inst, prober);
+    changed |= pass_drop_nodes(inst, prober);
+    changed |= pass_drop_links(inst, prober);
+    changed |= pass_drop_levels(inst, prober);
+    changed |= pass_simplify_numbers(inst, prober);
+  }
+  return {std::move(inst), prober.probes, prober.accepted};
+}
+
+std::string write_repro(const GenInstance& inst, const std::string& dir,
+                        const std::string& stem) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);  // ok if it already exists
+  const fs::path domain_path = fs::path(dir) / (stem + ".domain.sk");
+  const fs::path problem_path = fs::path(dir) / (stem + ".problem.sk");
+  std::ofstream d(domain_path), q(problem_path);
+  if (!d || !q) raise("testing: cannot write repro files under " + dir);
+  d << inst.domain_text();
+  q << inst.problem_text();
+  d.close();
+  q.close();
+  if (!d || !q) raise("testing: short write while saving repro under " + dir);
+  return domain_path.string();
+}
+
+}  // namespace sekitei::testing

@@ -1,0 +1,49 @@
+// Delta-debugging repro minimizer.
+//
+// Given an instance on which some oracle disagrees (or crashes), shrink it
+// while the disagreement persists.  Because instances are structured
+// (testing/workload.hpp), reductions are semantic rather than textual:
+//
+//   * drop a non-source/sink component (with its orphaned interfaces);
+//   * splice out a 1-in/1-out transformer, rewiring consumers of its output
+//     to its input (chain shortening);
+//   * drop a node (plus incident links) or a single link;
+//   * drop level cutpoints, the restrict rule, per-unit cost terms and cpu
+//     draws; round capacities to integers.
+//
+// Each candidate is re-rendered to .sk text and re-tested through the same
+// oracle battery; a reduction is kept only if the instance still fails.
+// Passes repeat to a fixpoint under a probe budget, ddmin-style [Zeller].
+// The result is written as a <stem>.domain.sk / <stem>.problem.sk pair that
+// example_solve_file and sekitei_fuzz --replay can load directly.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "testing/workload.hpp"
+
+namespace sekitei::testing {
+
+/// Returns true when the candidate instance still exhibits the failure.
+/// The minimizer calls this once per probe; the callback must be
+/// deterministic for the minimization itself to be reproducible.
+using StillFails = std::function<bool(const GenInstance&)>;
+
+struct MinimizeResult {
+  GenInstance instance;     // smallest failing instance found
+  std::size_t probes = 0;   // candidate evaluations spent
+  std::size_t accepted = 0; // reductions that kept the failure
+};
+
+[[nodiscard]] MinimizeResult minimize(GenInstance inst, const StillFails& still_fails,
+                                      std::size_t max_probes = 400);
+
+/// Writes `<dir>/<stem>.domain.sk` and `<dir>/<stem>.problem.sk` (creating
+/// `dir` if needed) and returns the path of the domain file.  Raises
+/// sekitei::Error when the files cannot be written.
+std::string write_repro(const GenInstance& inst, const std::string& dir,
+                        const std::string& stem);
+
+}  // namespace sekitei::testing

@@ -1,0 +1,338 @@
+#include "testing/oracles.hpp"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "analysis/analyzer.hpp"
+#include "core/planner.hpp"
+#include "model/compile.hpp"
+#include "model/textio.hpp"
+#include "service/engine.hpp"
+#include "sim/executor.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
+#include "testing/validator.hpp"
+
+namespace sekitei::testing {
+
+namespace {
+
+constexpr double kEps = 1e-6;
+
+bool close(double a, double b) {
+  return std::abs(a - b) <= kEps * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+std::string fmt(double v) { return format_number(v); }
+
+/// A solved run kept alive: the compiled problem pins into the loaded
+/// instance, and the plan indexes into the compiled problem.
+struct RunContext {
+  std::unique_ptr<model::LoadedProblem> lp;
+  model::CompiledProblem cp;
+  core::PlanResult result;
+  SolveOutcome outcome;
+};
+
+/// Loads, compiles and plans one pair of .sk texts.  `strip_levels`
+/// reproduces scenario A (the greedy baseline's trivial [0,inf) levels).
+RunContext run_planner(const std::string& domain_text, const std::string& problem_text,
+                       core::PlannerOptions::Mode mode, bool strip_levels,
+                       const OracleConfig& cfg) {
+  RunContext ctx;
+  ctx.lp = model::load_problem(domain_text, problem_text);
+  if (strip_levels) {
+    ctx.lp->scenario.iface_levels.clear();
+    ctx.lp->scenario.link_levels.clear();
+    ctx.lp->scenario.node_levels.clear();
+  }
+  ctx.cp = model::compile(ctx.lp->problem, ctx.lp->scenario);
+
+  core::PlannerOptions opt;
+  opt.mode = mode;
+  opt.max_rg_expansions = cfg.max_rg_expansions;
+  opt.max_slrg_sets = cfg.max_slrg_sets;
+  core::Sekitei planner(ctx.cp, opt);
+  sim::Executor exec(ctx.cp);
+  ctx.result = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+
+  ctx.outcome.rg_expansions = ctx.result.stats.rg_expansions;
+  ctx.outcome.failure = ctx.result.failure;
+  if (ctx.result.ok()) {
+    ctx.outcome.verdict = Verdict::Solved;
+    ctx.outcome.cost_lb = ctx.result.plan->cost_lb;
+    ctx.outcome.plan_text = ctx.result.plan->str(ctx.cp);
+    ctx.outcome.actual_cost = exec.execute(*ctx.result.plan).actual_cost;
+  } else if (ctx.result.stats.hit_search_limit || ctx.result.stats.stopped) {
+    ctx.outcome.verdict = Verdict::Unknown;
+  } else {
+    ctx.outcome.verdict = Verdict::Infeasible;
+  }
+  return ctx;
+}
+
+std::string describe(const SolveOutcome& o) {
+  std::string s = verdict_name(o.verdict);
+  if (o.verdict == Verdict::Solved) {
+    s += " (cost_lb " + fmt(o.cost_lb) + ", actual " + fmt(o.actual_cost) + ")";
+  }
+  return s;
+}
+
+}  // namespace
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::Solved: return "solved";
+    case Verdict::Infeasible: return "infeasible";
+    case Verdict::Unknown: break;
+  }
+  return "unknown";
+}
+
+bool parse_oracle_set(const std::string& csv, OracleConfig& cfg, std::string* error) {
+  cfg.greedy = cfg.preflight = cfg.validator = false;
+  cfg.permutation = cfg.widening = cfg.refinement = cfg.service = false;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string name = csv.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (name.empty()) continue;
+    if (name == "all") {
+      cfg.greedy = cfg.preflight = cfg.validator = true;
+      cfg.permutation = cfg.widening = cfg.refinement = cfg.service = true;
+    } else if (name == "greedy") {
+      cfg.greedy = true;
+    } else if (name == "preflight") {
+      cfg.preflight = true;
+    } else if (name == "validator") {
+      cfg.validator = true;
+    } else if (name == "permutation") {
+      cfg.permutation = true;
+    } else if (name == "widening") {
+      cfg.widening = true;
+    } else if (name == "refinement") {
+      cfg.refinement = true;
+    } else if (name == "service") {
+      cfg.service = true;
+    } else {
+      if (error != nullptr) *error = "unknown oracle '" + name + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// The differential half of the battery (validator, preflight, greedy,
+/// service) — everything that only needs the rendered texts and the base
+/// run.  Shared between run_oracles and replay_text.
+void check_differential(const std::string& domain, const std::string& problem,
+                        const OracleConfig& cfg, RunContext& base, OracleReport& report) {
+  auto disagree = [&report](const char* oracle, std::string detail) {
+    report.disagreements.push_back({oracle, std::move(detail)});
+  };
+
+  {
+    if (cfg.validator && report.optimal.verdict == Verdict::Solved) {
+      ++report.oracles_run;
+      const Validation v = validate_plan(base.cp, *base.result.plan);
+      if (!v.ok) {
+        disagree("validator", v.failure);
+      } else if (!close(v.actual_cost, report.optimal.actual_cost)) {
+        disagree("validator", "re-execution cost " + fmt(v.actual_cost) +
+                                  " differs from first execution " +
+                                  fmt(report.optimal.actual_cost));
+      } else if (v.actual_cost + kEps < report.optimal.cost_lb) {
+        disagree("validator", "validator cost " + fmt(v.actual_cost) +
+                                  " undercuts reported cost_lb " + fmt(report.optimal.cost_lb));
+      }
+    }
+
+    if (cfg.preflight) {
+      ++report.oracles_run;
+      const analysis::PreflightVerdict pv = analysis::preflight(base.cp);
+      report.preflight_infeasible = pv.infeasible;
+      if (pv.infeasible && report.optimal.verdict == Verdict::Solved) {
+        disagree("preflight", std::string("analyzer proved infeasibility (") + pv.code + ": " +
+                                  pv.reason + ") but the search found a plan");
+      }
+    }
+
+    if (cfg.greedy) {
+      ++report.oracles_run;
+      report.greedy =
+          run_planner(domain, problem, core::PlannerOptions::Mode::Greedy, true, cfg).outcome;
+      if (report.greedy.verdict == Verdict::Solved &&
+          report.optimal.verdict == Verdict::Infeasible) {
+        // A value landing exactly on a cutpoint cannot claim the level above
+        // it (spec/levels.hpp strict_floor, the Fig. 7 pruning), so the
+        // leveled abstraction may legitimately lose a concretely feasible
+        // plan at exact boundary coincidences.  Disambiguate by re-running
+        // the leveled search under trivial levels: if that also fails, the
+        // search itself lost a plan the greedy baseline found — a real bug.
+        const SolveOutcome trivial =
+            run_planner(domain, problem, core::PlannerOptions::Mode::Leveled, true, cfg)
+                .outcome;
+        if (trivial.verdict == Verdict::Infeasible) {
+          disagree("greedy", "greedy baseline solved but the leveled search claims "
+                             "infeasible even under trivial levels");
+        }
+      }
+      if (report.greedy.verdict == Verdict::Solved &&
+          report.optimal.verdict == Verdict::Solved &&
+          report.optimal.cost_lb > report.greedy.actual_cost + kEps) {
+        disagree("greedy", "optimal cost_lb " + fmt(report.optimal.cost_lb) +
+                               " exceeds the greedy plan's realized cost " +
+                               fmt(report.greedy.actual_cost));
+      }
+    }
+
+    if (cfg.service && report.optimal.verdict != Verdict::Unknown &&
+        report.optimal.rg_expansions <= cfg.service_expansion_cap) {
+      ++report.oracles_run;
+      auto make_request = [&](const std::shared_ptr<const model::LoadedProblem>& lp,
+                              const char* id) {
+        service::PlanRequest req;
+        req.id = id;
+        req.problem = lp;
+        return req;
+      };
+      std::shared_ptr<const model::LoadedProblem> lp1 = model::load_problem(domain, problem);
+      service::PlanResponse first;
+      {
+        service::PlanningEngine one({.workers = 1});
+        first = one.plan(make_request(lp1, "jobs1"));
+      }
+      service::PlanningEngine many({.workers = cfg.service_jobs});
+      std::vector<service::PlanningEngine::Ticket> tickets;
+      tickets.reserve(cfg.service_jobs);
+      for (std::size_t i = 0; i < cfg.service_jobs; ++i) {
+        tickets.push_back(many.submit(make_request(lp1, "jobsN")));
+      }
+      for (auto& t : tickets) {
+        const service::PlanResponse r = t.response.get();
+        if (r.outcome != first.outcome || r.plan_text != first.plan_text) {
+          disagree("service",
+                   std::string("jobs=1 vs jobs=N responses differ: ") +
+                       service::outcome_name(first.outcome) + " vs " +
+                       service::outcome_name(r.outcome) +
+                       (r.plan_text != first.plan_text ? " (plan text differs)" : ""));
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+OracleReport run_oracles(const GenInstance& inst, const OracleConfig& cfg) {
+  OracleReport report;
+  auto disagree = [&report](const char* oracle, std::string detail) {
+    report.disagreements.push_back({oracle, std::move(detail)});
+  };
+
+  try {
+    const std::string domain = inst.domain_text();
+    const std::string problem = inst.problem_text();
+
+    // Base leveled run — every oracle compares against this one.
+    RunContext base =
+        run_planner(domain, problem, core::PlannerOptions::Mode::Leveled, false, cfg);
+    report.optimal = base.outcome;
+
+    // Fault-injection point for harness self-tests and CI: a planted
+    // misreport must be caught by the battery and survive minimization.
+    if (report.optimal.verdict == Verdict::Solved && SEKITEI_FAULT_POINT("fuzz.misreport")) {
+      report.optimal.cost_lb = report.optimal.actual_cost + 1000.0;
+    }
+
+    check_differential(domain, problem, cfg, base, report);
+
+    if (cfg.permutation) {
+      ++report.oracles_run;
+      const GenInstance renamed = inst.permuted(cfg.perm_seed);
+      const SolveOutcome perm = run_planner(renamed.domain_text(), renamed.problem_text(),
+                                            core::PlannerOptions::Mode::Leveled, false, cfg)
+                                    .outcome;
+      if (perm.verdict != Verdict::Unknown && report.optimal.verdict != Verdict::Unknown) {
+        if (perm.verdict != report.optimal.verdict) {
+          disagree("permutation", "verdict changed under renaming: " +
+                                      describe(report.optimal) + " vs " + describe(perm));
+        } else if (perm.verdict == Verdict::Solved &&
+                   !close(perm.cost_lb, report.optimal.cost_lb)) {
+          disagree("permutation", "optimal cost changed under renaming: " +
+                                      fmt(report.optimal.cost_lb) + " vs " + fmt(perm.cost_lb));
+        }
+      }
+    }
+
+    if (cfg.widening) {
+      ++report.oracles_run;
+      const GenInstance widened = inst.widened(cfg.widen_factor);
+      const SolveOutcome wide = run_planner(widened.domain_text(), widened.problem_text(),
+                                            core::PlannerOptions::Mode::Leveled, false, cfg)
+                                    .outcome;
+      if (report.optimal.verdict == Verdict::Solved) {
+        if (wide.verdict == Verdict::Infeasible) {
+          disagree("widening", "instance became infeasible after widening capacities by " +
+                                   fmt(cfg.widen_factor) + "x");
+        } else if (wide.verdict == Verdict::Solved &&
+                   wide.cost_lb > report.optimal.cost_lb + kEps &&
+                   !close(wide.cost_lb, report.optimal.cost_lb)) {
+          disagree("widening", "optimal cost rose from " + fmt(report.optimal.cost_lb) +
+                                   " to " + fmt(wide.cost_lb) + " after widening capacities");
+        }
+      }
+    }
+
+    if (cfg.refinement) {
+      if (const std::optional<GenInstance> fine = inst.refined()) {
+        ++report.oracles_run;
+        const SolveOutcome ref =
+            run_planner(fine->domain_text(), fine->problem_text(),
+                        core::PlannerOptions::Mode::Leveled, false, cfg)
+                .outcome;
+        if (ref.verdict != Verdict::Unknown && report.optimal.verdict != Verdict::Unknown) {
+          if (ref.verdict != report.optimal.verdict) {
+            disagree("refinement", "verdict changed under level refinement: " +
+                                       describe(report.optimal) + " vs " + describe(ref));
+          } else if (ref.verdict == Verdict::Solved &&
+                     ref.cost_lb + kEps < report.optimal.cost_lb &&
+                     !close(ref.cost_lb, report.optimal.cost_lb)) {
+            disagree("refinement", "refining levels loosened the cost bound: " +
+                                       fmt(report.optimal.cost_lb) + " -> " + fmt(ref.cost_lb));
+          }
+        }
+      }
+    }
+
+  } catch (const std::exception& e) {
+    disagree("crash", e.what());
+  }
+  return report;
+}
+
+OracleReport replay_text(const std::string& domain_text, const std::string& problem_text,
+                         const OracleConfig& cfg) {
+  OracleReport report;
+  try {
+    RunContext base =
+        run_planner(domain_text, problem_text, core::PlannerOptions::Mode::Leveled, false, cfg);
+    report.optimal = base.outcome;
+    if (report.optimal.verdict == Verdict::Solved && SEKITEI_FAULT_POINT("fuzz.misreport")) {
+      report.optimal.cost_lb = report.optimal.actual_cost + 1000.0;
+    }
+    check_differential(domain_text, problem_text, cfg, base, report);
+  } catch (const std::exception& e) {
+    report.disagreements.push_back({"crash", e.what()});
+  }
+  return report;
+}
+
+}  // namespace sekitei::testing

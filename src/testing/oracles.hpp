@@ -1,0 +1,114 @@
+// Differential + metamorphic oracle battery.
+//
+// The planner stack has three independently implemented verdict sources —
+// the optimal leveled search, the greedy (worst-case reservation) baseline
+// and the pre-flight relaxed-reachability analyzer — plus the simulator as
+// an execution ground truth.  Each oracle below is a *theorem* of the
+// system restricted to the generated formula fragment (monotone conditions,
+// resource-free cost formulae; see testing/workload.hpp), so any
+// disagreement is a bug by construction:
+//
+//   greedy       greedy solvable => leveled solvable (levels only add
+//                plans, Section 3's central claim), and when both solve the
+//                optimal leveled cost never exceeds the greedy plan's
+//                realized cost.  One carve-out: a value sitting exactly on
+//                a cutpoint cannot claim the level above it (strict-floor
+//                pruning, Fig. 7), so "greedy solved / leveled infeasible"
+//                is only a disagreement if the leveled search also fails
+//                under trivial levels (tests/corpus/repros/greedy_gap and
+//                boundary_feasible pin both sides of this line).
+//   preflight    "provably infeasible" from the static analyzer => the
+//                exhaustive search must not find a plan.
+//   validator    a fresh executor re-proves the returned plan: it executes,
+//                its realized cost matches the first execution and never
+//                undercuts the reported lower bound (testing/validator.hpp).
+//   permutation  renaming nodes and shuffling declaration order changes
+//                neither the verdict nor the optimal cost.
+//   widening     scaling every capacity up keeps solvable instances
+//                solvable and never raises the optimal cost.
+//   refinement   adding a level cutpoint preserves the verdict and can only
+//                tighten (raise) the optimal cost lower bound.
+//   service      the same instance through the planning service with 1
+//                worker and with N workers yields byte-identical plans.
+//
+// Search-limit exhaustion yields Verdict::Unknown; comparisons involving an
+// Unknown side are skipped, never reported (an oracle only speaks when both
+// of its runs are decisive).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testing/workload.hpp"
+
+namespace sekitei::testing {
+
+enum class Verdict : unsigned char { Solved, Infeasible, Unknown };
+
+[[nodiscard]] const char* verdict_name(Verdict v);
+
+/// What one planner run over one instance produced.
+struct SolveOutcome {
+  Verdict verdict = Verdict::Unknown;
+  double cost_lb = 0.0;      // reported plan cost lower bound (Solved only)
+  double actual_cost = 0.0;  // realized cost after concrete execution
+  std::string plan_text;     // Fig.-4-style rendering (Solved only)
+  std::uint64_t rg_expansions = 0;
+  std::string failure;  // planner failure text when not Solved
+};
+
+struct OracleConfig {
+  bool greedy = true;
+  bool preflight = true;
+  bool validator = true;
+  bool permutation = true;
+  bool widening = true;
+  bool refinement = true;
+  bool service = true;
+
+  // Deterministic search budgets; exhaustion classifies as Unknown.
+  std::uint64_t max_rg_expansions = 60000;
+  std::uint64_t max_slrg_sets = 120000;
+  /// The service oracle spins real worker threads; skip it for base runs
+  /// that already needed more expansions than this (it would re-search
+  /// without a budget).
+  std::uint64_t service_expansion_cap = 20000;
+  std::size_t service_jobs = 4;
+  double widen_factor = 1.5;
+  std::uint64_t perm_seed = 0xC0FFEEULL;
+};
+
+/// Enables exactly the named oracles ("greedy,validator,...", or "all").
+/// Returns false and fills *error on an unknown name.
+[[nodiscard]] bool parse_oracle_set(const std::string& csv, OracleConfig& cfg,
+                                    std::string* error = nullptr);
+
+struct Disagreement {
+  std::string oracle;  // "greedy" | "preflight" | ... | "crash"
+  std::string detail;
+};
+
+struct OracleReport {
+  SolveOutcome optimal;  // leveled, generated scenario
+  SolveOutcome greedy;   // Mode::Greedy under trivial levels (scenario A)
+  bool preflight_infeasible = false;
+  std::uint32_t oracles_run = 0;  // individual checks actually evaluated
+  std::vector<Disagreement> disagreements;
+
+  [[nodiscard]] bool failed() const { return !disagreements.empty(); }
+};
+
+/// Runs the configured battery over one instance.  Never throws: an
+/// exception escaping any stage is converted into a "crash" disagreement.
+[[nodiscard]] OracleReport run_oracles(const GenInstance& inst, const OracleConfig& cfg = {});
+
+/// Replays a saved repro pair (raw .sk texts) through the differential
+/// subset of the battery — greedy, preflight, validator and service.  The
+/// metamorphic oracles need the structured instance and are skipped here.
+/// Never throws (same "crash" conversion as run_oracles).
+[[nodiscard]] OracleReport replay_text(const std::string& domain_text,
+                                       const std::string& problem_text,
+                                       const OracleConfig& cfg = {});
+
+}  // namespace sekitei::testing

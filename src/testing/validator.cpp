@@ -1,0 +1,40 @@
+#include "testing/validator.hpp"
+
+#include <string>
+
+#include "sim/executor.hpp"
+
+namespace sekitei::testing {
+
+namespace {
+constexpr double kEps = 1e-6;
+}
+
+Validation validate_plan(const model::CompiledProblem& cp, const core::Plan& plan) {
+  Validation v;
+  sim::Executor exec(cp);
+  const sim::ExecutionReport rep = exec.execute(plan);
+  if (!rep.feasible) {
+    v.failure = "plan does not execute: " + rep.failure;
+    return v;
+  }
+  v.actual_cost = rep.actual_cost;
+
+  if (rep.actual_cost + kEps < plan.cost_lb) {
+    v.failure = "realized cost " + std::to_string(rep.actual_cost) +
+                " undercuts the reported lower bound " + std::to_string(plan.cost_lb);
+    return v;
+  }
+  for (const sim::LinkUse& lu : rep.link_use) {
+    const double cap = cp.net->link(lu.link).resource("lbw");
+    if (lu.used > cap + kEps) {
+      v.failure = "link reservation " + std::to_string(lu.used) + " exceeds capacity " +
+                  std::to_string(cap);
+      return v;
+    }
+  }
+  v.ok = true;
+  return v;
+}
+
+}  // namespace sekitei::testing

@@ -1,0 +1,34 @@
+// Independent plan validation for the differential harness.
+//
+// The planner already validates candidates through the simulator hook, but a
+// bug there would self-certify: the same executor both accepts the candidate
+// and later "re-proves" it.  The harness therefore re-executes every returned
+// plan through a *fresh* sim::Executor and re-derives the things the planner
+// reported, without calling any planner code:
+//
+//   * the plan executes concretely (every condition re-checked with real
+//     numbers);
+//   * the realized cost never undercuts the plan's reported lower bound;
+//   * per-link reservations stay within the link's capacity.
+//
+// A failed validation is an oracle disagreement like any other: the fuzzer
+// records it and the minimizer shrinks the instance.
+#pragma once
+
+#include <string>
+
+#include "core/plan.hpp"
+#include "model/compile.hpp"
+
+namespace sekitei::testing {
+
+struct Validation {
+  bool ok = false;
+  std::string failure;     // first violated check, human-readable
+  double actual_cost = 0.0;
+};
+
+[[nodiscard]] Validation validate_plan(const model::CompiledProblem& cp,
+                                       const core::Plan& plan);
+
+}  // namespace sekitei::testing

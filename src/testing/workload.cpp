@@ -1,0 +1,462 @@
+#include "testing/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+#include "net/generator.hpp"
+#include "net/network.hpp"
+#include "support/rng.hpp"
+
+namespace sekitei::testing {
+
+namespace {
+
+// Values are quantized to one decimal so rendered texts are short, stable
+// and parse back to exactly the generated number.
+double quantize(double v) { return std::round(v * 10.0) / 10.0; }
+
+void append_indexed(std::string& out, const char* prefix, std::uint64_t i) {
+  out += prefix;
+  out += std::to_string(i);
+}
+
+std::string indexed(const char* prefix, std::uint64_t i) {
+  std::string s;
+  append_indexed(s, prefix, i);
+  return s;
+}
+
+char class_of(net::LinkClass cls) {
+  switch (cls) {
+    case net::LinkClass::Lan: return 'l';
+    case net::LinkClass::Wan: return 'w';
+    case net::LinkClass::Other: break;
+  }
+  return 'o';
+}
+
+/// Imports the node/link structure of a net::Network (names are re-issued as
+/// n0..nk in declaration order; resources are overridden by the caller).
+void import_topology(const net::Network& net, GenInstance& inst) {
+  inst.nodes.clear();
+  inst.links.clear();
+  for (NodeId n : net.node_ids()) {
+    inst.nodes.push_back({net.node(n).name, 30.0});
+  }
+  for (LinkId l : net.link_ids()) {
+    const net::Link& link = net.link(l);
+    inst.links.push_back({static_cast<std::uint32_t>(link.a.index()),
+                          static_cast<std::uint32_t>(link.b.index()), class_of(link.cls),
+                          100.0});
+  }
+}
+
+/// Sorted, deduplicated, strictly positive cutpoints (LevelSet's contract).
+std::vector<double> tidy_cuts(std::vector<double> cuts) {
+  for (double& c : cuts) c = quantize(c);
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  cuts.erase(std::remove_if(cuts.begin(), cuts.end(), [](double c) { return c <= 0.0; }),
+             cuts.end());
+  return cuts;
+}
+
+void append_cut_list(std::string& out, const std::vector<double>& cuts) {
+  out += "{ ";
+  for (std::size_t i = 0; i < cuts.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += format_number(cuts[i]);
+  }
+  out += " }";
+}
+
+}  // namespace
+
+std::string format_number(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  std::string s(buf);
+  // Trim trailing zeros (and a bare trailing dot) for compact, stable text.
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+std::string GenInstance::domain_text() const {
+  std::string out;
+  out += "# generated workload (seed ";
+  out += std::to_string(seed);
+  out += ")\n";
+  for (const GenInterface& f : ifaces) {
+    out += "interface " + f.name + " {\n";
+    out += "  property bw degradable;\n";
+    if (!f.omit_cross) {
+      out += "  cross {\n";
+      out += "    " + f.name + ".bw' := min(" + f.name + ".bw, link.lbw);\n";
+      out += "    link.lbw -= min(" + f.name + ".bw, link.lbw);\n";
+      out += "  }\n";
+    }
+    out += "  cost " + format_number(f.cross_cost_base);
+    if (f.cross_cost_per_unit > 0.0) {
+      out += " + " + f.name + ".bw * " + format_number(f.cross_cost_per_unit);
+    }
+    out += ";\n}\n";
+  }
+  for (const GenComponent& c : comps) {
+    out += "component " + c.name + " {\n";
+    if (!c.ins.empty()) {
+      out += "  requires ";
+      for (std::size_t i = 0; i < c.ins.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += c.ins[i];
+      }
+      out += ";\n";
+    }
+    if (!c.out.empty()) out += "  implements " + c.out + ";\n";
+
+    // The sum of the inputs' bw values, e.g. "I0.bw" or "(I0.bw + I1.bw)".
+    std::string in_sum;
+    if (c.ins.size() == 1) {
+      in_sum = c.ins[0] + ".bw";
+    } else if (c.ins.size() > 1) {
+      in_sum = "(";
+      for (std::size_t i = 0; i < c.ins.size(); ++i) {
+        if (i != 0) in_sum += " + ";
+        in_sum += c.ins[i] + ".bw";
+      }
+      in_sum += ")";
+    }
+
+    std::vector<std::string> conditions;
+    if (c.is_sink() && c.demand > 0.0) {
+      conditions.push_back(c.ins[0] + ".bw >= " + format_number(c.demand));
+    }
+    if (c.cpu_div > 0.0 && !c.ins.empty()) {
+      conditions.push_back("node.cpu >= " + in_sum + " / " + format_number(c.cpu_div));
+    }
+    if (!conditions.empty()) {
+      out += "  conditions {\n";
+      for (const std::string& cond : conditions) out += "    " + cond + ";\n";
+      out += "  }\n";
+    }
+
+    std::vector<std::string> effects;
+    if (c.is_source()) {
+      effects.push_back(c.out + ".bw := " + format_number(c.produce));
+    } else if (!c.out.empty()) {
+      effects.push_back(c.out + ".bw := " + in_sum + " * " + format_number(c.scale));
+    }
+    if (c.cpu_div > 0.0 && !c.ins.empty()) {
+      effects.push_back("node.cpu -= " + in_sum + " / " + format_number(c.cpu_div));
+    }
+    if (!effects.empty()) {
+      out += "  effects {\n";
+      for (const std::string& eff : effects) out += "    " + eff + ";\n";
+      out += "  }\n";
+    }
+
+    out += "  cost " + format_number(c.cost_base);
+    if (c.cost_per_unit > 0.0 && !in_sum.empty()) {
+      out += " + " + in_sum + " * " + format_number(c.cost_per_unit);
+    }
+    out += ";\n}\n";
+  }
+  return out;
+}
+
+std::string GenInstance::problem_text() const {
+  std::string out;
+  out += "network {\n";
+  for (const GenNode& n : nodes) {
+    out += "  node " + n.name + " { cpu " + format_number(n.cpu) + "; }\n";
+  }
+  for (const GenLink& l : links) {
+    out += "  link " + nodes[l.a].name + " " + nodes[l.b].name + " ";
+    out += l.cls == 'l' ? "lan" : (l.cls == 'w' ? "wan" : "other");
+    out += " { lbw " + format_number(l.lbw) + "; }\n";
+  }
+  out += "}\n";
+
+  out += "problem {\n";
+  out += "  stream " + source_iface + ".bw at " + nodes[source_node].name + " = [0, " +
+         format_number(stream_hi) + "];\n";
+  if (preplace_source) {
+    out += "  preplaced " + source_comp + " at " + nodes[source_node].name + ";\n";
+  }
+  if (forbid_source) out += "  forbid " + source_comp + ";\n";
+  if (restrict_sink) {
+    out += "  restrict " + sink_comp + " to " + nodes[goal_node].name + ";\n";
+  }
+  out += "  goal " + sink_comp + " at " + nodes[goal_node].name + ";\n";
+  out += "}\n";
+
+  std::string scenario;
+  for (const GenInterface& f : ifaces) {
+    if (f.cuts.empty()) continue;
+    scenario += "  levels " + f.name + ".bw ";
+    append_cut_list(scenario, f.cuts);
+    scenario += "\n";
+  }
+  if (!link_cuts.empty()) {
+    scenario += "  levels link lbw ";
+    append_cut_list(scenario, link_cuts);
+    scenario += "\n";
+  }
+  if (!node_cuts.empty()) {
+    scenario += "  levels node cpu ";
+    append_cut_list(scenario, node_cuts);
+    scenario += "\n";
+  }
+  if (!scenario.empty()) out += "scenario {\n" + scenario + "}\n";
+  return out;
+}
+
+std::size_t GenInstance::line_count() const {
+  const std::string all = domain_text() + problem_text();
+  return static_cast<std::size_t>(std::count(all.begin(), all.end(), '\n'));
+}
+
+GenInstance GenInstance::permuted(std::uint64_t perm_seed) const {
+  SplitMix64 rng(perm_seed);
+  GenInstance out = *this;
+
+  // Renamed nodes in shuffled declaration order (Fisher–Yates).
+  std::vector<std::uint32_t> order(nodes.size());
+  std::iota(order.begin(), order.end(), 0u);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  std::vector<std::uint32_t> new_index(nodes.size());
+  out.nodes.clear();
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const std::uint32_t old = order[pos];
+    new_index[old] = static_cast<std::uint32_t>(pos);
+    out.nodes.push_back({indexed("p", pos), nodes[old].cpu});
+  }
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    out.links[i].a = new_index[links[i].a];
+    out.links[i].b = new_index[links[i].b];
+  }
+  out.source_node = new_index[source_node];
+  out.goal_node = new_index[goal_node];
+
+  // Shuffled component and interface declaration order (names unchanged:
+  // formulae reference them).
+  for (std::size_t i = out.comps.size(); i > 1; --i) {
+    std::swap(out.comps[i - 1], out.comps[rng.next_below(i)]);
+  }
+  for (std::size_t i = out.ifaces.size(); i > 1; --i) {
+    std::swap(out.ifaces[i - 1], out.ifaces[rng.next_below(i)]);
+  }
+  return out;
+}
+
+GenInstance GenInstance::widened(double factor) const {
+  GenInstance out = *this;
+  for (GenNode& n : out.nodes) n.cpu = quantize(n.cpu * factor);
+  for (GenLink& l : out.links) l.lbw = quantize(l.lbw * factor);
+  return out;
+}
+
+std::optional<GenInstance> GenInstance::refined() const {
+  GenInstance out = *this;
+  for (GenInterface& f : out.ifaces) {
+    if (f.cuts.empty()) continue;
+    // Split the lowest level in half: [0, c0) -> [0, c0/2) [c0/2, c0).
+    const double mid = quantize(f.cuts.front() / 2.0);
+    if (mid <= 0.0 || mid >= f.cuts.front()) continue;
+    f.cuts.insert(f.cuts.begin(), mid);
+    return out;
+  }
+  return std::nullopt;
+}
+
+GenInstance generate(std::uint64_t seed, const WorkloadParams& params) {
+  SplitMix64 rng(seed);
+  GenInstance inst;
+  inst.seed = seed;
+
+  // ---- pipeline shape -------------------------------------------------------
+  const std::uint32_t stages =
+      static_cast<std::uint32_t>(rng.next_below(static_cast<std::uint64_t>(params.max_stages) + 1));
+  for (std::uint32_t k = 0; k <= stages; ++k) {
+    GenInterface f;
+    f.name = indexed("I", k);
+    f.cross_cost_base = 1.0;
+    f.cross_cost_per_unit = quantize(0.1 * static_cast<double>(rng.next_below(3)));  // 0/.1/.2
+    inst.ifaces.push_back(std::move(f));
+  }
+
+  const double cap = quantize(rng.uniform(80.0, 240.0));
+  inst.stream_hi = cap;
+  inst.source_iface = "I0";
+  inst.source_comp = "Src";
+  inst.sink_comp = "Snk";
+
+  {
+    GenComponent src;
+    src.name = "Src";
+    src.out = "I0";
+    src.produce = cap;
+    src.cost_base = 1.0;
+    inst.comps.push_back(std::move(src));
+  }
+
+  // Transformer stages I{k-1} -> I{k}; scales multiply along the chain.
+  std::vector<double> scale_after(stages + 1, 1.0);  // product of scales after iface k
+  std::vector<double> stage_scale(stages + 1, 1.0);
+  for (std::uint32_t k = 1; k <= stages; ++k) {
+    GenComponent t;
+    t.name = indexed("T", k);
+    t.ins = {indexed("I", k - 1)};
+    t.out = indexed("I", k);
+    t.scale = quantize(0.5 + 0.1 * static_cast<double>(rng.next_below(11)));  // 0.5..1.5
+    t.cpu_div = rng.chance(0.75) ? quantize(2.0 + static_cast<double>(rng.next_below(9))) : 0.0;
+    t.cost_base = 1.0 + static_cast<double>(rng.next_below(2));
+    t.cost_per_unit = quantize(0.1 * static_cast<double>(rng.next_below(3)));
+    stage_scale[k] = t.scale;
+    inst.comps.push_back(std::move(t));
+
+    // Alternative implementation of the same stage: cheaper per unit but
+    // heavier on cpu (or vice versa) — gives the optimal search real choices.
+    if (rng.chance(params.alt_prob)) {
+      GenComponent alt = inst.comps.back();
+      alt.name = indexed("U", k);
+      alt.cpu_div = alt.cpu_div > 0.0 ? 0.0 : 4.0;
+      alt.cost_base += 1.0;
+      inst.comps.push_back(std::move(alt));
+    }
+  }
+  for (std::uint32_t k = stages; k > 0; --k) {
+    scale_after[k - 1] = scale_after[k] * stage_scale[k];
+  }
+
+  // Compressor detours: Zip halves an interface's bw into a C stream, Unzip
+  // doubles it back — lets plans cross thin WAN links (the paper's Scenario 1
+  // mechanism), and gives the planner strictly more plans to rank.
+  for (std::uint32_t k = 0; k <= stages; ++k) {
+    if (!rng.chance(params.aux_prob)) continue;
+    GenInterface cf;
+    cf.name = indexed("C", k);
+    cf.cross_cost_base = 1.0;
+    cf.cross_cost_per_unit = 0.1;
+    inst.ifaces.push_back(std::move(cf));
+
+    GenComponent zip;
+    zip.name = indexed("Zip", k);
+    zip.ins = {indexed("I", k)};
+    zip.out = indexed("C", k);
+    zip.scale = 0.5;
+    zip.cpu_div = 10.0;
+    zip.cost_base = 1.0;
+    zip.cost_per_unit = 0.1;
+    inst.comps.push_back(std::move(zip));
+
+    GenComponent unzip;
+    unzip.name = indexed("Unzip", k);
+    unzip.ins = {indexed("C", k)};
+    unzip.out = indexed("I", k);
+    unzip.scale = 2.0;
+    unzip.cpu_div = 5.0;
+    unzip.cost_base = 1.0;
+    unzip.cost_per_unit = 0.1;
+    inst.comps.push_back(std::move(unzip));
+  }
+
+  // Sink demand: sized against the maximum deliverable value, biased to the
+  // feasible side with probability feasible_bias.
+  const double deliverable = cap * scale_after[0];
+  const double bias = rng.chance(params.feasible_bias) ? rng.uniform(0.30, 0.80)
+                                                       : rng.uniform(0.95, 1.60);
+  {
+    GenComponent snk;
+    snk.name = "Snk";
+    snk.ins = {indexed("I", stages)};
+    snk.demand = std::max(1.0, quantize(deliverable * bias));
+    snk.cost_base = 1.0;
+    inst.comps.push_back(std::move(snk));
+  }
+  const double demand = inst.comps.back().demand;
+
+  // ---- topology (net/generator families) -----------------------------------
+  const std::uint32_t node_count = static_cast<std::uint32_t>(
+      2 + rng.next_below(std::max<std::uint32_t>(params.max_nodes, 2) - 1));
+  const std::uint64_t topo_seed = rng.next_u64();
+  const std::uint64_t family = rng.next_below(3);
+  auto random_links = [&rng](std::uint32_t count) {
+    std::vector<net::ChainLinkSpec> specs;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const bool lan = rng.chance(0.55);
+      specs.push_back({lan ? net::LinkClass::Lan : net::LinkClass::Wan, lan ? 150.0 : 70.0, 1.0});
+    }
+    return specs;
+  };
+  net::Network topo;
+  if (family == 0 || node_count < 4) {
+    topo = net::chain(random_links(node_count - 1), 30.0);
+  } else if (family == 1) {
+    topo = net::star(random_links(node_count - 1), 30.0);
+  } else {
+    net::WaxmanParams wp;
+    wp.nodes = node_count;
+    wp.alpha = 0.4;
+    wp.beta = 0.6;
+    topo = net::waxman(wp, topo_seed);
+  }
+  import_topology(topo, inst);
+
+  // Randomized capacities.  Feasible-biased sizing keeps WAN links near the
+  // demand and cpu near the pipeline's worst aggregate draw; the tight side
+  // shrinks both so the planner has to route around (or fail honestly).
+  const double lan_base = quantize(rng.uniform(1.1, 2.0) * std::max(demand, cap));
+  const double wan_base = quantize(rng.uniform(0.5, 1.3) * demand);
+  for (GenLink& l : inst.links) {
+    const double base = l.cls == 'l' ? lan_base : wan_base;
+    l.lbw = std::max(1.0, quantize(base * rng.uniform(0.8, 1.2)));
+  }
+  const double cpu_base = rng.chance(params.feasible_bias) ? rng.uniform(25.0, 80.0)
+                                                          : rng.uniform(5.0, 30.0);
+  for (GenNode& n : inst.nodes) {
+    n.cpu = std::max(1.0, quantize(cpu_base * rng.uniform(0.8, 1.2)));
+  }
+
+  inst.source_node = static_cast<std::uint32_t>(rng.next_below(inst.nodes.size()));
+  inst.goal_node = static_cast<std::uint32_t>(rng.next_below(inst.nodes.size()));
+  if (inst.goal_node == inst.source_node) {
+    inst.goal_node = (inst.goal_node + 1) % static_cast<std::uint32_t>(inst.nodes.size());
+  }
+  inst.restrict_sink = rng.chance(params.restrict_prob);
+
+  // ---- levels ---------------------------------------------------------------
+  // Required value at interface k is demand / (product of scales after k);
+  // cutpoints bracket it the way Table 1 brackets the media demand.
+  for (GenInterface& f : inst.ifaces) {
+    if (!rng.chance(params.level_prob)) continue;
+    double required = demand;
+    if (f.name[0] == 'I') {
+      const std::uint32_t k = static_cast<std::uint32_t>(std::stoul(f.name.substr(1)));
+      required = demand / scale_after[std::min<std::uint32_t>(k, stages)];
+    } else {
+      // C streams carry half the corresponding I stream.
+      const std::uint32_t k = static_cast<std::uint32_t>(std::stoul(f.name.substr(1)));
+      required = 0.5 * demand / scale_after[std::min<std::uint32_t>(k, stages)];
+    }
+    std::vector<double> cuts{required};
+    if (rng.chance(0.7)) cuts.push_back(required * rng.uniform(1.05, 1.5));
+    if (rng.chance(0.4)) cuts.push_back(required * rng.uniform(0.4, 0.9));
+    f.cuts = tidy_cuts(std::move(cuts));
+  }
+  if (rng.chance(params.link_level_prob)) {
+    inst.link_cuts = tidy_cuts({wan_base, quantize(wan_base * 2.0)});
+  }
+  if (rng.chance(params.node_level_prob)) {
+    inst.node_cuts = tidy_cuts({quantize(cpu_base / 2.0), quantize(cpu_base)});
+  }
+
+  return inst;
+}
+
+}  // namespace sekitei::testing

@@ -1,0 +1,138 @@
+// Seeded random workload synthesis for differential testing.
+//
+// A GenInstance is a *structured* description of a full CPP instance — a
+// randomly shaped processing pipeline (source, transformer stages with
+// optional alternative implementations and Zip/Unzip-style compressor
+// detours, sink with a bandwidth demand) over a topology drawn from the
+// net/generator families (chain, star, Waxman), plus level cutpoints, cost
+// formulae and placement rules.  It renders to the same two .sk texts the
+// CLI tools consume (`domain_text()` + `problem_text()`), so every fuzzed
+// instance exercises the real parser path and every minimized repro is a
+// file a human can replay with example_solve_file or sekitei_serve.
+//
+// Keeping the structure (rather than raw text) is what makes the
+// delta-debugging minimizer (testing/minimize.hpp) effective: reductions
+// operate on components, nodes, links and cutpoints instead of brace-blind
+// text lines, and metamorphic transforms (node renaming, capacity widening,
+// level refinement) are well-defined instance -> instance functions.
+//
+// Generated formulae deliberately stay inside the fragment where the
+// metamorphic oracles are theorems: conditions are monotone in node/link
+// resources and no cost formula references a node or link resource, so
+// widening capacities can never raise the cost of an existing plan.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sekitei::testing {
+
+/// One stream interface of the generated domain.  Every interface carries a
+/// single degradable property `bw` with the canonical media-style crossing
+/// semantics (bw' := min(bw, link.lbw); link.lbw -= ...).
+struct GenInterface {
+  std::string name;
+  double cross_cost_base = 1.0;
+  double cross_cost_per_unit = 0.1;  // cross cost = base + bw * per_unit
+  std::vector<double> cuts;          // scenario level cutpoints (may be empty)
+  bool omit_cross = false;  // minimizer: drop the cross block entirely
+};
+
+/// One component.  Semantics by shape:
+///   * source: no ins, one out, `out.bw := produce`
+///   * transformer: ins -> out, `out.bw := scale * sum(ins)`, optional cpu use
+///   * sink: ins, no out, demand condition `in.bw >= demand`
+struct GenComponent {
+  std::string name;
+  std::vector<std::string> ins;  // required interface names
+  std::string out;               // implemented interface name ("" = sink)
+  double scale = 1.0;
+  double cpu_div = 0.0;  // > 0: condition node.cpu >= sum(ins)/cpu_div + effect
+  double cost_base = 1.0;
+  double cost_per_unit = 0.0;  // cost = base + sum(ins).bw * per_unit
+  double demand = 0.0;         // sink only
+  double produce = 0.0;        // source only
+
+  [[nodiscard]] bool is_source() const { return ins.empty(); }
+  [[nodiscard]] bool is_sink() const { return out.empty(); }
+};
+
+struct GenNode {
+  std::string name;
+  double cpu = 30.0;
+};
+
+struct GenLink {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  char cls = 'l';  // 'l' lan, 'w' wan, 'o' other
+  double lbw = 100.0;
+};
+
+/// A full generated instance; renders to the textio .sk surface.
+struct GenInstance {
+  std::uint64_t seed = 0;  // the seed that produced it (0 for hand-built)
+
+  std::vector<GenInterface> ifaces;
+  std::vector<GenComponent> comps;
+  std::vector<GenNode> nodes;
+  std::vector<GenLink> links;
+
+  std::string source_comp;   // preplaced + forbidden
+  std::string sink_comp;     // the goal component
+  std::string source_iface;  // the initial stream's interface
+  std::uint32_t source_node = 0;
+  std::uint32_t goal_node = 0;
+  double stream_hi = 100.0;        // stream <iface>.bw at source = [0, stream_hi]
+  bool restrict_sink = false;      // restrict <sink> to the goal node
+  bool preplace_source = true;     // minimizer may drop the preplaced rule
+  bool forbid_source = true;       // minimizer may drop the forbid rule
+  std::vector<double> link_cuts;   // scenario `levels link lbw { ... }`
+  std::vector<double> node_cuts;   // scenario `levels node cpu { ... }`
+
+  [[nodiscard]] std::string domain_text() const;
+  [[nodiscard]] std::string problem_text() const;
+
+  /// Total .sk line count of both rendered texts (repro-size metric).
+  [[nodiscard]] std::size_t line_count() const;
+
+  // -- metamorphic transforms (testing/oracles.hpp relies on these) ---------
+
+  /// Renames every node and shuffles node, component and interface
+  /// declaration order; the instance is semantically identical, so the
+  /// optimal verdict and cost must not change.
+  [[nodiscard]] GenInstance permuted(std::uint64_t perm_seed) const;
+
+  /// Multiplies every node cpu and link lbw capacity by `factor` (>= 1):
+  /// solvable must stay solvable and the optimal cost must not increase.
+  [[nodiscard]] GenInstance widened(double factor) const;
+
+  /// Inserts a midpoint cutpoint into the first leveled interface (nullopt
+  /// when nothing is leveled): solvability is unchanged and the optimal
+  /// cost lower bound can only tighten (never decrease).
+  [[nodiscard]] std::optional<GenInstance> refined() const;
+};
+
+/// Size/feasibility-bias knobs of the generator.
+struct WorkloadParams {
+  std::uint32_t max_stages = 3;   // transformer chain length, drawn 0..max
+  std::uint32_t max_nodes = 8;    // topology size, drawn 2..max
+  double feasible_bias = 0.65;    // probability of generously sized capacities
+  double aux_prob = 0.35;         // per-interface compressor-pair probability
+  double alt_prob = 0.30;         // per-stage alternative-implementation prob.
+  double level_prob = 0.80;       // per-interface leveled probability
+  double link_level_prob = 0.25;  // scenario link-lbw levels probability
+  double node_level_prob = 0.20;  // scenario node-cpu levels probability
+  double restrict_prob = 0.50;    // restrict-sink-to-goal probability
+};
+
+/// Deterministically generates one instance from a seed: the same (seed,
+/// params) pair always yields byte-identical .sk texts.
+[[nodiscard]] GenInstance generate(std::uint64_t seed, const WorkloadParams& params = {});
+
+/// Renders a double the way the generator does (short, parser-roundtrippable).
+[[nodiscard]] std::string format_number(double v);
+
+}  // namespace sekitei::testing

@@ -5,6 +5,10 @@
 // valid domain).  The corpus covers truncation, unknown keywords, dangling
 // references and non-finite literals (1e999 overflows to inf, `nan` where a
 // number is required).
+//
+// tests/corpus/repros/ holds the *valid* near-miss corpus: hand-minimized
+// fuzzing repro pairs (<stem>.domain.sk/.problem.sk) with golden verdicts,
+// replayed through the differential oracle battery (src/testing/oracles).
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -16,6 +20,7 @@
 
 #include "model/textio.hpp"
 #include "support/error.hpp"
+#include "testing/oracles.hpp"
 
 #ifndef SEKITEI_TEST_CORPUS_DIR
 #error "SEKITEI_TEST_CORPUS_DIR must point at tests/corpus (set by CMake)"
@@ -101,6 +106,64 @@ TEST(CorpusTest, EveryMalformedFileRaisesError) {
       EXPECT_THROW(load_problem(kValidDomain, text), Error);
     }
   }
+}
+
+// ---- repro corpus: golden verdicts for minimized fuzzing instances --------
+
+struct ReproGolden {
+  const char* stem;
+  testing::Verdict optimal;
+  testing::Verdict greedy;
+  bool preflight_infeasible;
+};
+
+// Every pair must replay with exactly this signature AND zero oracle
+// disagreements.  boundary_feasible pins the strict-floor carve-out: a
+// concretely feasible plan the leveled abstraction prunes by design.
+constexpr ReproGolden kReproGoldens[] = {
+    {"boundary_feasible", testing::Verdict::Infeasible, testing::Verdict::Solved, true},
+    {"preflight_infeasible", testing::Verdict::Infeasible, testing::Verdict::Infeasible, true},
+    {"greedy_gap", testing::Verdict::Solved, testing::Verdict::Solved, false},
+};
+
+TEST(ReproCorpus, GoldenVerdictsHold) {
+  const std::filesystem::path dir =
+      std::filesystem::path(SEKITEI_TEST_CORPUS_DIR) / "repros";
+  for (const ReproGolden& g : kReproGoldens) {
+    SCOPED_TRACE(g.stem);
+    const std::string domain = slurp(dir / (std::string(g.stem) + ".domain.sk"));
+    const std::string problem = slurp(dir / (std::string(g.stem) + ".problem.sk"));
+    const sekitei::testing::OracleReport report =
+        sekitei::testing::replay_text(domain, problem);
+    EXPECT_EQ(report.optimal.verdict, g.optimal)
+        << "got " << sekitei::testing::verdict_name(report.optimal.verdict);
+    EXPECT_EQ(report.greedy.verdict, g.greedy)
+        << "got " << sekitei::testing::verdict_name(report.greedy.verdict);
+    EXPECT_EQ(report.preflight_infeasible, g.preflight_infeasible);
+    EXPECT_FALSE(report.failed()) << report.disagreements.front().oracle << ": "
+                                  << report.disagreements.front().detail;
+  }
+}
+
+TEST(ReproCorpus, EveryPairIsCoveredByAGolden) {
+  // A repro promoted into the corpus without a golden row is dead weight —
+  // fail loudly so additions stay asserted.
+  const std::filesystem::path dir =
+      std::filesystem::path(SEKITEI_TEST_CORPUS_DIR) / "repros";
+  std::size_t pairs = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < sizeof(".domain.sk") ||
+        name.rfind(".domain.sk") != name.size() - (sizeof(".domain.sk") - 1)) {
+      continue;
+    }
+    ++pairs;
+    const std::string stem = name.substr(0, name.size() - (sizeof(".domain.sk") - 1));
+    const bool known = std::any_of(std::begin(kReproGoldens), std::end(kReproGoldens),
+                                   [&stem](const ReproGolden& g) { return stem == g.stem; });
+    EXPECT_TRUE(known) << "repro pair '" << stem << "' has no golden verdict row";
+  }
+  EXPECT_EQ(pairs, std::size(kReproGoldens));
 }
 
 }  // namespace

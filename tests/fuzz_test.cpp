@@ -1,0 +1,178 @@
+// Self-tests of the differential fuzzing harness (src/testing): generator
+// determinism and well-formedness, metamorphic transform sanity, a small
+// in-process sweep that must come back clean, and the planted-fault drill —
+// a deliberately injected cost misreport must be caught by the battery and
+// shrunk by the minimizer to a replayable repro.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "model/textio.hpp"
+#include "support/fault.hpp"
+#include "testing/fuzzer.hpp"
+#include "testing/minimize.hpp"
+#include "testing/oracles.hpp"
+#include "testing/workload.hpp"
+
+namespace sekitei {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(static_cast<bool>(in)) << "cannot open " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Fast deterministic budgets for in-process sweeps: seeds that would search
+/// longer than this classify as Unknown, which the oracles skip.
+testing::OracleConfig fast_oracles() {
+  testing::OracleConfig cfg;
+  cfg.max_rg_expansions = 8000;
+  cfg.max_slrg_sets = 16000;
+  return cfg;
+}
+
+TEST(FuzzWorkload, GeneratorIsDeterministic) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    const testing::GenInstance a = testing::generate(seed);
+    const testing::GenInstance b = testing::generate(seed);
+    EXPECT_EQ(a.domain_text(), b.domain_text()) << "seed " << seed;
+    EXPECT_EQ(a.problem_text(), b.problem_text()) << "seed " << seed;
+  }
+  EXPECT_NE(testing::generate(1).domain_text() + testing::generate(1).problem_text(),
+            testing::generate(2).domain_text() + testing::generate(2).problem_text());
+}
+
+TEST(FuzzWorkload, GeneratedInstancesParse) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const testing::GenInstance inst = testing::generate(seed);
+    EXPECT_GT(inst.line_count(), 0u);
+    EXPECT_NO_THROW({
+      const auto lp = model::load_problem(inst.domain_text(), inst.problem_text());
+      EXPECT_GE(lp->domain.component_count(), 2u) << "seed " << seed;  // Src + Snk
+    }) << "seed " << seed;
+  }
+}
+
+TEST(FuzzWorkload, MetamorphicTransformsStayWellFormed) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const testing::GenInstance inst = testing::generate(seed);
+    const testing::GenInstance perm = inst.permuted(0xC0FFEEULL);
+    EXPECT_NE(perm.problem_text(), inst.problem_text()) << "seed " << seed;
+    EXPECT_NO_THROW(model::load_problem(perm.domain_text(), perm.problem_text()));
+    const testing::GenInstance wide = inst.widened(1.5);
+    EXPECT_NO_THROW(model::load_problem(wide.domain_text(), wide.problem_text()));
+    if (const auto fine = inst.refined()) {
+      EXPECT_NO_THROW(model::load_problem(fine->domain_text(), fine->problem_text()));
+    }
+  }
+}
+
+TEST(FuzzOracles, ParseOracleSet) {
+  testing::OracleConfig cfg;
+  EXPECT_TRUE(testing::parse_oracle_set("greedy,validator", cfg));
+  EXPECT_TRUE(cfg.greedy);
+  EXPECT_TRUE(cfg.validator);
+  EXPECT_FALSE(cfg.preflight);
+  EXPECT_FALSE(cfg.service);
+  EXPECT_TRUE(testing::parse_oracle_set("all", cfg));
+  EXPECT_TRUE(cfg.preflight && cfg.permutation && cfg.widening && cfg.refinement);
+  std::string error;
+  EXPECT_FALSE(testing::parse_oracle_set("greedy,bogus", cfg, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+}
+
+TEST(FuzzSweep, SmallSweepIsClean) {
+  testing::FuzzParams params;
+  params.seed = 1;
+  params.runs = 10;
+  params.oracles = fast_oracles();
+  params.minimize_repros = false;
+  params.out_dir = ::testing::TempDir() + "sekitei-fuzz-clean";
+
+  const testing::FuzzStats stats = testing::fuzz(params);
+  EXPECT_EQ(stats.runs, 10u);
+  EXPECT_TRUE(stats.clean()) << stats.failing_runs << " failing runs";
+  EXPECT_EQ(stats.disagreements, 0u);
+  EXPECT_GT(stats.solved, 0u);
+  EXPECT_GT(stats.oracle_checks, 0u);
+  EXPECT_TRUE(stats.repro_paths.empty());
+}
+
+TEST(FuzzSweep, TimeBudgetStopsCleanly) {
+  testing::FuzzParams params;
+  params.seed = 1;
+  params.runs = 1000;
+  params.time_budget_ms = 1;  // exhausted right after the first run
+  params.oracles = fast_oracles();
+
+  const testing::FuzzStats stats = testing::fuzz(params);
+  EXPECT_TRUE(stats.budget_exhausted);
+  EXPECT_GE(stats.runs, 1u);
+  EXPECT_LT(stats.runs, 1000u);
+  EXPECT_TRUE(stats.clean());
+}
+
+TEST(FuzzFault, PlantedMisreportIsCaughtAndMinimized) {
+  fault::arm("fuzz.misreport", 1, fault::Mode::Fail);
+  testing::FuzzParams params;
+  params.seed = 1;
+  params.runs = 1;
+  params.oracles = fast_oracles();
+  params.out_dir = ::testing::TempDir() + "sekitei-fuzz-fault";
+
+  const testing::FuzzStats stats = testing::fuzz(params);
+  fault::disarm_all();
+
+  ASSERT_EQ(stats.runs, 1u);
+  EXPECT_EQ(stats.failing_runs, 1u) << "planted misreport escaped the battery";
+  ASSERT_EQ(stats.repro_paths.size(), 1u);
+
+  // The minimizer must shrink the repro to a trivially reviewable size.
+  const std::string domain_path = stats.repro_paths[0];
+  const std::string stem = domain_path.substr(0, domain_path.size() - sizeof(".domain.sk") + 1);
+  const std::string domain_text = slurp(domain_path);
+  const std::string problem_text = slurp(stem + ".problem.sk");
+  const auto count_lines = [](const std::string& s) {
+    std::size_t n = 0;
+    for (char c : s) n += (c == '\n') ? 1 : 0;
+    return n;
+  };
+  EXPECT_LE(count_lines(domain_text) + count_lines(problem_text), 25u)
+      << "repro did not minimize:\n"
+      << domain_text << problem_text;
+
+  // The written pair replays: clean without the fault, caught with it.
+  const testing::OracleReport clean =
+      testing::replay_text(domain_text, problem_text, fast_oracles());
+  EXPECT_FALSE(clean.failed()) << clean.disagreements.front().detail;
+  fault::arm("fuzz.misreport", 1, fault::Mode::Fail);
+  const testing::OracleReport caught =
+      testing::replay_text(domain_text, problem_text, fast_oracles());
+  fault::disarm_all();
+  EXPECT_TRUE(caught.failed());
+}
+
+TEST(FuzzMinimize, ReductionsPreserveFailurePredicate) {
+  // Minimize against a synthetic predicate ("instance still has >= 2
+  // components") to exercise the reduction passes without planner cost.
+  const testing::GenInstance inst = testing::generate(5);
+  ASSERT_GT(inst.comps.size(), 2u);
+  const testing::StillFails predicate = [](const testing::GenInstance& cand) {
+    if (cand.comps.size() < 2) return false;
+    // Every candidate the minimizer proposes must stay parseable.
+    const auto lp = model::load_problem(cand.domain_text(), cand.problem_text());
+    return lp != nullptr;
+  };
+  const testing::MinimizeResult mr = testing::minimize(inst, predicate, 300);
+  EXPECT_EQ(mr.instance.comps.size(), 2u);  // shrunk to Src + Snk exactly
+  EXPECT_GT(mr.accepted, 0u);
+  EXPECT_LT(mr.instance.line_count(), inst.line_count());
+  EXPECT_NO_THROW(model::load_problem(mr.instance.domain_text(), mr.instance.problem_text()));
+}
+
+}  // namespace
+}  // namespace sekitei

@@ -14,6 +14,8 @@
 #include "domains/media.hpp"
 #include "model/compile.hpp"
 #include "sim/executor.hpp"
+#include "spec/levels.hpp"
+#include "support/interval.hpp"
 #include "support/rng.hpp"
 
 namespace sekitei {
@@ -155,6 +157,94 @@ TEST(RandomInstances, DeterministicAcrossRuns) {
     EXPECT_DOUBLE_EQ(a.actual, b.actual);
     EXPECT_DOUBLE_EQ(a.delivered, b.delivered);
   }
+}
+
+// ---- interval edge cases ---------------------------------------------------
+// The leveling machinery leans on three awkward corners of the interval
+// algebra: hulls involving empty intervals (Fig. 8 merges start from an empty
+// accumulator), one-sided infinite bounds (unleveled [0, inf) resources), and
+// degenerate point intervals sitting exactly on level cutpoints (the
+// strict-floor boundary the fuzzing corpus pins from the planner side).
+
+TEST(IntervalEdgeCases, EmptyHullsAreIdentity) {
+  const Interval e = Interval::empty();
+  const Interval x{3.0, 7.0, /*hi_open=*/true};
+  EXPECT_TRUE(e.is_empty());
+  EXPECT_EQ(hull(e, x), x);
+  EXPECT_EQ(hull(x, e), x);
+  EXPECT_TRUE(hull(e, e).is_empty());
+  // Every empty representation compares equal, whatever its bounds.
+  EXPECT_EQ(e, (Interval{5.0, 5.0, /*hi_open=*/true}));
+  // hull() with an empty side must preserve the other side's openness.
+  EXPECT_TRUE(hull(e, x).hi_open);
+
+  // Intersections that *produce* empty: disjoint, and touching-but-open.
+  EXPECT_TRUE(intersect({0.0, 3.0}, {4.0, 9.0}).is_empty());
+  const Interval touch = intersect({0.0, 5.0, /*hi_open=*/true}, {5.0, 10.0});
+  EXPECT_TRUE(touch.is_empty());  // [5, 5) — lo == hi with an open top
+  // ...and the closed variant keeps exactly the shared point.
+  EXPECT_EQ(intersect({0.0, 5.0}, {5.0, 10.0}), Interval::point(5.0));
+}
+
+TEST(IntervalEdgeCases, OneSidedInfiniteBounds) {
+  const Interval ray = Interval::nonneg();  // [0, inf)
+  EXPECT_TRUE(ray.contains(0.0));
+  EXPECT_TRUE(ray.contains(1e308));
+  EXPECT_EQ(ray.sup_value(), kInf);  // no margin is shaved off an infinite top
+
+  // Arithmetic keeps the infinite side infinite and the finite side exact.
+  EXPECT_EQ((ray + Interval::point(5.0)), (Interval{5.0, kInf}));
+  EXPECT_EQ((ray - Interval::point(5.0)), (Interval{-5.0, kInf}));
+  // 0 * inf arises when scaling an unleveled resource; it must collapse to 0,
+  // not poison the range with nan.
+  EXPECT_EQ(ray * Interval::point(0.0), Interval::point(0.0));
+  // A divisor interval straddling zero widens to the whole line.
+  const Interval whole = Interval::point(1.0) / Interval{-1.0, 1.0};
+  EXPECT_EQ(whole.lo, -kInf);
+  EXPECT_EQ(whole.hi, kInf);
+  // Division by the exact point 0 is empty, not infinite.
+  EXPECT_TRUE((Interval::point(1.0) / Interval::point(0.0)).is_empty());
+
+  // Meets and joins against the ray reduce to the finite operand's bounds.
+  const Interval band{10.0, 20.0, /*hi_open=*/true};
+  EXPECT_EQ(intersect(ray, band), band);
+  EXPECT_EQ(imin(ray, band).hi, 20.0);
+  EXPECT_TRUE(imin(ray, band).hi_open);
+  EXPECT_EQ(imax(ray, band).hi, kInf);
+}
+
+TEST(IntervalEdgeCases, DegenerateSinglePointCutpointIntervals) {
+  const spec::LevelSet levels({70.0, 90.0});  // [0,70) [70,90) [90,inf)
+  const Interval mid = levels.interval(1);
+  EXPECT_TRUE(mid.hi_open);
+  EXPECT_EQ(levels.interval(2).hi, kInf);
+
+  // A value landing exactly on a cutpoint belongs to the level *above* it...
+  EXPECT_EQ(levels.level_of(70.0), 1u);
+  EXPECT_EQ(levels.level_of(70.0 - 1e-9), 0u);
+  const Interval at_cut = Interval::point(70.0);
+  EXPECT_TRUE(at_cut.is_point());
+  EXPECT_TRUE(mid.contains(70.0));
+  EXPECT_TRUE(spec::level_matches(mid, at_cut));
+  // ...but under strict-floor output assignment it cannot claim that level:
+  // the computed range must reach strictly past the floor (Fig. 7's pruning;
+  // tests/corpus/repros/boundary_feasible.* pins the planner-level fallout).
+  EXPECT_FALSE(spec::level_matches(mid, at_cut, /*strict_floor=*/true));
+  // The floor of the bottom level (0) is exempt from strict-floor pruning.
+  EXPECT_TRUE(spec::level_matches(levels.interval(0), Interval::point(0.0),
+                                  /*strict_floor=*/true));
+  // An open-topped range approaching the cutpoint never reaches the floor at
+  // all — [60, 70) stays in the level below.
+  const Interval below{60.0, 70.0, /*hi_open=*/true};
+  EXPECT_FALSE(spec::level_matches(mid, below));
+  EXPECT_TRUE(spec::level_matches(levels.interval(0), below));
+
+  // A point interval's sup is the point itself; an open top shaves a margin.
+  EXPECT_EQ(at_cut.sup_value(), 70.0);
+  EXPECT_LT(below.sup_value(), 70.0);
+  // Adjacent cutpoint intervals are disjoint over the reals: their meet is
+  // the degenerate empty [70, 70).
+  EXPECT_TRUE(intersect(levels.interval(0), mid).is_empty());
 }
 
 }  // namespace

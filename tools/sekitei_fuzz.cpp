@@ -1,0 +1,175 @@
+// Differential fuzzing driver: seeded random instances through the oracle
+// battery, one NDJSON record per run to stdout, minimized .sk repros on
+// disagreement.
+//
+//   $ ./sekitei_fuzz --seed 1 --runs 200 [--time-budget-ms T]
+//                    [--max-components K] [--max-nodes N] [--feasible-bias P]
+//                    [--oracles <csv|all>] [--out-dir DIR] [--no-minimize]
+//                    [--max-rg-expansions N] [--print <seed>]
+//   $ ./sekitei_fuzz --replay <stem>            # re-check a saved repro pair
+//
+// --seed            base seed; run i fuzzes instance generate(seed + i)
+// --runs            instances to try (default 100)
+// --time-budget-ms  stop starting new runs after this much wall time (the
+//                   per-run search stays deterministic: budgets, not clocks)
+// --max-components  transformer-stage cap of the generator (default 3)
+// --max-nodes       topology-size cap of the generator (default 8)
+// --feasible-bias   probability of generously sized capacities (default .65)
+// --oracles         comma list of greedy,preflight,validator,permutation,
+//                   widening,refinement,service — or "all" (default)
+// --out-dir         where <stem>.domain.sk/.problem.sk repros land
+//                   (default fuzz-repros)
+// --no-minimize     write the unshrunk failing instance instead
+// --print           render one instance's .sk texts to stdout and exit
+// --replay          load <stem>.domain.sk + <stem>.problem.sk and run the
+//                   differential oracle subset on them
+//
+// Fault injection: SEKITEI_FAULTS=fuzz.misreport:1:fail plants a cost
+// misreport after every base solve; the battery must catch it and the
+// minimizer must shrink the repro (this is CI's harness self-test).
+//
+// Exit codes: 0 = all runs clean, 1 = at least one oracle disagreement,
+// 2 = usage or environment error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/error.hpp"
+#include "support/fault.hpp"
+#include "support/json.hpp"
+#include "testing/fuzzer.hpp"
+#include "testing/minimize.hpp"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) sekitei::raise("cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void emit_line(const std::string& line) {
+  std::fwrite(line.data(), 1, line.size(), stdout);
+  std::fputc('\n', stdout);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed S] [--runs N] [--time-budget-ms T]\n"
+               "          [--max-components K] [--max-nodes N] [--feasible-bias P]\n"
+               "          [--oracles <csv|all>] [--out-dir DIR] [--no-minimize]\n"
+               "          [--max-rg-expansions N] [--print <seed>] [--replay <stem>]\n",
+               argv0);
+  return 2;
+}
+
+int replay(const std::string& stem, const sekitei::testing::OracleConfig& cfg) {
+  using namespace sekitei::testing;
+  const OracleReport report =
+      replay_text(slurp(stem + ".domain.sk"), slurp(stem + ".problem.sk"), cfg);
+  std::string line = "{\"fuzz\":\"replay\",\"stem\":";
+  sekitei::json::append_escaped(line, stem);
+  line += ",\"verdict\":";
+  sekitei::json::append_escaped(line, verdict_name(report.optimal.verdict));
+  line += ",\"greedy\":";
+  sekitei::json::append_escaped(line, verdict_name(report.greedy.verdict));
+  line += ",\"preflight_infeasible\":";
+  line += report.preflight_infeasible ? "true" : "false";
+  line += ",\"disagreements\":[";
+  for (std::size_t i = 0; i < report.disagreements.size(); ++i) {
+    if (i != 0) line += ',';
+    line += "{\"oracle\":";
+    sekitei::json::append_escaped(line, report.disagreements[i].oracle);
+    line += ",\"detail\":";
+    sekitei::json::append_escaped(line, report.disagreements[i].detail);
+    line += '}';
+  }
+  line += "]}";
+  emit_line(line);
+  return report.failed() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sekitei;
+  using namespace sekitei::testing;
+
+  {
+    std::string fault_error;
+    if (!fault::install_from_env("SEKITEI_FAULTS", &fault_error)) {
+      std::fprintf(stderr, "error: SEKITEI_FAULTS: %s\n", fault_error.c_str());
+      return 2;
+    }
+  }
+
+  FuzzParams params;
+  bool have_print = false;
+  std::uint64_t print_seed = 0;
+  std::string replay_stem;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      params.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      params.runs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--time-budget-ms") == 0 && i + 1 < argc) {
+      params.time_budget_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--max-components") == 0 && i + 1 < argc) {
+      params.workload.max_stages =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--max-nodes") == 0 && i + 1 < argc) {
+      params.workload.max_nodes =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--feasible-bias") == 0 && i + 1 < argc) {
+      params.workload.feasible_bias = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--oracles") == 0 && i + 1 < argc) {
+      std::string error;
+      if (!parse_oracle_set(argv[++i], params.oracles, &error)) {
+        std::fprintf(stderr, "error: --oracles: %s\n", error.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
+      params.out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-minimize") == 0) {
+      params.minimize_repros = false;
+    } else if (std::strcmp(argv[i], "--max-rg-expansions") == 0 && i + 1 < argc) {
+      params.oracles.max_rg_expansions = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--print") == 0 && i + 1 < argc) {
+      have_print = true;
+      print_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+      replay_stem = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    if (have_print) {
+      const GenInstance inst = generate(print_seed, params.workload);
+      std::fputs(inst.domain_text().c_str(), stdout);
+      std::fputs("// ---- problem ----\n", stdout);
+      std::fputs(inst.problem_text().c_str(), stdout);
+      return 0;
+    }
+    if (!replay_stem.empty()) return replay(replay_stem, params.oracles);
+
+    const FuzzStats stats = fuzz(params, emit_line);
+    std::fflush(stdout);
+    std::fprintf(stderr,
+                 "sekitei_fuzz: %zu runs (%zu solved, %zu infeasible, %zu unknown), "
+                 "%zu oracle checks, %zu failing runs, %zu repro(s)%s\n",
+                 stats.runs, stats.solved, stats.infeasible, stats.unknown,
+                 stats.oracle_checks, stats.failing_runs, stats.repro_paths.size(),
+                 stats.budget_exhausted ? " [time budget exhausted]" : "");
+    return stats.clean() ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
