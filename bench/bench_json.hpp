@@ -11,8 +11,14 @@
 
 #include "core/stats.hpp"
 #include "support/json.hpp"
+#include "support/metrics.hpp"
 
 namespace sekitei::benchjson {
+
+/// Schema version stamped on every record (the "v" key).  Bump when a key is
+/// renamed or its meaning changes; consumers (tools/perf_gate.py,
+/// sekitei_stats) refuse records from a future major version.
+inline constexpr std::uint32_t kSchemaVersion = 1;
 
 /// One extra key/value on the run record; `value` is already-rendered JSON.
 struct Kv {
@@ -44,12 +50,16 @@ struct Kv {
 }
 
 /// Prints the run record:
-///   {"bench":"table2","net":"Tiny",...,"stats":{...}}
+///   {"bench":"table2","v":1,"ts_ms":...,"net":"Tiny",...,"stats":{...}}
 /// Pass nullptr for `stats` on runs that never reached the planner.
 inline void emit(const char* bench, std::initializer_list<Kv> fields,
                  const core::PlannerStats* stats) {
   std::string line = "{\"bench\":";
   json::append_escaped(line, bench);
+  line += ",\"v\":";
+  json::append_number(line, static_cast<std::uint64_t>(kSchemaVersion));
+  line += ",\"ts_ms\":";
+  json::append_number(line, metrics::wall_ms());
   for (const Kv& f : fields) {
     line.push_back(',');
     json::append_escaped(line, f.key);

@@ -4,6 +4,7 @@
 #include "core/rg.hpp"
 #include "core/slrg.hpp"
 #include "support/log.hpp"
+#include "support/metrics.hpp"
 #include "support/timer.hpp"
 #include "support/trace.hpp"
 
@@ -32,6 +33,10 @@ PlanResult Sekitei::plan(const std::function<bool(const Plan&)>& validate) {
 
   // Single exit point: whatever path ends the plan() call, the stats carry
   // the same complete snapshot (graph sizes, memo counters, limit flags).
+  [[maybe_unused]] const char* mode_name =
+      options_.mode == PlannerOptions::Mode::Greedy ? "greedy" : "leveled";
+  [[maybe_unused]] bool searched = false;  // phase 3 ran (its time histogram
+                                           // only sees real runs)
   auto finish = [&](std::string failure) -> PlanResult {
     result.stats.plrg_props = plrg.prop_nodes();
     result.stats.plrg_actions = plrg.action_nodes();
@@ -40,10 +45,16 @@ PlanResult Sekitei::plan(const std::function<bool(const Plan&)>& validate) {
     result.stats.slrg_memo_misses = slrg.memo_misses();
     result.stats.hit_search_limit = result.stats.hit_search_limit || slrg.hit_limit();
     result.failure = std::move(failure);
+    SEKITEI_METRIC(metrics::registry()
+                       .histogram("planner.graph_ms", {{"mode", mode_name}})
+                       .observe(result.stats.time_graph_ms));
+    if (searched) {
+      SEKITEI_METRIC(metrics::registry()
+                         .histogram("planner.search_ms", {{"mode", mode_name}})
+                         .observe(result.stats.time_search_ms));
+    }
     SEKITEI_LOG_INFO("core.planner", result.ok() ? "plan found" : "no plan",
-                     log::kv("mode", options_.mode == PlannerOptions::Mode::Greedy
-                                         ? "greedy"
-                                         : "leveled"),
+                     log::kv("mode", mode_name),
                      log::kv("plan_actions", result.ok() ? result.plan->size() : 0),
                      log::kv("rg_expansions", result.stats.rg_expansions),
                      log::kv("graph_ms", result.stats.time_graph_ms),
@@ -103,6 +114,7 @@ PlanResult Sekitei::plan(const std::function<bool(const Plan&)>& validate) {
   rg_opts.progress_every = options_.progress_every;
   rg_opts.stop = options_.stop;
   rg_opts.anytime = options_.anytime;
+  searched = true;
   std::optional<Plan> plan;
   {
     trace::Span span("rg.search", "search");

@@ -98,6 +98,11 @@ std::optional<Plan> Rg::search(const std::vector<PropId>& goal_set, const Option
     if (stats.rg_expansions % tick_every == 0) {
       stats.rg_open_left = open.size();
       stats.replay_calls = replayer.calls();
+      // Live frontier bound for observers (the flight recorder's "best f"):
+      // cur.f is the smallest admissible f at this expansion, i.e. the same
+      // lower bound a stop would report.  Refreshed only under anytime
+      // tracking, so stop-free runs report byte-identical stats.
+      if (anytime) stats.open_cost_lb = cur.f;
       if (trace::collector()) {
         trace::counter("rg.expansions", static_cast<double>(stats.rg_expansions));
         trace::counter("rg.nodes", static_cast<double>(stats.rg_nodes));

@@ -48,7 +48,9 @@ struct PlannerStats {
   double incumbent_cost = 0.0;
   /// Best admissible f value still open when the search was cut short — a
   /// lower bound on the optimal cost, so the optimality gap of a returned
-  /// incumbent is at most incumbent_cost - open_cost_lb.
+  /// incumbent is at most incumbent_cost - open_cost_lb.  Under anytime
+  /// tracking it is additionally refreshed at every progress tick, so
+  /// observers (the service's flight recorder) see a live frontier bound.
   double open_cost_lb = 0.0;
 
   bool logically_unreachable = false;

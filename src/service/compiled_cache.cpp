@@ -1,6 +1,7 @@
 #include "service/compiled_cache.hpp"
 
 #include "support/fault.hpp"
+#include "support/metrics.hpp"
 
 namespace sekitei::service {
 
@@ -38,6 +39,7 @@ void CompiledProblemCache::insert_locked(Shard& shard, std::uint64_t key,
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
     ++shard.evictions;
+    SEKITEI_METRIC_INC("service.cache.eviction");
   }
   shard.lru.emplace_front(key, std::move(entry));
   shard.index.emplace(key, shard.lru.begin());
@@ -50,12 +52,15 @@ std::pair<std::shared_ptr<const CompiledEntry>, bool> CompiledProblemCache::get_
     std::lock_guard<std::mutex> lock(shard.mu);
     if (auto found = lookup_locked(shard, key)) {
       ++shard.hits;
+      SEKITEI_METRIC_INC("service.cache.hit");
       return {std::move(found), true};
     }
     ++shard.misses;
+    SEKITEI_METRIC_INC("service.cache.miss");
   } else {
     std::lock_guard<std::mutex> lock(shard.mu);
     ++shard.misses;
+    SEKITEI_METRIC_INC("service.cache.miss");
   }
 
   // Compile outside the lock; a concurrent compiler of the same key may beat
@@ -79,8 +84,10 @@ std::shared_ptr<const CompiledEntry> CompiledProblemCache::find(std::uint64_t ke
   auto found = enabled_ ? lookup_locked(shard, key) : nullptr;
   if (found) {
     ++shard.hits;
+    SEKITEI_METRIC_INC("service.cache.hit");
   } else {
     ++shard.misses;
+    SEKITEI_METRIC_INC("service.cache.miss");
   }
   return found;
 }

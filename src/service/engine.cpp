@@ -1,13 +1,16 @@
 #include "service/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <thread>
 #include <utility>
 
 #include "analysis/analyzer.hpp"
 #include "model/fingerprint.hpp"
+#include "service/flight_recorder.hpp"
 #include "sim/executor.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
@@ -25,6 +28,18 @@ std::size_t default_workers(std::size_t requested) {
   return hw == 0 ? 1 : hw;
 }
 
+/// Request ids become file names for --flight-dir dumps; anything outside
+/// [A-Za-z0-9._-] is replaced so "tiny.sk#3" cannot escape the directory.
+std::string sanitize_for_filename(const std::string& id) {
+  std::string out = id.empty() ? std::string("request") : id;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
 /// Owned by the job closure.  Exactly one of two things happens to a
 /// submitted job: it runs to completion (complete() answers the future and
 /// releases the pending slot), or its std::function is destroyed without
@@ -33,18 +48,18 @@ std::size_t default_workers(std::size_t requested) {
 /// always fulfilled and the pending slot always released: no hang, no leak.
 struct JobGuard {
   std::shared_ptr<std::promise<PlanResponse>> promise;
-  std::atomic<std::size_t>* pending;
+  metrics::Gauge* pending;
   std::string id;
   bool done = false;
 
-  JobGuard(std::shared_ptr<std::promise<PlanResponse>> p, std::atomic<std::size_t>* slots,
+  JobGuard(std::shared_ptr<std::promise<PlanResponse>> p, metrics::Gauge* slots,
            std::string request_id)
       : promise(std::move(p)), pending(slots), id(std::move(request_id)) {}
 
   void complete(PlanResponse&& r) {
     if (done) return;
     done = true;
-    pending->fetch_sub(1, std::memory_order_relaxed);
+    pending->add(-1);
     promise->set_value(std::move(r));
   }
 
@@ -59,12 +74,43 @@ struct JobGuard {
   }
 };
 
+/// Engines in one process share the registry, but tests construct fresh
+/// engines and expect their counters to start at zero — so each instance
+/// reports under its own "engine" label, numbered in construction order.
+std::string next_engine_label() {
+  static std::atomic<std::uint64_t> constructed{0};
+  return std::to_string(constructed.fetch_add(1, std::memory_order_relaxed));
+}
+
 }  // namespace
 
 PlanningEngine::PlanningEngine(Options options)
-    : options_(options),
-      cache_(options.cache_capacity, options.cache_shards),
-      pool_(default_workers(options.workers)) {}
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity, options_.cache_shards),
+      engine_label_(next_engine_label()),
+      pool_(default_workers(options_.workers)) {
+  // Register this engine's series once; the pointers stay valid for the
+  // registry's (process) lifetime.  These are direct calls — not macros — so
+  // the accessors and admission control behave identically in
+  // SEKITEI_METRICS_DISABLED builds.
+  metrics::Registry& reg = metrics::registry();
+  const metrics::Labels eng{{"engine", engine_label_}};
+  pending_ = &reg.gauge("service.pending", eng);
+  queue_depth_ = &reg.gauge("service.queue_depth", eng);
+  preflight_rejections_ = &reg.counter("service.preflight.rejections", eng);
+  for (std::size_t i = 0; i < outcome_counters_.size(); ++i) {
+    outcome_counters_[i] = &reg.counter(
+        "service.requests",
+        {{"engine", engine_label_}, {"outcome", outcome_name(static_cast<Outcome>(i))}});
+  }
+  for (std::size_t i = 0; i < ladder_counters_.size(); ++i) {
+    ladder_counters_[i] = &reg.counter(
+        "service.ladder",
+        {{"engine", engine_label_}, {"step", ladder_step_name(static_cast<LadderStep>(i))}});
+  }
+  latency_hist_ = &reg.histogram("service.latency_ms", eng);
+  queue_wait_hist_ = &reg.histogram("service.queue_wait_ms", eng);
+}
 
 PlanningEngine::Ticket PlanningEngine::submit(PlanRequest request) {
   const double deadline_ms =
@@ -78,25 +124,30 @@ PlanningEngine::Ticket PlanningEngine::submit(PlanRequest request) {
 
   // Reserve the pending slot before checking the bound: check-then-increment
   // would let N concurrent submitters all pass the check and overshoot
-  // max_pending.
-  const std::size_t prior = pending_.fetch_add(1, std::memory_order_relaxed);
+  // max_pending.  Gauge::add returns the post-add value, so `prior` keeps
+  // the exact fetch_add semantics the pre-registry atomic had.
+  const std::size_t prior = static_cast<std::size_t>(pending_->add(1)) - 1;
   if (options_.max_pending != 0 && prior >= options_.max_pending) {
-    pending_.fetch_sub(1, std::memory_order_relaxed);
+    pending_->add(-1);
     PlanResponse r;
     r.id = request.id;
     r.outcome = Outcome::Rejected;
     r.failure = "queue full (max_pending = " + std::to_string(options_.max_pending) + ")";
     SEKITEI_LOG_WARN("service.engine", "request rejected", log::kv("id", r.id.c_str()),
                      log::kv("pending", prior));
+    SEKITEI_METRIC(outcome_counters_[static_cast<std::size_t>(Outcome::Rejected)]->add(1));
     promise->set_value(std::move(r));
     return ticket;
   }
 
   const Stopwatch queued;  // measures time until a worker picks the job up
+  SEKITEI_METRIC(queue_depth_->add(1));
   auto req = std::make_shared<PlanRequest>(std::move(request));
-  auto guard = std::make_shared<JobGuard>(std::move(promise), &pending_, req->id);
+  auto guard = std::make_shared<JobGuard>(std::move(promise), pending_, req->id);
   pool_.submit([this, req, guard, queued] {
     const double wait_ms = queued.elapsed_ms();
+    SEKITEI_METRIC(queue_depth_->add(-1));
+    SEKITEI_METRIC(queue_wait_hist_->observe(wait_ms));
     PlanResponse r;
     try {
       // Worker-job-start fault point: a throw here (or anywhere below) is
@@ -118,6 +169,11 @@ PlanningEngine::Ticket PlanningEngine::submit(PlanRequest request) {
       SEKITEI_LOG_WARN("service.engine", "request failed", log::kv("id", r.id.c_str()),
                        log::kv("error", e.what()));
     }
+    // End-to-end latency (queue wait + processing) and the per-outcome
+    // tally, recorded on every path through the worker including the
+    // exception handler above.
+    SEKITEI_METRIC(latency_hist_->observe(queued.elapsed_ms()));
+    SEKITEI_METRIC(outcome_counters_[static_cast<std::size_t>(r.outcome)]->add(1));
     guard->complete(std::move(r));
   });
   return ticket;
@@ -128,6 +184,53 @@ PlanResponse PlanningEngine::plan(PlanRequest request) {
 }
 
 PlanResponse PlanningEngine::process(PlanRequest& request, double wait_ms) {
+  // Per-request observability wrapper around the planning logic.  The flight
+  // recorder piggybacks on the request's progress callback (one Sample per
+  // RG progress tick), so an idle configuration — no sink, no dir — costs
+  // nothing beyond this branch.
+  const bool record_flight = options_.flight_sink || !options_.flight_dir.empty();
+  FlightRecorder recorder(options_.flight_capacity == 0 ? 1 : options_.flight_capacity);
+  const std::function<void(const core::PlannerStats&)> inner_progress = request.progress;
+  if (record_flight) {
+    request.progress = [&recorder, inner_progress](const core::PlannerStats& stats) {
+      recorder.record(stats);
+      if (inner_progress) inner_progress(stats);
+    };
+  }
+
+  PlanResponse r = process_inner(request, wait_ms);
+  request.progress = inner_progress;  // drop the dangling recorder capture
+
+  if (r.ok()) {
+    SEKITEI_METRIC(ladder_counters_[static_cast<std::size_t>(r.ladder)]->add(1));
+  }
+  // Dump the recording for every answer the caller will want to autopsy:
+  // deadline/cancel/degraded cut the search short, infeasible-after-search
+  // shows where the frontier died.  Solved requests (and Rejected ones,
+  // which never searched) stay quiet.
+  if (record_flight && r.outcome != Outcome::Solved && r.outcome != Outcome::Rejected) {
+    const std::string dump = recorder.to_ndjson(r.id, outcome_name(r.outcome));
+    if (options_.flight_sink) {
+      options_.flight_sink(dump);
+    } else {
+      const std::string path =
+          options_.flight_dir + "/" + sanitize_for_filename(r.id) + ".flight.ndjson";
+      std::ofstream out(path, std::ios::trunc);
+      if (out) {
+        out << dump;
+        SEKITEI_LOG_INFO("service.engine", "flight recording dumped",
+                         log::kv("id", r.id.c_str()), log::kv("path", path.c_str()),
+                         log::kv("samples", recorder.size()));
+      } else {
+        SEKITEI_LOG_WARN("service.engine", "flight dump failed",
+                         log::kv("id", r.id.c_str()), log::kv("path", path.c_str()));
+      }
+    }
+  }
+  return r;
+}
+
+PlanResponse PlanningEngine::process_inner(PlanRequest& request, double wait_ms) {
   trace::Span span("service.request", "service");
   PlanResponse r;
   r.id = request.id;
@@ -177,7 +280,7 @@ PlanResponse PlanningEngine::process(PlanRequest& request, double wait_ms) {
     r.preflight_sweeps = verdict.sweeps;
     if (verdict.infeasible) {
       r.preflight_rejected = true;
-      preflight_rejections_.fetch_add(1, std::memory_order_relaxed);
+      preflight_rejections_->add(1);
       r.outcome = Outcome::Infeasible;
       r.failure = std::string(verdict.code) + " " + verdict.reason;
       SEKITEI_LOG_INFO("service.engine", "preflight rejected request",

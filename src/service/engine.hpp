@@ -24,13 +24,16 @@
 // leak a pending slot.
 #pragma once
 
-#include <atomic>
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <future>
+#include <string>
 
 #include "service/compiled_cache.hpp"
 #include "service/request.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 
 namespace sekitei::service {
@@ -48,6 +51,16 @@ class PlanningEngine {
     /// Run the pre-flight infeasibility analyzer on every request (the
     /// engine-wide counterpart of PlanRequest::preflight).
     bool preflight = false;
+    /// Search flight recorder (service/flight_recorder.hpp): when a dump
+    /// destination is set, every request samples RG progress into a ring of
+    /// `flight_capacity` entries and non-solved outcomes (deadline_exceeded,
+    /// degraded, cancelled, infeasible-after-search) dump it as NDJSON —
+    /// `flight_dir` writes <dir>/<sanitized id>.flight.ndjson, `flight_sink`
+    /// receives the rendered dump instead (takes precedence; called
+    /// concurrently from worker threads, so it must be thread-safe).
+    std::size_t flight_capacity = 256;
+    std::string flight_dir;
+    std::function<void(const std::string& ndjson)> flight_sink;
   };
 
   /// Handle returned by submit(): the response future plus the cancellation
@@ -77,25 +90,43 @@ class PlanningEngine {
 
   [[nodiscard]] CompiledProblemCache::Stats cache_stats() const { return cache_.stats(); }
   [[nodiscard]] std::size_t worker_count() const { return pool_.worker_count(); }
-  /// Requests accepted but not yet answered (queued + running).
+  /// Requests accepted but not yet answered (queued + running).  Backed by
+  /// the process-wide metrics registry ("service.pending"{engine=...}); the
+  /// accessor semantics are unchanged from the pre-registry atomics.
   [[nodiscard]] std::size_t pending() const {
-    return pending_.load(std::memory_order_relaxed);
+    const std::int64_t v = pending_->value();
+    return v > 0 ? static_cast<std::size_t>(v) : 0;
   }
   /// Requests answered Infeasible by the pre-flight analyzer alone (no
   /// search was run for them).
   [[nodiscard]] std::uint64_t preflight_rejections() const {
-    return preflight_rejections_.load(std::memory_order_relaxed);
+    return preflight_rejections_->value();
   }
+  /// Value of the "engine" label this instance reports its per-engine
+  /// metrics under ("0", "1", ... in construction order, process-wide).
+  [[nodiscard]] const std::string& metrics_label() const { return engine_label_; }
 
  private:
   /// Non-const request: the degradation ladder re-arms the deadline on the
-  /// request's own StopSource to split one budget across attempts.
+  /// request's own StopSource to split one budget across attempts.  The
+  /// wrapper owns per-request observability (flight recorder, per-outcome /
+  /// ladder counters); process_inner() holds the planning logic.
   [[nodiscard]] PlanResponse process(PlanRequest& request, double wait_ms);
+  [[nodiscard]] PlanResponse process_inner(PlanRequest& request, double wait_ms);
 
   Options options_;
   CompiledProblemCache cache_;
-  std::atomic<std::size_t> pending_{0};
-  std::atomic<std::uint64_t> preflight_rejections_{0};
+  std::string engine_label_;
+  // Registry-owned instruments (stable addresses for the engine's lifetime).
+  // pending_/preflight_rejections_ are load-bearing (accessors above, the
+  // admission-control check), so they are plain calls, never compiled out.
+  metrics::Gauge* pending_ = nullptr;
+  metrics::Gauge* queue_depth_ = nullptr;
+  metrics::Counter* preflight_rejections_ = nullptr;
+  std::array<metrics::Counter*, 6> outcome_counters_{};  // indexed by Outcome
+  std::array<metrics::Counter*, 3> ladder_counters_{};   // indexed by LadderStep
+  metrics::Histogram* latency_hist_ = nullptr;
+  metrics::Histogram* queue_wait_hist_ = nullptr;
   ThreadPool pool_;  // last member: destroyed (joined) first, while the cache
                      // and options it reads are still alive
 };

@@ -1,0 +1,68 @@
+#include "service/flight_recorder.hpp"
+
+#include "support/json.hpp"
+
+namespace sekitei::service {
+
+void FlightRecorder::record(const core::PlannerStats& stats) {
+  Sample s;
+  s.t_ms = watch_.elapsed_ms();
+  s.expansions = stats.rg_expansions;
+  s.open = stats.rg_open_left;
+  s.nodes = stats.rg_nodes;
+  s.incumbents = stats.rg_incumbents;
+  s.incumbent_cost = stats.incumbent_cost;
+  s.frontier_f = stats.open_cost_lb;
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(s);
+    return;
+  }
+  ring_[next_] = s;
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<FlightRecorder::Sample> FlightRecorder::samples() const {
+  std::vector<Sample> out;
+  out.reserve(ring_.size());
+  // Once wrapped, `next_` points at the oldest retained sample.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::to_ndjson(std::string_view request_id,
+                                      std::string_view outcome) const {
+  std::string out = "{\"flight\":";
+  json::append_escaped(out, request_id);
+  out += ",\"outcome\":";
+  json::append_escaped(out, outcome);
+  out += ",\"samples\":";
+  json::append_number(out, static_cast<std::uint64_t>(ring_.size()));
+  out += ",\"recorded\":";
+  json::append_number(out, recorded_);
+  out += ",\"capacity\":";
+  json::append_number(out, static_cast<std::uint64_t>(capacity_));
+  out += "}\n";
+  for (const Sample& s : samples()) {
+    out += "{\"t_ms\":";
+    json::append_number(out, s.t_ms);
+    out += ",\"expansions\":";
+    json::append_number(out, s.expansions);
+    out += ",\"open\":";
+    json::append_number(out, s.open);
+    out += ",\"nodes\":";
+    json::append_number(out, s.nodes);
+    out += ",\"incumbents\":";
+    json::append_number(out, s.incumbents);
+    out += ",\"incumbent_cost\":";
+    json::append_number(out, s.incumbent_cost);
+    out += ",\"frontier_f\":";
+    json::append_number(out, s.frontier_f);
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace sekitei::service

@@ -1,0 +1,76 @@
+// Search flight recorder: a fixed-capacity ring buffer of RG progress
+// samples for one request, filled from the planner's existing
+// progress-observer tick and dumped as NDJSON when the request ends in a
+// deadline/degraded/failed outcome — so the post-mortem of a slow request
+// ("where did the search spend its budget, was an incumbent ever close")
+// needs no rerun.
+//
+// One recorder belongs to one request and is only touched from the worker
+// thread running that request's search (the progress observer is invoked
+// from inside the search loop; the dump happens on the same worker after
+// planning), so it needs no locking.
+//
+// Dump format (tools/sekitei_stats understands it):
+//   {"flight":"<request id>","outcome":"deadline_exceeded","samples":17,
+//    "recorded":1203,"capacity":256}
+//   {"t_ms":1.0,"expansions":8192,"open":512,"nodes":9000,"incumbents":1,
+//    "incumbent_cost":42.000,"frontier_f":37.500}
+//   ... one line per retained sample, oldest first ...
+// When more ticks were recorded than the ring holds, the *latest* samples
+// win (the interesting part of a timed-out search is its end).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "support/timer.hpp"
+
+namespace sekitei::service {
+
+class FlightRecorder {
+ public:
+  struct Sample {
+    double t_ms = 0.0;  // since the recorder was created (request pickup)
+    std::uint64_t expansions = 0;
+    std::uint64_t open = 0;
+    std::uint64_t nodes = 0;
+    std::uint64_t incumbents = 0;
+    double incumbent_cost = 0.0;
+    /// Best admissible f at the tick — a live lower bound on the optimal
+    /// cost (PlannerStats::open_cost_lb, refreshed per tick under anytime
+    /// search; 0 before the first refresh).
+    double frontier_f = 0.0;
+  };
+
+  explicit FlightRecorder(std::size_t capacity = 256)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.reserve(capacity_);
+  }
+
+  /// Records one progress tick (call from a PlannerOptions::progress hook).
+  void record(const core::PlannerStats& stats);
+
+  /// Samples currently retained (<= capacity).
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  /// Ticks ever recorded (>= size() once the ring has wrapped).
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Oldest-first copy of the retained samples.
+  [[nodiscard]] std::vector<Sample> samples() const;
+
+  /// Header line + one line per retained sample, oldest first.
+  [[nodiscard]] std::string to_ndjson(std::string_view request_id,
+                                      std::string_view outcome) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<Sample> ring_;
+  std::size_t next_ = 0;  // overwrite position once the ring is full
+  std::uint64_t recorded_ = 0;
+  Stopwatch watch_;
+};
+
+}  // namespace sekitei::service

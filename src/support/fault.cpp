@@ -5,6 +5,7 @@
 
 #include "support/error.hpp"
 #include "support/log.hpp"
+#include "support/metrics.hpp"
 
 namespace sekitei::fault {
 
@@ -129,6 +130,7 @@ bool hit_slow(const char* point) {
     if (e.fired || e.hits != e.fire_on_nth) return false;
     e.fired = true;
     armed_total.fetch_sub(1, std::memory_order_relaxed);
+    SEKITEI_METRIC(metrics::registry().counter("fault.fired", {{"point", point}}).add(1));
     SEKITEI_LOG_WARN("support.fault", "fault fired", log::kv("point", point),
                      log::kv("hit", e.hits),
                      log::kv("mode", e.mode == Mode::Throw ? "throw" : "fail"));

@@ -1,0 +1,442 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace sekitei::metrics {
+
+namespace {
+
+/// Series identity: name plus rendered sorted labels ("name{k=v,k2=v2}").
+std::string render_key(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  if (!labels.empty()) {
+    key.push_back('{');
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i != 0) key.push_back(',');
+      key += labels[i].key;
+      key.push_back('=');
+      key += labels[i].value;
+    }
+    key.push_back('}');
+  }
+  return key;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:] only; dotted names map onto
+/// underscores ("service.cache.hit" -> "service_cache_hit").
+std::string prom_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void append_prom_labels(std::string& out, const Labels& labels, const char* extra_key = nullptr,
+                        const char* extra_value = nullptr) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out.push_back('{');
+  bool first = true;
+  for (const Label& l : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += l.key;
+    out += "=\"";
+    for (char c : l.value) {  // escape per exposition format
+      if (c == '\\' || c == '"') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  if (extra_key != nullptr) {
+    if (!first) out.push_back(',');
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out.push_back('"');
+  }
+  out.push_back('}');
+}
+
+void append_u64(std::string& out, std::uint64_t v) { json::append_number(out, v); }
+
+void append_i64(std::string& out, std::int64_t v) {
+  if (v < 0) {
+    out.push_back('-');
+    json::append_number(out, static_cast<std::uint64_t>(-v));
+  } else {
+    json::append_number(out, static_cast<std::uint64_t>(v));
+  }
+}
+
+}  // namespace
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::Counter: return "counter";
+    case Kind::Gauge: return "gauge";
+    case Kind::Histogram: return "histogram";
+  }
+  return "counter";
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(Options opt) : opt_(opt) {
+  if (!(opt_.min > 0.0)) opt_.min = 1e-3;
+  if (!(opt_.max > opt_.min)) opt_.max = opt_.min * 2.0;
+  if (opt_.buckets_per_octave == 0) opt_.buckets_per_octave = 1;
+  const double octaves = std::log2(opt_.max / opt_.min);
+  finite_ = 1 + static_cast<std::size_t>(
+                    std::ceil(octaves * static_cast<double>(opt_.buckets_per_octave)));
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(finite_ + 1);  // + overflow
+}
+
+std::size_t Histogram::index_of(double v) const {
+  if (!(v > opt_.min)) return 0;  // also catches NaN (comparison is false)
+  const double pos = std::log2(v / opt_.min) * static_cast<double>(opt_.buckets_per_octave);
+  // Bucket i (i >= 1) covers pos in (i-1, i], so the index is ceil(pos); the
+  // epsilon keeps a value exactly on a bucket's upper bound in that bucket
+  // when log2 lands a hair above the integer.
+  const auto idx = static_cast<std::size_t>(std::ceil(pos - 1.0e-9));
+  if (idx < 1) return 1;
+  return idx >= finite_ ? finite_ : idx;
+}
+
+void Histogram::observe(double v) {
+  buckets_[index_of(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20 but spotty in older libstdc++; a
+  // CAS loop is portable and contention here is per-request, not per-node.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::bucket_upper(std::size_t i) const {
+  if (i >= finite_) return std::numeric_limits<double>::infinity();
+  if (i == 0) return opt_.min;
+  return opt_.min * std::exp2(static_cast<double>(i) /
+                              static_cast<double>(opt_.buckets_per_octave));
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += bucket_value(i);
+    if (cum >= target) {
+      if (i == 0) return opt_.min;
+      if (i >= finite_) return opt_.max;  // overflow: best available bound
+      const double hi = bucket_upper(i);
+      const double lo = bucket_upper(i - 1);
+      return std::sqrt(lo * hi);  // geometric midpoint of a log-scale bucket
+    }
+  }
+  return opt_.max;  // unreachable unless counters raced; still a sane answer
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry::Entry& Registry::find_or_create(std::string_view name, Labels&& labels, Kind kind,
+                                          const Histogram::Options* opt) {
+  std::sort(labels.begin(), labels.end(),
+            [](const Label& a, const Label& b) { return a.key < b.key; });
+  std::string key = render_key(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = index_.find(key); it != index_.end()) {
+    Entry& e = *entries_[it->second];
+    if (e.kind != kind) {
+      raise("metric '" + key + "' re-registered as " + kind_name(kind) + " (was " +
+            kind_name(e.kind) + ")");
+    }
+    return e;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->labels = std::move(labels);
+  entry->kind = kind;
+  switch (kind) {
+    case Kind::Counter: entry->counter = std::make_unique<Counter>(); break;
+    case Kind::Gauge: entry->gauge = std::make_unique<Gauge>(); break;
+    case Kind::Histogram:
+      entry->histogram = std::make_unique<Histogram>(opt != nullptr ? *opt
+                                                                    : Histogram::Options{});
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  index_.emplace(std::move(key), entries_.size() - 1);
+  return *entries_.back();
+}
+
+Counter& Registry::counter(std::string_view name, Labels labels) {
+  return *find_or_create(name, std::move(labels), Kind::Counter, nullptr).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, Labels labels) {
+  return *find_or_create(name, std::move(labels), Kind::Gauge, nullptr).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, Labels labels, Histogram::Options opt) {
+  return *find_or_create(name, std::move(labels), Kind::Histogram, &opt).histogram;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  std::vector<MetricSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const auto& entry : entries_) {
+      MetricSnapshot s;
+      s.name = entry->name;
+      s.labels = entry->labels;
+      s.kind = entry->kind;
+      switch (entry->kind) {
+        case Kind::Counter: s.counter = entry->counter->value(); break;
+        case Kind::Gauge: s.gauge = entry->gauge->value(); break;
+        case Kind::Histogram: {
+          const Histogram& h = *entry->histogram;
+          s.hist_count = h.count();
+          s.hist_sum = h.sum();
+          s.p50 = h.quantile(0.50);
+          s.p90 = h.quantile(0.90);
+          s.p99 = h.quantile(0.99);
+          for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+            const std::uint64_t c = h.bucket_value(i);
+            if (c != 0) s.buckets.emplace_back(h.bucket_upper(i), c);
+          }
+          break;
+        }
+      }
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const MetricSnapshot& a, const MetricSnapshot& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return render_key("", a.labels) < render_key("", b.labels);
+  });
+  return out;
+}
+
+std::string Registry::to_prometheus() const {
+  const std::vector<MetricSnapshot> snap = snapshot();
+  std::string out;
+  out.reserve(snap.size() * 64);
+  std::string last_family;
+  for (const MetricSnapshot& s : snap) {
+    const std::string family = prom_name(s.name);
+    if (family != last_family) {
+      out += "# TYPE ";
+      out += family;
+      out.push_back(' ');
+      out += kind_name(s.kind);
+      out.push_back('\n');
+      last_family = family;
+    }
+    switch (s.kind) {
+      case Kind::Counter:
+        out += family;
+        append_prom_labels(out, s.labels);
+        out.push_back(' ');
+        append_u64(out, s.counter);
+        out.push_back('\n');
+        break;
+      case Kind::Gauge:
+        out += family;
+        append_prom_labels(out, s.labels);
+        out.push_back(' ');
+        append_i64(out, s.gauge);
+        out.push_back('\n');
+        break;
+      case Kind::Histogram: {
+        std::uint64_t cum = 0;
+        for (const auto& [bound, count] : s.buckets) {
+          cum += count;
+          char le[48];
+          if (std::isinf(bound)) {
+            std::snprintf(le, sizeof le, "+Inf");
+          } else {
+            std::snprintf(le, sizeof le, "%.6g", bound);
+          }
+          out += family;
+          out += "_bucket";
+          append_prom_labels(out, s.labels, "le", le);
+          out.push_back(' ');
+          append_u64(out, cum);
+          out.push_back('\n');
+        }
+        // The exposition format requires the +Inf bucket == _count even when
+        // the overflow bucket itself is empty.
+        if (s.buckets.empty() || !std::isinf(s.buckets.back().first)) {
+          out += family;
+          out += "_bucket";
+          append_prom_labels(out, s.labels, "le", "+Inf");
+          out.push_back(' ');
+          append_u64(out, s.hist_count);
+          out.push_back('\n');
+        }
+        out += family;
+        out += "_sum";
+        append_prom_labels(out, s.labels);
+        out.push_back(' ');
+        json::append_number(out, s.hist_sum);
+        out.push_back('\n');
+        out += family;
+        out += "_count";
+        append_prom_labels(out, s.labels);
+        out.push_back(' ');
+        append_u64(out, s.hist_count);
+        out.push_back('\n');
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::to_ndjson(std::uint64_t ts_ms) const {
+  const std::vector<MetricSnapshot> snap = snapshot();
+  std::string out;
+  out.reserve(snap.size() * 96);
+  for (const MetricSnapshot& s : snap) {
+    out += "{\"metric\":";
+    json::append_escaped(out, s.name);
+    out += ",\"type\":\"";
+    out += kind_name(s.kind);
+    out.push_back('"');
+    if (!s.labels.empty()) {
+      out += ",\"labels\":{";
+      for (std::size_t i = 0; i < s.labels.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        json::append_escaped(out, s.labels[i].key);
+        out.push_back(':');
+        json::append_escaped(out, s.labels[i].value);
+      }
+      out.push_back('}');
+    }
+    switch (s.kind) {
+      case Kind::Counter:
+        out += ",\"value\":";
+        append_u64(out, s.counter);
+        break;
+      case Kind::Gauge:
+        out += ",\"value\":";
+        append_i64(out, s.gauge);
+        break;
+      case Kind::Histogram:
+        out += ",\"count\":";
+        append_u64(out, s.hist_count);
+        out += ",\"sum\":";
+        json::append_number(out, s.hist_sum);
+        out += ",\"p50\":";
+        json::append_number(out, s.p50);
+        out += ",\"p90\":";
+        json::append_number(out, s.p90);
+        out += ",\"p99\":";
+        json::append_number(out, s.p99);
+        out += ",\"buckets\":[";
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          if (i != 0) out.push_back(',');
+          out.push_back('[');
+          if (std::isinf(s.buckets[i].first)) {
+            out += "\"inf\"";  // JSON has no Infinity literal
+          } else {
+            json::append_number(out, s.buckets[i].first);
+          }
+          out.push_back(',');
+          append_u64(out, s.buckets[i].second);
+          out.push_back(']');
+        }
+        out.push_back(']');
+        break;
+    }
+    if (ts_ms != 0) {
+      out += ",\"ts_ms\":";
+      append_u64(out, ts_ms);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+Registry& registry() {
+  // Leaked on purpose: metrics outlive every static destructor that might
+  // still want to report (the logger does the same with its sink list).
+  static Registry* global = new Registry();
+  return *global;
+}
+
+std::uint64_t wall_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// Flusher
+
+Flusher::Flusher(Registry& reg, std::FILE* out, double period_ms)
+    : reg_(reg), out_(out), period_ms_(period_ms > 0.0 ? period_ms : 1000.0) {
+  thread_ = std::thread([this] { run(); });
+}
+
+Flusher::~Flusher() { stop(); }
+
+void Flusher::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, std::chrono::duration<double, std::milli>(period_ms_),
+                 [this] { return stopping_; });
+    if (stopping_) break;
+    lock.unlock();
+    flush_once();
+    lock.lock();
+  }
+}
+
+void Flusher::flush_once() {
+  const std::string snap = reg_.to_ndjson(wall_ms());
+  if (!snap.empty()) {
+    std::fwrite(snap.data(), 1, snap.size(), out_);
+    std::fflush(out_);
+  }
+}
+
+void Flusher::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopping_ = true;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  flush_once();  // final snapshot: short-lived runs always leave one record
+}
+
+}  // namespace sekitei::metrics

@@ -1,0 +1,290 @@
+// Process-wide metrics registry: lock-free counters, gauges, and
+// fixed-boundary log-scale histograms behind stable dotted names with
+// optional labels, exported as Prometheus text exposition or NDJSON
+// snapshot lines (one-shot or via a periodic flusher thread).
+//
+// Design goals, mirroring the logger (support/log.hpp):
+//   1. Cheap when hot.  Counter::add / Gauge::add are one relaxed atomic
+//      RMW; Histogram::observe is one log2, two relaxed RMWs and a CAS
+//      loop on the sum.  Registration (the only locked path) happens once
+//      per call site and is cached behind a function-local static by the
+//      SEKITEI_METRIC_* macros.
+//   2. Removable.  Building a TU with -DSEKITEI_METRICS_DISABLED (implied
+//      by -DSEKITEI_LOG_DISABLED, like the trace layer) folds every
+//      SEKITEI_METRIC_* statement to nothing — arguments are not even
+//      evaluated (tests/metrics_disabled.cpp guards this).  The classes
+//      themselves stay fully functional in every build so that load-bearing
+//      uses (the engine's pending/preflight accessors) and the exporters
+//      never change behavior.
+//   3. No planning decision ever depends on a metric (determinism): the
+//      registry only observes, and nothing in it reads the clock except
+//      the exporters' optional timestamps.
+//
+// Usage:
+//   auto& c = metrics::registry().counter("service.cache.hit");
+//   c.add();
+//   metrics::registry().histogram("planner.search_ms").observe(12.7);
+//   std::fputs(metrics::registry().to_ndjson(metrics::wall_ms()).c_str(), out);
+// or, compile-out friendly:
+//   SEKITEI_METRIC_INC("service.cache.hit");
+//   SEKITEI_METRIC_OBSERVE("planner.search_ms", watch.elapsed_ms());
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <condition_variable>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#if defined(SEKITEI_LOG_DISABLED) && !defined(SEKITEI_METRICS_DISABLED)
+#define SEKITEI_METRICS_DISABLED
+#endif
+
+namespace sekitei::metrics {
+
+/// One metric label.  Labels distinguish series under one dotted name
+/// ("service.requests" x outcome); they are part of the series identity and
+/// are sorted by key at registration, so {a=1,b=2} and {b=2,a=1} are the
+/// same series.
+struct Label {
+  std::string key;
+  std::string value;
+};
+using Labels = std::vector<Label>;
+
+/// Monotonic event count.  add() is a single relaxed fetch_add — safe and
+/// lock-free from any number of threads.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, in-flight requests).  add()
+/// returns the post-add value so callers can reserve-then-check (the
+/// engine's admission control does exactly this).
+class Gauge {
+ public:
+  std::int64_t add(std::int64_t delta) {
+    return value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  }
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-boundary log-scale histogram.  Bucket upper bounds grow
+/// geometrically: bucket 0 holds values <= min, bucket i holds
+/// (min*2^((i-1)/bpo), min*2^(i/bpo)], and one overflow bucket holds
+/// values > max.  With the default 4 buckets per octave a quantile
+/// estimate is within a factor of 2^(1/4) ~ 1.19 of the true value
+/// (tests/metrics_test.cpp pins this bound).  observe() is lock-free:
+/// one relaxed fetch_add per bucket/count plus a CAS loop on the sum.
+class Histogram {
+ public:
+  struct Options {
+    double min = 1e-3;    ///< upper bound of the first bucket (1 microsecond in ms)
+    double max = 65536.0; ///< values above land in the overflow bucket (~65 s in ms)
+    std::uint32_t buckets_per_octave = 4;
+  };
+
+  // Not `Options opt = {}`: NSDMIs of a nested class are not usable in
+  // default arguments of the enclosing class (GCC rejects it).
+  Histogram() : Histogram(Options{}) {}
+  explicit Histogram(Options opt);
+
+  void observe(double v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Quantile estimate from the bucket counts (q in [0,1]); 0 when empty.
+  /// Returns the geometric midpoint of the bucket holding the q-th sample.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] const Options& options() const { return opt_; }
+  /// Finite buckets + 1 overflow.
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  [[nodiscard]] std::uint64_t bucket_value(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket i; +inf for the overflow bucket.
+  [[nodiscard]] double bucket_upper(std::size_t i) const;
+
+ private:
+  [[nodiscard]] std::size_t index_of(double v) const;
+
+  Options opt_;
+  std::size_t finite_ = 0;  // buckets 0..finite_-1; index finite_ = overflow
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class Kind : unsigned char { Counter, Gauge, Histogram };
+
+[[nodiscard]] const char* kind_name(Kind k);
+
+/// Point-in-time copy of one series, produced by Registry::snapshot().
+struct MetricSnapshot {
+  std::string name;
+  Labels labels;
+  Kind kind = Kind::Counter;
+  std::uint64_t counter = 0;
+  std::int64_t gauge = 0;
+  // Histogram only:
+  std::uint64_t hist_count = 0;
+  double hist_sum = 0.0;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+  /// (upper bound, count) for the *non-empty* buckets, in bound order; the
+  /// overflow bucket's bound renders as +inf.
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+};
+
+/// Thread-safe find-or-create registry.  Returned references stay valid for
+/// the registry's lifetime (series are never removed).  Re-requesting a
+/// name+labels with a different kind raises sekitei::Error.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name, Labels labels = {});
+  Gauge& gauge(std::string_view name, Labels labels = {});
+  Histogram& histogram(std::string_view name, Labels labels = {},
+                       Histogram::Options opt = {});
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Snapshot of every series, sorted by (name, labels) so exposition is
+  /// deterministic for a given registry content.
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  /// Prometheus text exposition (one # TYPE line per family, dots in names
+  /// become underscores, histograms expand to _bucket/_sum/_count).
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// NDJSON: one `{"metric":...}` object per line per series.  `ts_ms` (wall
+  /// epoch milliseconds) is stamped on every line; 0 omits the field so
+  /// golden tests stay byte-stable.
+  [[nodiscard]] std::string to_ndjson(std::uint64_t ts_ms = 0) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(std::string_view name, Labels&& labels, Kind kind,
+                        const Histogram::Options* opt);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;       // stable addresses
+  std::unordered_map<std::string, std::size_t> index_; // rendered key -> entries_ idx
+};
+
+/// The process-wide registry every SEKITEI_METRIC_* macro and subsystem
+/// reports into.  Constructed on first use; never destroyed before exit.
+[[nodiscard]] Registry& registry();
+
+/// Wall-clock epoch milliseconds — exporter timestamps only, never planning.
+[[nodiscard]] std::uint64_t wall_ms();
+
+/// Periodic NDJSON snapshot writer: every `period_ms` the flusher thread
+/// appends registry().to_ndjson(wall_ms()) to `out` (each line one fwrite,
+/// then fflush).  stop() — also run by the destructor — writes one final
+/// snapshot so short-lived processes always leave a complete last record.
+class Flusher {
+ public:
+  Flusher(Registry& reg, std::FILE* out, double period_ms);
+  ~Flusher();
+
+  Flusher(const Flusher&) = delete;
+  Flusher& operator=(const Flusher&) = delete;
+
+  /// Idempotent: joins the thread after one final flush.
+  void stop();
+
+ private:
+  void run();
+  void flush_once();
+
+  Registry& reg_;
+  std::FILE* out_;
+  double period_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace sekitei::metrics
+
+// The macro layer.  SEKITEI_METRICS_DISABLED removes every call site at
+// compile time — arguments are not evaluated — mirroring SEKITEI_LOG.  The
+// statement form SEKITEI_METRIC(expr) is for sites whose labels vary at
+// runtime; the named forms cache the registry lookup in a function-local
+// static, so the steady-state cost is the atomic op alone.
+#ifdef SEKITEI_METRICS_DISABLED
+#define SEKITEI_METRIC(...) \
+  do {                      \
+  } while (false)
+#define SEKITEI_METRIC_INC(name) \
+  do {                           \
+  } while (false)
+#define SEKITEI_METRIC_ADD(name, delta) \
+  do {                                  \
+  } while (false)
+#define SEKITEI_METRIC_GAUGE_SET(name, v) \
+  do {                                    \
+  } while (false)
+#define SEKITEI_METRIC_OBSERVE(name, v) \
+  do {                                  \
+  } while (false)
+#else
+#define SEKITEI_METRIC(...) \
+  do {                      \
+    __VA_ARGS__;            \
+  } while (false)
+#define SEKITEI_METRIC_INC(name)                                      \
+  do {                                                                \
+    static ::sekitei::metrics::Counter& sekitei_metric_counter =      \
+        ::sekitei::metrics::registry().counter(name);                 \
+    sekitei_metric_counter.add(1);                                    \
+  } while (false)
+#define SEKITEI_METRIC_ADD(name, delta)                               \
+  do {                                                                \
+    static ::sekitei::metrics::Counter& sekitei_metric_counter =      \
+        ::sekitei::metrics::registry().counter(name);                 \
+    sekitei_metric_counter.add(delta);                                \
+  } while (false)
+#define SEKITEI_METRIC_GAUGE_SET(name, v)                             \
+  do {                                                                \
+    static ::sekitei::metrics::Gauge& sekitei_metric_gauge =          \
+        ::sekitei::metrics::registry().gauge(name);                   \
+    sekitei_metric_gauge.set(v);                                      \
+  } while (false)
+#define SEKITEI_METRIC_OBSERVE(name, v)                               \
+  do {                                                                \
+    static ::sekitei::metrics::Histogram& sekitei_metric_histogram =  \
+        ::sekitei::metrics::registry().histogram(name);               \
+    sekitei_metric_histogram.observe(v);                              \
+  } while (false)
+#endif

@@ -5,6 +5,7 @@
 
 #include "support/fault.hpp"
 #include "support/json.hpp"
+#include "support/metrics.hpp"
 #include "testing/minimize.hpp"
 
 namespace sekitei::testing {
@@ -99,6 +100,9 @@ FuzzStats fuzz(const FuzzParams& params, const EmitLine& emit) {
       case Verdict::Infeasible: ++stats.infeasible; break;
       case Verdict::Unknown: ++stats.unknown; break;
     }
+    SEKITEI_METRIC(metrics::registry()
+                       .counter("fuzz.runs", {{"verdict", verdict_name(report.optimal.verdict)}})
+                       .add(1));
 
     std::string repro_path;
     std::string repro_error;
@@ -107,6 +111,9 @@ FuzzStats fuzz(const FuzzParams& params, const EmitLine& emit) {
     if (report.failed()) {
       ++stats.failing_runs;
       stats.disagreements += report.disagreements.size();
+      SEKITEI_METRIC(metrics::registry()
+                         .counter("fuzz.disagreements")
+                         .add(report.disagreements.size()));
 
       GenInstance small = inst;
       if (params.minimize_repros) {

@@ -1,0 +1,49 @@
+// Helper translation unit for the determinism guard in metrics_test.cpp.
+//
+// Compiled with -DSEKITEI_METRICS_DISABLED (see tests/CMakeLists.txt — the
+// name deliberately avoids the *_test.cpp glob), so every SEKITEI_METRIC_*
+// macro here folds to nothing and its arguments are never evaluated.  The
+// planner library itself is still the instrumented build; the guard asserts
+// that (a) the macros really compile out, (b) the metrics *classes* stay
+// fully usable in a disabled TU (load-bearing uses like the engine's
+// admission control never change behavior), and (c) the plan produced from
+// this quiet TU is byte-identical to one produced with metrics fully live.
+#include "core/planner.hpp"
+#include "domains/media.hpp"
+#include "model/compile.hpp"
+#include "sim/executor.hpp"
+#include "support/metrics.hpp"
+
+#ifndef SEKITEI_METRICS_DISABLED
+#error "metrics_disabled.cpp must be compiled with -DSEKITEI_METRICS_DISABLED"
+#endif
+
+namespace sekitei::testing {
+
+std::string plan_tiny_c_metrics_quiet(double* cost_out, int* metric_args_evaluated) {
+  int evaluated = 0;
+  // With the macros compiled out none of these argument expressions may run.
+  SEKITEI_METRIC_INC((++evaluated, "tests.metrics_quiet.inc"));
+  SEKITEI_METRIC_ADD("tests.metrics_quiet.add", static_cast<std::uint64_t>(++evaluated));
+  SEKITEI_METRIC_GAUGE_SET("tests.metrics_quiet.gauge", ++evaluated);
+  SEKITEI_METRIC_OBSERVE("tests.metrics_quiet.hist", static_cast<double>(++evaluated));
+  SEKITEI_METRIC(metrics::registry().counter("tests.metrics_quiet.stmt").add(++evaluated));
+  if (metric_args_evaluated != nullptr) *metric_args_evaluated = evaluated;
+
+  // Direct class use must still work in a disabled TU: a local registry,
+  // not the process-wide one, so this leaves no trace in snapshots.
+  metrics::Registry local;
+  local.counter("tests.metrics_quiet.direct").add(2);
+  if (local.counter("tests.metrics_quiet.direct").value() != 2) return {};
+
+  auto inst = domains::media::tiny();
+  auto cp = model::compile(inst->problem, domains::media::scenario('C'));
+  core::Sekitei planner(cp);
+  sim::Executor exec(cp);
+  auto r = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+  if (!r.ok()) return {};
+  if (cost_out != nullptr) *cost_out = r.plan->cost_lb;
+  return r.plan->str(cp);
+}
+
+}  // namespace sekitei::testing

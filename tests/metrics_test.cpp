@@ -1,0 +1,391 @@
+// The metrics registry (support/metrics.hpp): lock-free instrument
+// correctness under concurrency, log-bucket quantile accuracy bounds,
+// byte-exact Prometheus / NDJSON exposition goldens, the periodic flusher,
+// the search flight recorder (unit + engine-level dump), and the
+// SEKITEI_METRICS_DISABLED determinism guard (tests/metrics_disabled.cpp,
+// the metrics twin of the stats_log_disabled.cpp logging guard).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "domains/media.hpp"
+#include "model/compile.hpp"
+#include "service/engine.hpp"
+#include "service/flight_recorder.hpp"
+#include "service/request.hpp"
+#include "sim/executor.hpp"
+#include "support/error.hpp"
+#include "support/json_reader.hpp"
+#include "support/metrics.hpp"
+
+namespace sekitei::testing {
+// From metrics_disabled.cpp (compiled with -DSEKITEI_METRICS_DISABLED).
+std::string plan_tiny_c_metrics_quiet(double* cost_out, int* metric_args_evaluated);
+}  // namespace sekitei::testing
+
+namespace sekitei::metrics {
+namespace {
+
+namespace media = domains::media;
+
+// ---------------------------------------------------------------------------
+// Instruments
+
+TEST(MetricsTest, CounterIsExactUnderConcurrency) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(MetricsTest, GaugeAddReturnsPostAddValue) {
+  Gauge g;
+  EXPECT_EQ(g.add(3), 3);   // the reserve-then-check idiom depends on this
+  EXPECT_EQ(g.add(-1), 2);
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+  EXPECT_EQ(g.add(1), -6);
+}
+
+TEST(MetricsTest, HistogramCountAndSumAreExactUnderConcurrency) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 25'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.observe(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  // Sums of small integers are exact in double, and the CAS loop must not
+  // lose increments.
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads * kPerThread));
+}
+
+TEST(MetricsTest, QuantileWithinLogBucketBound) {
+  // With buckets_per_octave = 4 a bucket spans a 2^(1/4) ratio, so the
+  // geometric-midpoint estimate is within a factor 2^(1/8) of any value in
+  // the bucket; assert the looser full-bucket bound.
+  const double kBound = std::exp2(0.25) + 1e-9;
+  for (const double v : {0.002, 0.5, 12.7, 340.0, 5000.0}) {
+    Histogram h;
+    for (int i = 0; i < 1000; ++i) h.observe(v);
+    for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+      const double est = h.quantile(q);
+      EXPECT_LE(est / v, kBound) << "v=" << v << " q=" << q;
+      EXPECT_LE(v / est, kBound) << "v=" << v << " q=" << q;
+    }
+  }
+}
+
+TEST(MetricsTest, QuantilesAreMonotonicAndEdgesClamp) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));  // 1..1000 ms
+  const double p50 = h.quantile(0.50);
+  const double p90 = h.quantile(0.90);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  const double bound = std::exp2(0.25) + 1e-9;
+  EXPECT_LE(p50 / 500.0, bound);
+  EXPECT_LE(500.0 / p50, bound);
+  // Below-min values land in bucket 0 and report min; overflow reports max.
+  Histogram edges;
+  edges.observe(1e-9);
+  edges.observe(1e9);
+  EXPECT_DOUBLE_EQ(edges.quantile(0.0), edges.options().min);
+  EXPECT_DOUBLE_EQ(edges.quantile(1.0), edges.options().max);
+}
+
+TEST(MetricsTest, ExactBucketBoundaryBelongsToItsBucket) {
+  Histogram h;
+  const double min = h.options().min;
+  h.observe(min);                     // == bound of bucket 0
+  h.observe(min * std::exp2(0.25));   // == upper bound of bucket 1
+  EXPECT_EQ(h.bucket_value(0), 1u);
+  EXPECT_EQ(h.bucket_value(1), 1u);
+  EXPECT_EQ(h.bucket_value(2), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(MetricsTest, RegistryReturnsSameInstrumentAndNormalizesLabelOrder) {
+  Registry reg;
+  Counter& a = reg.counter("x.hits", {{"a", "1"}, {"b", "2"}});
+  Counter& b = reg.counter("x.hits", {{"b", "2"}, {"a", "1"}});  // sorted == same series
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.size(), 1u);
+  Counter& c = reg.counter("x.hits", {{"a", "1"}, {"b", "3"}});  // different value
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsTest, RegistryKindMismatchRaises) {
+  Registry reg;
+  reg.counter("x.series");
+  EXPECT_THROW(reg.gauge("x.series"), Error);
+  EXPECT_THROW(reg.histogram("x.series"), Error);
+}
+
+Registry& golden_registry(Registry& reg) {
+  reg.counter("demo.hits").add(3);
+  reg.gauge("demo.depth", {{"engine", "0"}}).set(-2);
+  Histogram& h = reg.histogram("demo.ms");
+  h.observe(1e-3);     // bucket 0 (v <= min)
+  h.observe(70000.0);  // overflow (> max)
+  return reg;
+}
+
+TEST(MetricsTest, NdjsonGolden) {
+  Registry reg;
+  const std::string got = golden_registry(reg).to_ndjson(/*ts_ms=*/0);
+  EXPECT_EQ(got,
+            "{\"metric\":\"demo.depth\",\"type\":\"gauge\",\"labels\":{\"engine\":\"0\"},"
+            "\"value\":-2}\n"
+            "{\"metric\":\"demo.hits\",\"type\":\"counter\",\"value\":3}\n"
+            "{\"metric\":\"demo.ms\",\"type\":\"histogram\",\"count\":2,\"sum\":70000.001,"
+            "\"p50\":0.001,\"p90\":65536.000,\"p99\":65536.000,"
+            "\"buckets\":[[0.001,1],[\"inf\",1]]}\n");
+  // Every line is valid JSON; a nonzero timestamp is stamped on each line.
+  const std::string stamped = reg.to_ndjson(/*ts_ms=*/42);
+  std::size_t start = 0, lines = 0;
+  while (start < stamped.size()) {
+    const std::size_t end = stamped.find('\n', start);
+    json::Value v;
+    std::string err;
+    ASSERT_TRUE(json::parse(stamped.substr(start, end - start), v, &err)) << err;
+    const json::Value* ts = v.find("ts_ms");
+    ASSERT_NE(ts, nullptr);
+    EXPECT_EQ(ts->number, 42.0);
+    start = end + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3u);
+}
+
+TEST(MetricsTest, PrometheusGolden) {
+  Registry reg;
+  EXPECT_EQ(golden_registry(reg).to_prometheus(),
+            "# TYPE demo_depth gauge\n"
+            "demo_depth{engine=\"0\"} -2\n"
+            "# TYPE demo_hits counter\n"
+            "demo_hits 3\n"
+            "# TYPE demo_ms histogram\n"
+            "demo_ms_bucket{le=\"0.001\"} 1\n"
+            "demo_ms_bucket{le=\"+Inf\"} 2\n"
+            "demo_ms_sum 70000.001\n"
+            "demo_ms_count 2\n");
+}
+
+TEST(MetricsTest, FlusherWritesPeriodicAndFinalSnapshots) {
+  Registry reg;
+  reg.counter("flush.events").add(5);
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  {
+    Flusher flusher(reg, tmp, /*period_ms=*/5.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    flusher.stop();
+    flusher.stop();  // idempotent
+  }
+  std::rewind(tmp);
+  char buf[512];
+  std::size_t lines = 0;
+  while (std::fgets(buf, sizeof buf, tmp) != nullptr) {
+    std::string line(buf);
+    if (!line.empty() && line.back() == '\n') line.pop_back();
+    json::Value v;
+    ASSERT_TRUE(json::parse(line, v)) << line;
+    EXPECT_NE(v.find("metric"), nullptr);
+    EXPECT_NE(v.find("ts_ms"), nullptr);
+    ++lines;
+  }
+  std::fclose(tmp);
+  // stop() always writes a final snapshot even if the period never elapsed.
+  EXPECT_GE(lines, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Macros (compile-out behavior is guarded by metrics_disabled.cpp; here we
+// only check the live side, and skip when this TU itself is built disabled).
+
+#ifndef SEKITEI_METRICS_DISABLED
+TEST(MetricsTest, MacrosReportIntoTheProcessRegistry) {
+  Registry& reg = registry();
+  SEKITEI_METRIC_INC("tests.metrics_live.inc");
+  SEKITEI_METRIC_INC("tests.metrics_live.inc");
+  SEKITEI_METRIC_ADD("tests.metrics_live.add", 5);
+  SEKITEI_METRIC_GAUGE_SET("tests.metrics_live.gauge", -3);
+  SEKITEI_METRIC_OBSERVE("tests.metrics_live.hist", 12.5);
+  EXPECT_EQ(reg.counter("tests.metrics_live.inc").value(), 2u);
+  EXPECT_EQ(reg.counter("tests.metrics_live.add").value(), 5u);
+  EXPECT_EQ(reg.gauge("tests.metrics_live.gauge").value(), -3);
+  EXPECT_EQ(reg.histogram("tests.metrics_live.hist").count(), 1u);
+}
+#endif
+
+TEST(MetricsTest, DisabledTuEvaluatesNoArgsAndPlansIdentically) {
+  int evaluated = -1;
+  double quiet_cost = 0.0;
+  const std::string quiet = testing::plan_tiny_c_metrics_quiet(&quiet_cost, &evaluated);
+  EXPECT_EQ(evaluated, 0) << "SEKITEI_METRIC_* arguments ran in a disabled TU";
+  ASSERT_FALSE(quiet.empty());
+
+  auto inst = media::tiny();
+  auto cp = model::compile(inst->problem, media::scenario('C'));
+  core::Sekitei planner(cp);
+  sim::Executor exec(cp);
+  auto live = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(live.plan->str(cp), quiet);
+  EXPECT_DOUBLE_EQ(live.plan->cost_lb, quiet_cost);
+}
+
+}  // namespace
+}  // namespace sekitei::metrics
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+namespace sekitei::service {
+namespace {
+
+namespace media = domains::media;
+
+std::shared_ptr<const model::LoadedProblem> loaded_instance(
+    std::unique_ptr<media::Instance> inst, char scenario) {
+  return make_loaded(std::move(inst->domain), std::move(inst->net), std::move(inst->problem),
+                     media::scenario(scenario));
+}
+
+core::PlannerStats stats_at(std::uint64_t expansions) {
+  core::PlannerStats s;
+  s.rg_expansions = expansions;
+  s.rg_nodes = expansions * 2;
+  s.rg_open_left = expansions / 2;
+  return s;
+}
+
+TEST(FlightRecorderTest, RingKeepsTheLatestSamples) {
+  FlightRecorder rec(/*capacity=*/4);
+  for (std::uint64_t i = 1; i <= 10; ++i) rec.record(stats_at(i));
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.recorded(), 10u);
+  const auto samples = rec.samples();
+  ASSERT_EQ(samples.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(samples[i].expansions, 7 + i) << "oldest-first order";
+  }
+}
+
+TEST(FlightRecorderTest, NdjsonDumpParsesAndCarriesHeaderCounts) {
+  FlightRecorder rec(/*capacity=*/8);
+  for (std::uint64_t i = 1; i <= 3; ++i) rec.record(stats_at(i));
+  const std::string dump = rec.to_ndjson("req with \"quotes\"", "deadline_exceeded");
+  std::vector<json::Value> lines;
+  std::size_t start = 0;
+  while (start < dump.size()) {
+    const std::size_t end = dump.find('\n', start);
+    json::Value v;
+    std::string err;
+    ASSERT_TRUE(json::parse(dump.substr(start, end - start), v, &err)) << err;
+    lines.push_back(std::move(v));
+    start = end + 1;
+  }
+  ASSERT_EQ(lines.size(), 4u);  // header + 3 samples
+  EXPECT_EQ(lines[0].find("flight")->str, "req with \"quotes\"");
+  EXPECT_EQ(lines[0].find("outcome")->str, "deadline_exceeded");
+  EXPECT_EQ(lines[0].find("samples")->number, 3.0);
+  EXPECT_EQ(lines[0].find("recorded")->number, 3.0);
+  EXPECT_EQ(lines[0].find("capacity")->number, 8.0);
+  EXPECT_EQ(lines[2].find("expansions")->number, 2.0);
+  EXPECT_NE(lines[1].find("frontier_f"), nullptr);
+}
+
+TEST(FlightRecorderTest, EngineDumpsToSinkOnCutShortSearch) {
+  std::mutex mu;
+  std::vector<std::string> dumps;
+  PlanningEngine::Options opts;
+  opts.workers = 1;
+  opts.flight_sink = [&](const std::string& ndjson) {
+    std::lock_guard<std::mutex> lock(mu);
+    dumps.push_back(ndjson);
+  };
+  PlanningEngine engine(opts);
+
+  PlanRequest req;
+  req.id = "flight-cancel";
+  req.problem = loaded_instance(media::small(), 'C');
+  req.progress_every = 1;  // sample (and cancel) on the very first expansion
+  StopSource stop = req.stop;
+  req.progress = [stop](const core::PlannerStats&) mutable { stop.request_stop(); };
+  const PlanResponse r = engine.plan(std::move(req));
+  EXPECT_EQ(r.outcome, Outcome::Cancelled);
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(dumps.size(), 1u);
+  json::Value header;
+  const std::string first = dumps[0].substr(0, dumps[0].find('\n'));
+  ASSERT_TRUE(json::parse(first, header));
+  EXPECT_EQ(header.find("flight")->str, "flight-cancel");
+  EXPECT_EQ(header.find("outcome")->str, "cancelled");
+  // The recorder hooks the progress callback, which ran at least once (it is
+  // what delivered the cancel), so the ring cannot be empty.
+  EXPECT_GE(header.find("samples")->number, 1.0);
+}
+
+TEST(FlightRecorderTest, EngineWritesDumpFileAndSolvedStaysQuiet) {
+  const std::string dir = ::testing::TempDir();
+  PlanningEngine::Options opts;
+  opts.workers = 1;
+  opts.flight_dir = dir;
+  PlanningEngine engine(opts);
+
+  // Expired deadline: answered before planning starts, still dumped (header
+  // only) because the outcome is not solved.  The id's '#' and '/' must be
+  // sanitized out of the file name.
+  PlanRequest dead;
+  dead.id = "queue/req#1";
+  dead.problem = loaded_instance(media::tiny(), 'C');
+  dead.deadline_ms = 1e-6;
+  EXPECT_EQ(engine.plan(std::move(dead)).outcome, Outcome::DeadlineExceeded);
+  std::ifstream in(dir + "/queue_req_1.flight.ndjson");
+  ASSERT_TRUE(in.good());
+  std::string header_line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header_line)));
+  json::Value header;
+  ASSERT_TRUE(json::parse(header_line, header));
+  EXPECT_EQ(header.find("outcome")->str, "deadline_exceeded");
+  EXPECT_EQ(header.find("samples")->number, 0.0);
+
+  // A solved request must not leave a dump behind.
+  PlanRequest good;
+  good.id = "solved-req";
+  good.problem = loaded_instance(media::tiny(), 'C');
+  EXPECT_EQ(engine.plan(std::move(good)).outcome, Outcome::Solved);
+  EXPECT_FALSE(std::ifstream(dir + "/solved-req.flight.ndjson").good());
+}
+
+}  // namespace
+}  // namespace sekitei::service

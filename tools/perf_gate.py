@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the bench harness's NDJSON records.
+
+Feed it the stdout of bench_table2 and/or bench_throughput (their
+machine-readable lines start with ``{"bench"``; anything else is ignored)
+and it compares a handful of headline numbers against the checked-in
+baseline, failing (exit 1) when any regresses by more than the tolerance:
+
+    build/bench/bench_table2      > /tmp/bench.ndjson
+    build/bench/bench_throughput >> /tmp/bench.ndjson
+    python3 tools/perf_gate.py /tmp/bench.ndjson
+
+Gated metrics (lower_is_better marked "<"):
+    table2.search_ms_total   <  sum of stats.time_search_ms over solved rows
+    table2.total_ms_total    <  sum of total_ms over all table2 rows
+    throughput.best_rps      >  max req/s across the worker sweep
+    throughput.warm_rps      >  req/s of the warm-cache ablation row
+
+A metric missing from the input is skipped (so the gate can run on a
+table2-only stream); a metric missing from the baseline fails unless
+--update is given.  --update rewrites the baseline from the current run.
+Tolerance: --tolerance X or PERF_GATE_TOLERANCE (fraction, default 0.30 —
+CI noise on shared runners makes tighter gates flaky).
+
+Exit codes: 0 ok / 1 regression / 2 usage or input error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "bench", "baselines", "baseline.json")
+SCHEMA_MAJOR = 1  # mirrors benchjson::kSchemaVersion
+
+
+def collect(paths):
+    """Extract the gated metrics from bench NDJSON files."""
+    table2_search, table2_total = [], []
+    best_rps, warm_rps = None, None
+    for path in paths:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line.startswith('{"bench"'):
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if int(rec.get("v", 1)) > SCHEMA_MAJOR:
+                    sys.exit(f"error: bench record schema v{rec['v']} is newer "
+                             f"than this gate understands (v{SCHEMA_MAJOR})")
+                name = rec.get("bench")
+                if name == "table2":
+                    if "total_ms" in rec:
+                        table2_total.append(float(rec["total_ms"]))
+                    stats = rec.get("stats") or {}
+                    if rec.get("plan_found") and "time_search_ms" in stats:
+                        table2_search.append(float(stats["time_search_ms"]))
+                elif name == "throughput":
+                    rps = float(rec.get("rps", 0.0))
+                    best_rps = rps if best_rps is None else max(best_rps, rps)
+                elif name == "throughput_cache" and rec.get("cache") == "warm":
+                    warm_rps = float(rec.get("rps", 0.0))
+
+    current = {}
+    if table2_search:
+        current["table2.search_ms_total"] = {
+            "value": round(sum(table2_search), 3), "lower_is_better": True}
+    if table2_total:
+        current["table2.total_ms_total"] = {
+            "value": round(sum(table2_total), 3), "lower_is_better": True}
+    if best_rps is not None:
+        current["throughput.best_rps"] = {
+            "value": round(best_rps, 3), "lower_is_better": False}
+    if warm_rps is not None:
+        current["throughput.warm_rps"] = {
+            "value": round(warm_rps, 3), "lower_is_better": False}
+    return current
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", help="bench NDJSON file(s)")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from this run instead of gating")
+    ap.add_argument("--tolerance", type=float,
+                    default=float(os.environ.get("PERF_GATE_TOLERANCE", "0.30")),
+                    help="allowed relative regression (default 0.30)")
+    args = ap.parse_args()
+
+    current = collect(args.files)
+    if not current:
+        sys.exit("error: no gateable bench records found in the input")
+
+    if args.update:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump({"schema": SCHEMA_MAJOR, "metrics": current}, fh,
+                      indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"perf_gate: baseline updated with {len(current)} metric(s) "
+              f"-> {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)["metrics"]
+    except (OSError, KeyError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read baseline {args.baseline}: {e} "
+                 "(run with --update to create it)")
+
+    failures = []
+    for name, cur in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            failures.append(f"{name}: not in baseline (run --update)")
+            continue
+        cur_v, base_v = cur["value"], float(base["value"])
+        if base_v <= 0:
+            continue  # nothing meaningful to compare against
+        if cur["lower_is_better"]:
+            ratio = cur_v / base_v
+            verdict = ratio > 1.0 + args.tolerance
+            direction = "slower"
+        else:
+            ratio = base_v / cur_v if cur_v > 0 else float("inf")
+            verdict = ratio > 1.0 + args.tolerance
+            direction = "lower"
+        status = "FAIL" if verdict else "ok"
+        print(f"perf_gate: {status:4s} {name}: current {cur_v:g} vs "
+              f"baseline {base_v:g} ({(ratio - 1.0) * 100.0:+.1f}% {direction}, "
+              f"tolerance {args.tolerance * 100.0:.0f}%)")
+        if verdict:
+            failures.append(name)
+
+    if failures:
+        print(f"perf_gate: {len(failures)} regression(s): {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("perf_gate: all metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

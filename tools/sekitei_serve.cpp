@@ -22,6 +22,13 @@
 //                 jittered exponential backoff (default 3; 0 disables)
 // --retry-base-ms backoff base delay (default 5; attempt k sleeps
 //                 base * 2^k plus up to 50% deterministic jitter)
+// --metrics       after the batch, print one NDJSON metrics snapshot
+//                 (support/metrics.hpp registry) to stdout
+// --metrics-every-ms D  additionally stream a snapshot every D ms while the
+//                 batch runs (periodic flusher thread)
+// --flight-dir DIR  dump a search flight recording (NDJSON ring of RG
+//                 progress samples) to DIR/<id>.flight.ndjson for every
+//                 non-solved request
 //
 // Fault injection: SEKITEI_FAULTS=<point>:<nth>[:throw|:fail][,...] arms
 // deterministic faults before any request is submitted (support/fault.hpp).
@@ -44,6 +51,7 @@
 #include "support/error.hpp"
 #include "support/fault.hpp"
 #include "support/log.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 
@@ -71,7 +79,8 @@ int main(int argc, char** argv) {
                  "usage: %s <domain.sk> <problem.sk>... [--jobs N] [--deadline-ms D]\n"
                  "          [--repeat K] [--greedy] [--no-validate] [--no-degrade]\n"
                  "          [--cache-capacity N] [--max-pending N] [--retries N]\n"
-                 "          [--retry-base-ms D] [--preflight] [--log <level>]\n",
+                 "          [--retry-base-ms D] [--preflight] [--log <level>]\n"
+                 "          [--metrics] [--metrics-every-ms D] [--flight-dir DIR]\n",
                  argv[0]);
     return 2;
   }
@@ -90,6 +99,8 @@ int main(int argc, char** argv) {
   std::size_t retries = 3;
   double retry_base_ms = 5.0;
   bool greedy = false, validate = true, degrade = true;
+  bool metrics_final = false;
+  double metrics_every_ms = 0.0;
   std::vector<const char*> files;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
@@ -117,6 +128,13 @@ int main(int argc, char** argv) {
       degrade = false;
     } else if (std::strcmp(argv[i], "--preflight") == 0) {
       engine_opts.preflight = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_final = true;
+    } else if (std::strcmp(argv[i], "--metrics-every-ms") == 0 && i + 1 < argc) {
+      metrics_every_ms = std::strtod(argv[++i], nullptr);
+      metrics_final = true;
+    } else if (std::strcmp(argv[i], "--flight-dir") == 0 && i + 1 < argc) {
+      engine_opts.flight_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
       const char* name = argv[++i];
 #ifndef SEKITEI_LOG_DISABLED
@@ -156,6 +174,16 @@ int main(int argc, char** argv) {
 
     service::PlanningEngine engine(engine_opts);
     Stopwatch wall;
+
+    // Periodic NDJSON metric snapshots interleave with the per-request
+    // records on stdout; both are NDJSON, so consumers (sekitei_stats)
+    // dispatch on the leading key.  stop() writes one final snapshot, which
+    // also serves as the --metrics one-shot when a flusher is running.
+    std::unique_ptr<metrics::Flusher> flusher;
+    if (metrics_every_ms > 0.0) {
+      flusher = std::make_unique<metrics::Flusher>(metrics::registry(), stdout,
+                                                   metrics_every_ms);
+    }
 
     auto make_request = [&](std::size_t f, std::size_t k) {
       service::PlanRequest req;
@@ -209,6 +237,12 @@ int main(int argc, char** argv) {
       if (code > worst) worst = code;
       if (r.outcome == service::Outcome::Solved) ++solved;
       if (r.outcome == service::Outcome::Degraded) ++degraded;
+    }
+    if (flusher) {
+      flusher->stop();
+    } else if (metrics_final) {
+      const std::string snap = metrics::registry().to_ndjson(metrics::wall_ms());
+      std::fwrite(snap.data(), 1, snap.size(), stdout);
     }
     std::fflush(stdout);
 
