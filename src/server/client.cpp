@@ -1,0 +1,42 @@
+#include "server/client.hpp"
+
+#include "support/stop_token.hpp"
+
+namespace sekitei::server {
+
+namespace wire = service::wire;
+
+FrameClient::FrameClient(std::uint16_t port) : sock_(sock::connect_tcp(port)) {}
+
+bool FrameClient::send(const std::string& body) {
+  return send_raw(wire::encode_frame(body));
+}
+
+bool FrameClient::send_raw(const std::string& bytes) {
+  if (!sock_.valid()) return false;
+  return sock::send_all(sock_, bytes);
+}
+
+FrameClient::Recv FrameClient::recv_frame(std::string& body, double timeout_ms) {
+  const std::int64_t give_up =
+      StopSource::now_epoch_ns() + static_cast<std::int64_t>(timeout_ms * 1e6);
+  for (;;) {
+    switch (decoder_.next(body)) {
+      case wire::FrameDecoder::Status::Frame: return Recv::Frame;
+      case wire::FrameDecoder::Status::Error: return Recv::Error;
+      case wire::FrameDecoder::Status::NeedMore: break;
+    }
+    const double left =
+        static_cast<double>(give_up - StopSource::now_epoch_ns()) / 1e6;
+    if (left <= 0.0) return Recv::Timeout;
+    std::string chunk;
+    switch (sock::recv_some(sock_, chunk, left)) {
+      case sock::RecvStatus::Data: decoder_.feed(chunk); break;
+      case sock::RecvStatus::Timeout: return Recv::Timeout;
+      case sock::RecvStatus::Eof: return Recv::Closed;
+      case sock::RecvStatus::Error: return Recv::Error;
+    }
+  }
+}
+
+}  // namespace sekitei::server

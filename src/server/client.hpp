@@ -1,0 +1,50 @@
+// Blocking loopback client for the planning daemon — the wire-level building
+// block of the load generator (tools/sekitei_load), the daemon's --probe
+// mode, and the loopback integration tests.  One connection, synchronous
+// sends, timeout-guarded frame receives; pipelining is just several send()s
+// before the recv_frame() loop (responses correlate by the "request" id).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/wire.hpp"
+#include "support/socket.hpp"
+
+namespace sekitei::server {
+
+class FrameClient {
+ public:
+  enum class Recv : unsigned char { Frame, Timeout, Closed, Error };
+
+  /// Connects to 127.0.0.1:`port`; raises sekitei::Error when refused.
+  explicit FrameClient(std::uint16_t port);
+
+  FrameClient(FrameClient&&) = default;
+  FrameClient& operator=(FrameClient&&) = default;
+
+  /// Frames and sends one request body; false when the peer is gone.
+  [[nodiscard]] bool send(const std::string& body);
+  [[nodiscard]] bool send(const service::wire::WireRequest& r) {
+    return send(service::wire::render_request(r));
+  }
+  /// Sends pre-framed bytes verbatim (tests: oversized/garbage frames).
+  [[nodiscard]] bool send_raw(const std::string& bytes);
+
+  /// Receives the next complete frame body, waiting up to `timeout_ms`.
+  [[nodiscard]] Recv recv_frame(std::string& body, double timeout_ms);
+
+  /// Half-close: no more requests, responses keep flowing.
+  void shutdown_write() { sock_.shutdown_write(); }
+  void close() { sock_.close(); }
+  [[nodiscard]] bool connected() const { return sock_.valid(); }
+
+  /// The decoder's protocol error after Recv::Error (empty otherwise).
+  [[nodiscard]] const std::string& wire_error() const { return decoder_.error(); }
+
+ private:
+  sock::Socket sock_;
+  service::wire::FrameDecoder decoder_;
+};
+
+}  // namespace sekitei::server

@@ -1,0 +1,155 @@
+// The network-facing planning daemon: a TCP listener (loopback-only, by
+// design — this is a backend service meant to sit behind the middleware
+// tier, not on the open internet) that speaks the length-prefixed NDJSON
+// wire protocol of service/wire.hpp and plans over one fixed component
+// domain.
+//
+// Shape: one accept thread hands each connection to a Session (one reader
+// thread per connection — the rationale lives in server/session.hpp),
+// sessions feed the shared PlanningEngine through submit_async, and the
+// engine's worker callbacks write response frames back.  Admission is
+// two-layered: the QuotaGate arbitrates *between* clients (per-connection +
+// fair-share global in-flight caps), the engine's own max_pending protects
+// the process as a whole.
+//
+// Shutdown:
+//   drain()  graceful (the SIGTERM path): stop accepting, answer every new
+//            plan frame with a "draining" rejection, tighten every in-flight
+//            request's deadline to the drain budget (so the degradation
+//            ladder finishes or degrades it — never extend a client's own
+//            tighter deadline), wait for sessions to answer and close.  A
+//            session that still hasn't finished after budget + grace gets
+//            escalated to cancellation.  Every accepted request is answered
+//            before its socket closes.
+//   stop()   hard: cancel everything in flight (responses still delivered),
+//            then tear down.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/quota.hpp"
+#include "server/session.hpp"
+#include "service/engine.hpp"
+#include "support/socket.hpp"
+
+namespace sekitei::server {
+
+class Daemon final : public SessionHost {
+ public:
+  struct Options {
+    std::uint16_t port = 0;   ///< 0 = kernel-assigned ephemeral port
+    std::string domain_text;  ///< component DSL all requests plan against
+    service::PlanningEngine::Options engine;
+    QuotaGate::Options quota;
+    Session::Options session;
+    /// Budget granted to in-flight requests when drain() starts.
+    double drain_deadline_ms = 5000.0;
+    /// Extra wait past the drain budget before escalating to cancellation.
+    double drain_grace_ms = 2000.0;
+    /// Accept-loop tick: drain/stop reaction latency of the listener.
+    double accept_tick_ms = 100.0;
+    /// Parsed problems cached by request text (0 disables): pipelined load
+    /// phases resend the same instances, parsing them once is the difference
+    /// between measuring the planner and measuring the parser.
+    std::size_t problem_cache_capacity = 64;
+    /// Per-request NDJSON access-log sink (nullptr disables).  Lines are
+    /// written whole under a lock, so the stream stays valid NDJSON.
+    std::FILE* access_log = nullptr;
+  };
+
+  explicit Daemon(Options opt);
+  ~Daemon() override;
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds, listens, spawns the accept thread.  Raises sekitei::Error when
+  /// the port is taken.
+  void start();
+  /// The bound port (valid after start(); the reason ephemeral ports work).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Graceful shutdown (see file comment).  Blocks until every session has
+  /// closed; idempotent.  Returns true when everything drained within the
+  /// budget, false when cancellation escalation was needed.
+  bool drain();
+  /// Hard shutdown: cancel in-flight work, then join everything.
+  void stop();
+
+  [[nodiscard]] std::size_t session_count() const;
+  [[nodiscard]] std::uint64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] service::PlanningEngine& engine() { return engine_; }
+
+  // SessionHost
+  std::shared_ptr<const model::LoadedProblem> load_problem_text(
+      const std::string& text) override;
+  void submit(service::wire::WireRequest&& wire,
+              std::shared_ptr<const model::LoadedProblem> problem,
+              StopSource stop,
+              std::function<void(service::PlanResponse&&)> done) override;
+  QuotaGate& quota() override { return quota_; }
+  [[nodiscard]] bool draining() const override {
+    return draining_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool stopping() const override {
+    return stopping_.load(std::memory_order_acquire);
+  }
+  std::string healthz_body() override;
+  std::string stats_body() override;
+  void access_log(const std::string& line) override;
+  void request_served() override {
+    served_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  /// Joins and discards sessions whose reader thread has finished.
+  void reap_finished_sessions();
+  void stop_accepting();
+  [[nodiscard]] bool all_sessions_finished() const;
+
+  Options opt_;
+  service::PlanningEngine engine_;  // declared before sessions_: destroyed
+                                    // after them (reverse member order), so
+                                    // no callback outlives its session
+  QuotaGate quota_;
+
+  sock::Socket listener_;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> accepting_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  /// Absolute drain deadline (StopSource epoch ns; 0 = drain not started):
+  /// requests submitted *while* draining still get the tightened budget.
+  std::atomic<std::int64_t> drain_deadline_epoch_ns_{0};
+
+  mutable std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::uint64_t next_session_id_ = 1;
+
+  std::mutex cache_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const model::LoadedProblem>> cache_;
+  std::deque<std::string> cache_order_;  // FIFO eviction
+
+  std::mutex log_mu_;
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> served_{0};
+};
+
+}  // namespace sekitei::server

@@ -1,0 +1,65 @@
+#include "server/quota.hpp"
+
+namespace sekitei::server {
+
+void QuotaGate::session_opened() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sessions_;
+}
+
+void QuotaGate::session_closed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_ > 0) --sessions_;
+}
+
+std::size_t QuotaGate::effective_conn_limit_locked() const {
+  std::size_t limit = opt_.per_conn_inflight;  // 0 = unbounded
+  if (opt_.global_inflight != 0 && sessions_ != 0) {
+    std::size_t fair = opt_.global_inflight / sessions_;
+    if (fair == 0) fair = 1;
+    if (limit == 0 || fair < limit) limit = fair;
+  }
+  return limit;
+}
+
+QuotaGate::Verdict QuotaGate::try_acquire(std::size_t conn_inflight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t limit = effective_conn_limit_locked();
+  if (limit != 0 && conn_inflight >= limit) return Verdict::ConnQuota;
+  if (opt_.global_inflight != 0 && inflight_ >= opt_.global_inflight) {
+    return Verdict::GlobalQuota;
+  }
+  ++inflight_;
+  return Verdict::Admitted;
+}
+
+void QuotaGate::release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inflight_ > 0) --inflight_;
+}
+
+std::size_t QuotaGate::effective_conn_limit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return effective_conn_limit_locked();
+}
+
+std::size_t QuotaGate::global_inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+std::size_t QuotaGate::sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_;
+}
+
+const char* quota_verdict_name(QuotaGate::Verdict v) {
+  switch (v) {
+    case QuotaGate::Verdict::Admitted: return "admitted";
+    case QuotaGate::Verdict::ConnQuota: return "conn_quota";
+    case QuotaGate::Verdict::GlobalQuota: return "global_quota";
+  }
+  return "admitted";
+}
+
+}  // namespace sekitei::server

@@ -1,0 +1,64 @@
+// Per-client quotas and fair-share admission for the planning daemon,
+// layered *above* the engine's own max_pending admission control: the
+// engine bound protects the process, the quota gate arbitrates between
+// clients so one pipelining client cannot monopolize the worker pool
+// (Le Sommer's resource-contract framing — each connection holds a
+// contract for a bounded share of the planner).
+//
+// Two limits, both optional:
+//   per_conn_inflight   hard cap on one connection's unanswered requests
+//   global_inflight     cap on unanswered requests across all connections;
+//                       when set, each connection's *effective* cap is also
+//                       shrunk to its fair share  max(1, global / sessions)
+//                       so capacity redistributes as clients come and go.
+//
+// A rejected admission is answered on the wire (outcome "rejected",
+// failure "quota exceeded ..."), never silently dropped — clients can
+// back off and retry (support/retry.hpp).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+
+namespace sekitei::server {
+
+class QuotaGate {
+ public:
+  struct Options {
+    std::size_t per_conn_inflight = 16;  ///< 0 = unbounded
+    std::size_t global_inflight = 0;     ///< 0 = unbounded (no fair-share either)
+  };
+
+  enum class Verdict : unsigned char { Admitted, ConnQuota, GlobalQuota };
+
+  explicit QuotaGate(Options opt) : opt_(opt) {}
+
+  void session_opened();
+  void session_closed();
+
+  /// Admission check for one more request on a connection that already has
+  /// `conn_inflight` unanswered ones.  Admitted acquires a global slot that
+  /// release() must return.
+  [[nodiscard]] Verdict try_acquire(std::size_t conn_inflight);
+  void release();
+
+  /// The per-connection cap currently in force (fair share included);
+  /// 0 = unbounded.
+  [[nodiscard]] std::size_t effective_conn_limit() const;
+
+  [[nodiscard]] std::size_t global_inflight() const;
+  [[nodiscard]] std::size_t sessions() const;
+  [[nodiscard]] const Options& options() const { return opt_; }
+
+ private:
+  [[nodiscard]] std::size_t effective_conn_limit_locked() const;
+
+  Options opt_;
+  mutable std::mutex mu_;
+  std::size_t sessions_ = 0;
+  std::size_t inflight_ = 0;
+};
+
+[[nodiscard]] const char* quota_verdict_name(QuotaGate::Verdict v);
+
+}  // namespace sekitei::server

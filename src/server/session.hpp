@@ -1,0 +1,140 @@
+// One TCP connection to the planning daemon.
+//
+// Concurrency model — thread-per-connection, deliberately: the planner is
+// CPU-bound and all CPU parallelism already lives in the engine's worker
+// pool, so session threads only block on poll/recv and shuffle frames.  At
+// the daemon's design point (tens to a few hundred middleware clients, not
+// millions of browser sockets) a poll/epoll reactor would buy nothing
+// measurable while forcing a partial-frame state machine across fds and a
+// much hairier TSan story.  Reads are buffered (wire::FrameDecoder) and
+// timeout-guarded (poll ticks), so a stalled client costs one parked
+// thread, never a spun core.
+//
+// Pipelining: the reader thread parses and submits frames as they arrive;
+// responses are written by the engine's worker threads from the
+// submit_async completion callback, serialized by a per-session write
+// mutex.  Responses therefore complete OUT OF ORDER — the `request` id in
+// each response frame is the correlation key.
+//
+// Lifecycle: the session closes on client EOF, on a protocol error
+// (malformed length prefix, oversized frame), after `idle_timeout_ms` with
+// nothing in flight, when the daemon drains (in-flight answered first), or
+// on hard stop (in-flight cancelled, still answered).  In every case each
+// accepted request is answered exactly once before the socket closes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "server/quota.hpp"
+#include "service/wire.hpp"
+#include "support/socket.hpp"
+#include "support/stop_token.hpp"
+
+namespace sekitei::model {
+struct LoadedProblem;
+}
+
+namespace sekitei::server {
+
+/// What a session needs from the daemon; split out so sessions are testable
+/// without a listener and so session.hpp does not depend on daemon.hpp.
+class SessionHost {
+ public:
+  virtual ~SessionHost() = default;
+
+  /// Parses problem text against the daemon's domain (cached by text).
+  /// Raises sekitei::Error on malformed input.
+  virtual std::shared_ptr<const model::LoadedProblem> load_problem_text(
+      const std::string& text) = 0;
+
+  /// Submits to the planning engine; `done` fires exactly once.
+  virtual void submit(service::wire::WireRequest&& wire,
+                      std::shared_ptr<const model::LoadedProblem> problem,
+                      StopSource stop,
+                      std::function<void(service::PlanResponse&&)> done) = 0;
+
+  virtual QuotaGate& quota() = 0;
+  [[nodiscard]] virtual bool draining() const = 0;
+  [[nodiscard]] virtual bool stopping() const = 0;
+  virtual std::string healthz_body() = 0;
+  virtual std::string stats_body() = 0;
+  /// One completed-request NDJSON access-log line (already '\n'-terminated).
+  virtual void access_log(const std::string& line) = 0;
+  /// Tallies a served plan request (healthz "served" counter).
+  virtual void request_served() = 0;
+};
+
+class Session {
+ public:
+  struct Options {
+    double idle_timeout_ms = 30000.0;  ///< <= 0 disables the idle close
+    std::size_t max_frame_bytes = 1u << 20;
+    double poll_tick_ms = 50.0;  ///< drain/stop reaction granularity
+  };
+
+  Session(std::uint64_t id, sock::Socket socket, SessionHost& host, Options opt);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Spawns the reader thread.
+  void start();
+  /// True once the reader thread has finished (socket closed, nothing in
+  /// flight); the thread still needs join().
+  [[nodiscard]] bool finished() const { return finished_.load(std::memory_order_acquire); }
+  /// Joins the reader thread (idempotent).
+  void join();
+
+  /// Arms (or tightens) every in-flight request's deadline to `ms` from
+  /// now — the drain path: in-flight work finishes or walks the
+  /// degradation ladder within the drain budget.
+  void arm_inflight_deadline(double ms);
+  /// Cancels every in-flight request (hard stop; responses still arrive).
+  void cancel_inflight();
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] std::size_t inflight() const {
+    return inflight_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void run();
+  /// Handles one frame body; returns false when the session must close.
+  bool handle_frame(const std::string& body);
+  void handle_plan(service::wire::WireRequest&& wire);
+  /// Serialized frame write; returns false when the peer is gone.
+  bool write_frame(const std::string& frame);
+  void respond(const service::PlanResponse& r);
+  void wait_inflight_drained();
+
+  std::uint64_t id_;
+  sock::Socket sock_;
+  SessionHost& host_;
+  Options opt_;
+
+  std::thread thread_;
+  std::atomic<bool> finished_{false};
+  std::atomic<bool> joined_{false};
+
+  std::mutex write_mu_;  // serializes socket writes from worker callbacks
+
+  // In-flight bookkeeping: the reader thread inserts before submit, the
+  // completion callback erases; the cv wakes the reader waiting for drain.
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  std::unordered_map<std::string, StopSource> inflight_stops_;
+  std::atomic<std::size_t> inflight_{0};
+
+  std::atomic<std::uint64_t> bytes_in_{0}, bytes_out_{0};
+  std::uint64_t next_request_ = 0;  // reader-thread-only: synthesized ids
+};
+
+}  // namespace sekitei::server

@@ -41,26 +41,28 @@ std::string sanitize_for_filename(const std::string& id) {
 }
 
 /// Owned by the job closure.  Exactly one of two things happens to a
-/// submitted job: it runs to completion (complete() answers the future and
+/// submitted job: it runs to completion (complete() answers the sink —
+/// a promise for submit(), the caller's callback for submit_async() — and
 /// releases the pending slot), or its std::function is destroyed without
 /// running — worker fault, non-draining shutdown — and the guard's
-/// destructor answers with Rejected instead.  Either way the future is
-/// always fulfilled and the pending slot always released: no hang, no leak.
+/// destructor answers with Rejected instead.  Either way the sink always
+/// fires exactly once and the pending slot is always released: no hang,
+/// no leak.
 struct JobGuard {
-  std::shared_ptr<std::promise<PlanResponse>> promise;
+  std::function<void(PlanResponse&&)> sink;
   metrics::Gauge* pending;
   std::string id;
   bool done = false;
 
-  JobGuard(std::shared_ptr<std::promise<PlanResponse>> p, metrics::Gauge* slots,
+  JobGuard(std::function<void(PlanResponse&&)> s, metrics::Gauge* slots,
            std::string request_id)
-      : promise(std::move(p)), pending(slots), id(std::move(request_id)) {}
+      : sink(std::move(s)), pending(slots), id(std::move(request_id)) {}
 
   void complete(PlanResponse&& r) {
     if (done) return;
     done = true;
     pending->add(-1);
-    promise->set_value(std::move(r));
+    sink(std::move(r));
   }
 
   ~JobGuard() {
@@ -113,14 +115,20 @@ PlanningEngine::PlanningEngine(Options options)
 }
 
 PlanningEngine::Ticket PlanningEngine::submit(PlanRequest request) {
-  const double deadline_ms =
-      request.deadline_ms > 0.0 ? request.deadline_ms : options_.default_deadline_ms;
-  if (deadline_ms > 0.0) request.stop.arm_deadline_ms(deadline_ms);
-
   Ticket ticket;
   ticket.stop = request.stop;
   auto promise = std::make_shared<std::promise<PlanResponse>>();
   ticket.response = promise->get_future();
+  submit_async(std::move(request),
+               [promise](PlanResponse&& r) { promise->set_value(std::move(r)); });
+  return ticket;
+}
+
+void PlanningEngine::submit_async(PlanRequest request,
+                                  std::function<void(PlanResponse&&)> done) {
+  const double deadline_ms =
+      request.deadline_ms > 0.0 ? request.deadline_ms : options_.default_deadline_ms;
+  if (deadline_ms > 0.0) request.stop.arm_deadline_ms(deadline_ms);
 
   // Reserve the pending slot before checking the bound: check-then-increment
   // would let N concurrent submitters all pass the check and overshoot
@@ -136,14 +144,14 @@ PlanningEngine::Ticket PlanningEngine::submit(PlanRequest request) {
     SEKITEI_LOG_WARN("service.engine", "request rejected", log::kv("id", r.id.c_str()),
                      log::kv("pending", prior));
     SEKITEI_METRIC(outcome_counters_[static_cast<std::size_t>(Outcome::Rejected)]->add(1));
-    promise->set_value(std::move(r));
-    return ticket;
+    done(std::move(r));
+    return;
   }
 
   const Stopwatch queued;  // measures time until a worker picks the job up
   SEKITEI_METRIC(queue_depth_->add(1));
   auto req = std::make_shared<PlanRequest>(std::move(request));
-  auto guard = std::make_shared<JobGuard>(std::move(promise), pending_, req->id);
+  auto guard = std::make_shared<JobGuard>(std::move(done), pending_, req->id);
   pool_.submit([this, req, guard, queued] {
     const double wait_ms = queued.elapsed_ms();
     SEKITEI_METRIC(queue_depth_->add(-1));
@@ -176,7 +184,6 @@ PlanningEngine::Ticket PlanningEngine::submit(PlanRequest request) {
     SEKITEI_METRIC(outcome_counters_[static_cast<std::size_t>(r.outcome)]->add(1));
     guard->complete(std::move(r));
   });
-  return ticket;
 }
 
 PlanResponse PlanningEngine::plan(PlanRequest request) {

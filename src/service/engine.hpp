@@ -85,6 +85,15 @@ class PlanningEngine {
 
   [[nodiscard]] Ticket submit(PlanRequest request);
 
+  /// Callback form of submit(), for callers that complete requests out of
+  /// order without parking a thread per future (the network daemon's
+  /// sessions).  `done` is invoked exactly once — from a worker thread on
+  /// the normal path, inline on admission rejection — and must be
+  /// thread-safe against other completions.  Cancellation stays available
+  /// through the StopSource the caller put into the request.
+  void submit_async(PlanRequest request,
+                    std::function<void(PlanResponse&&)> done);
+
   /// Convenience: submit + wait.
   [[nodiscard]] PlanResponse plan(PlanRequest request);
 

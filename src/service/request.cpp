@@ -1,10 +1,5 @@
 #include "service/request.hpp"
 
-#include <cinttypes>
-#include <cstdio>
-
-#include "support/json.hpp"
-
 namespace sekitei::service {
 
 const char* outcome_name(Outcome o) {
@@ -38,58 +33,6 @@ const char* ladder_step_name(LadderStep s) {
     case LadderStep::GreedyFallback: return "greedy_fallback";
   }
   return "primary";
-}
-
-std::string response_to_json(const PlanResponse& r) {
-  std::string out = "{\"request\":";
-  json::append_escaped(out, r.id);
-  out += ",\"outcome\":";
-  json::append_escaped(out, outcome_name(r.outcome));
-  out += ",\"ladder\":";
-  json::append_escaped(out, ladder_step_name(r.ladder));
-  out += ",\"cache_hit\":";
-  out += r.cache_hit ? "true" : "false";
-  char hexbuf[24];
-  std::snprintf(hexbuf, sizeof hexbuf, "%016" PRIx64, r.fingerprint);
-  out += ",\"fingerprint\":\"";
-  out += hexbuf;
-  out += "\"";
-  if (r.plan) {
-    out += ",\"plan_actions\":";
-    json::append_number(out, static_cast<std::uint64_t>(r.plan->size()));
-    out += ",\"cost_lb\":";
-    json::append_number(out, r.plan->cost_lb);
-  }
-  out += ",\"wait_ms\":";
-  json::append_number(out, r.wait_ms);
-  out += ",\"compile_ms\":";
-  json::append_number(out, r.compile_ms);
-  if (r.preflight_ran) {
-    out += ",\"preflight_ms\":";
-    json::append_number(out, r.preflight_ms);
-    out += ",\"preflight_rejected\":";
-    out += r.preflight_rejected ? "true" : "false";
-    out += ",\"preflight_sweeps\":";
-    json::append_number(out, static_cast<std::uint64_t>(r.preflight_sweeps));
-  }
-  out += ",\"solve_ms\":";
-  json::append_number(out, r.solve_ms);
-  if (r.fallback_ms > 0.0) {
-    out += ",\"fallback_ms\":";
-    json::append_number(out, r.fallback_ms);
-  }
-  if (r.attempts > 1) {
-    out += ",\"attempts\":";
-    json::append_number(out, static_cast<std::uint64_t>(r.attempts));
-  }
-  if (!r.failure.empty()) {
-    out += ",\"failure\":";
-    json::append_escaped(out, r.failure);
-  }
-  out += ",\"stats\":";
-  out += core::stats_to_json(r.stats);
-  out.push_back('}');
-  return out;
 }
 
 std::shared_ptr<model::LoadedProblem> make_loaded(spec::DomainSpec domain, net::Network net,

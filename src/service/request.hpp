@@ -169,7 +169,10 @@ struct PlanResponse {
 /// One NDJSON record for a response:
 ///   {"request":"...","outcome":"solved","cache_hit":true,...,"stats":{...}}
 /// The fingerprint is rendered as a hex string (64-bit values do not survive
-/// JSON number parsers).  Used by the sekitei_serve driver and the tests.
+/// JSON number parsers).  Used by the sekitei_serve driver, the network
+/// daemon's response frames, and the tests; the definition lives with the
+/// rest of the wire codec (service/wire.cpp) and is pinned byte-for-byte by
+/// wire_test.cpp.
 [[nodiscard]] std::string response_to_json(const PlanResponse& r);
 
 /// Builds a heap-pinned LoadedProblem from parts: moves them in and re-points

@@ -1,0 +1,277 @@
+#include "service/wire.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "support/json.hpp"
+#include "support/json_reader.hpp"
+
+namespace sekitei::service::wire {
+
+std::string encode_frame(const std::string& body) {
+  std::string out = std::to_string(body.size());
+  out.push_back('\n');
+  out += body;
+  out.push_back('\n');
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  if (failed_) return;
+  buf_.append(data, n);
+}
+
+FrameDecoder::Status FrameDecoder::fail(std::string why) {
+  failed_ = true;
+  error_ = std::move(why);
+  buf_.clear();
+  pos_ = 0;
+  return Status::Error;
+}
+
+FrameDecoder::Status FrameDecoder::next(std::string& body) {
+  if (failed_) return Status::Error;
+  if (want_ < 0) {
+    // Header line: decimal digits up to '\n' (an optional '\r' before it is
+    // tolerated for hand-driven clients).
+    const std::size_t nl = buf_.find('\n', pos_);
+    const std::size_t kMaxHeader = 20;  // 2^63 has 19 digits
+    if (nl == std::string::npos) {
+      if (buf_.size() - pos_ > kMaxHeader) return fail("frame header is not a length line");
+      return Status::NeedMore;
+    }
+    std::size_t end = nl;
+    if (end > pos_ && buf_[end - 1] == '\r') --end;
+    if (end == pos_ || end - pos_ > kMaxHeader) {
+      return fail("frame header is not a length line");
+    }
+    long long len = 0;
+    for (std::size_t i = pos_; i < end; ++i) {
+      const char c = buf_[i];
+      if (c < '0' || c > '9') return fail("frame header is not a length line");
+      len = len * 10 + (c - '0');
+    }
+    if (static_cast<std::size_t>(len) > max_frame_bytes_) {
+      return fail("frame of " + std::to_string(len) + " bytes exceeds the " +
+                  std::to_string(max_frame_bytes_) + "-byte limit");
+    }
+    want_ = len;
+    pos_ = nl + 1;
+  }
+  // Body plus its trailing newline.
+  const auto need = static_cast<std::size_t>(want_) + 1;
+  if (buf_.size() - pos_ < need) return Status::NeedMore;
+  if (buf_[pos_ + static_cast<std::size_t>(want_)] != '\n') {
+    return fail("frame body is not newline-terminated at the declared length");
+  }
+  body.assign(buf_, pos_, static_cast<std::size_t>(want_));
+  pos_ += need;
+  want_ = -1;
+  // Compact once the consumed prefix dominates, so a long-lived session
+  // does not grow its buffer without bound.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return Status::Frame;
+}
+
+namespace {
+
+using sekitei::json::Value;
+
+bool take_string(const Value& v, const char* key, std::string& out, std::string& error) {
+  const Value* f = v.find(key);
+  if (f == nullptr) return true;
+  if (!f->is_string()) {
+    error = std::string("\"") + key + "\" must be a string";
+    return false;
+  }
+  out = f->str;
+  return true;
+}
+
+bool take_number(const Value& v, const char* key, double& out, std::string& error) {
+  const Value* f = v.find(key);
+  if (f == nullptr) return true;
+  if (!f->is_number()) {
+    error = std::string("\"") + key + "\" must be a number";
+    return false;
+  }
+  out = f->number;
+  return true;
+}
+
+bool take_bool(const Value& v, const char* key, bool& out, std::string& error) {
+  const Value* f = v.find(key);
+  if (f == nullptr) return true;
+  if (!f->is_bool()) {
+    error = std::string("\"") + key + "\" must be a boolean";
+    return false;
+  }
+  out = f->boolean;
+  return true;
+}
+
+}  // namespace
+
+bool parse_request(const std::string& body, WireRequest& out, std::string& error) {
+  Value v;
+  std::string parse_error;
+  if (!sekitei::json::parse(body, v, &parse_error)) {
+    error = "malformed JSON: " + parse_error;
+    return false;
+  }
+  if (!v.is_object()) {
+    error = "request frame must be a JSON object";
+    return false;
+  }
+  out = WireRequest{};
+
+  std::string op = "plan";
+  if (!take_string(v, "op", op, error)) return false;
+  if (op == "healthz") {
+    out.op = WireRequest::Op::Healthz;
+    return true;
+  }
+  if (op == "stats") {
+    out.op = WireRequest::Op::Stats;
+    return true;
+  }
+  if (op != "plan") {
+    error = "unknown op \"" + op + "\" (expected plan, healthz, or stats)";
+    return false;
+  }
+  out.op = WireRequest::Op::Plan;
+
+  if (!take_string(v, "id", out.id, error)) return false;
+  if (!take_string(v, "problem", out.problem_text, error)) return false;
+  if (out.problem_text.empty()) {
+    error = "plan request carries no \"problem\" text";
+    return false;
+  }
+  if (!take_number(v, "deadline_ms", out.deadline_ms, error)) return false;
+  std::string mode = "leveled";
+  if (!take_string(v, "mode", mode, error)) return false;
+  if (mode == "greedy") {
+    out.mode = core::PlannerOptions::Mode::Greedy;
+  } else if (mode == "leveled") {
+    out.mode = core::PlannerOptions::Mode::Leveled;
+  } else {
+    error = "unknown mode \"" + mode + "\" (expected leveled or greedy)";
+    return false;
+  }
+  if (!take_bool(v, "validate", out.validate, error)) return false;
+  if (!take_bool(v, "preflight", out.preflight, error)) return false;
+  if (!take_bool(v, "degrade", out.degrade, error)) return false;
+  return true;
+}
+
+std::string render_request(const WireRequest& r) {
+  std::string out = "{\"op\":";
+  switch (r.op) {
+    case WireRequest::Op::Healthz: out += "\"healthz\""; break;
+    case WireRequest::Op::Stats: out += "\"stats\""; break;
+    case WireRequest::Op::Plan: out += "\"plan\""; break;
+  }
+  if (r.op != WireRequest::Op::Plan) {
+    out.push_back('}');
+    return out;
+  }
+  out += ",\"id\":";
+  json::append_escaped(out, r.id);
+  out += ",\"problem\":";
+  json::append_escaped(out, r.problem_text);
+  out += ",\"deadline_ms\":";
+  json::append_number(out, r.deadline_ms);
+  out += ",\"mode\":";
+  out += r.mode == core::PlannerOptions::Mode::Greedy ? "\"greedy\"" : "\"leveled\"";
+  out += ",\"validate\":";
+  out += r.validate ? "true" : "false";
+  out += ",\"preflight\":";
+  out += r.preflight ? "true" : "false";
+  out += ",\"degrade\":";
+  out += r.degrade ? "true" : "false";
+  out.push_back('}');
+  return out;
+}
+
+std::string render_response_line(const PlanResponse& r) {
+  return response_to_json(r) + "\n";
+}
+
+}  // namespace sekitei::service::wire
+
+namespace sekitei::service {
+
+// Declared in request.hpp; lives here with the rest of the wire rendering
+// (wire_test.cpp pins this record byte-for-byte).
+std::string response_to_json(const PlanResponse& r) {
+  std::string out = "{\"request\":";
+  json::append_escaped(out, r.id);
+  out += ",\"outcome\":";
+  json::append_escaped(out, outcome_name(r.outcome));
+  out += ",\"ladder\":";
+  json::append_escaped(out, ladder_step_name(r.ladder));
+  out += ",\"cache_hit\":";
+  out += r.cache_hit ? "true" : "false";
+  char hexbuf[24];
+  std::snprintf(hexbuf, sizeof hexbuf, "%016" PRIx64, r.fingerprint);
+  out += ",\"fingerprint\":\"";
+  out += hexbuf;
+  out += "\"";
+  if (r.plan) {
+    out += ",\"plan_actions\":";
+    json::append_number(out, static_cast<std::uint64_t>(r.plan->size()));
+    out += ",\"cost_lb\":";
+    json::append_number(out, r.plan->cost_lb);
+  }
+  out += ",\"wait_ms\":";
+  json::append_number(out, r.wait_ms);
+  out += ",\"compile_ms\":";
+  json::append_number(out, r.compile_ms);
+  if (r.preflight_ran) {
+    out += ",\"preflight_ms\":";
+    json::append_number(out, r.preflight_ms);
+    out += ",\"preflight_rejected\":";
+    out += r.preflight_rejected ? "true" : "false";
+    out += ",\"preflight_sweeps\":";
+    json::append_number(out, static_cast<std::uint64_t>(r.preflight_sweeps));
+  }
+  out += ",\"solve_ms\":";
+  json::append_number(out, r.solve_ms);
+  if (r.fallback_ms > 0.0) {
+    out += ",\"fallback_ms\":";
+    json::append_number(out, r.fallback_ms);
+  }
+  if (r.attempts > 1) {
+    out += ",\"attempts\":";
+    json::append_number(out, static_cast<std::uint64_t>(r.attempts));
+  }
+  if (!r.failure.empty()) {
+    out += ",\"failure\":";
+    json::append_escaped(out, r.failure);
+  }
+  out += ",\"stats\":";
+  out += core::stats_to_json(r.stats);
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace sekitei::service
+
+namespace sekitei::service::wire {
+
+std::string render_response_frame(const PlanResponse& r) {
+  return encode_frame(response_to_json(r));
+}
+
+PlanResponse make_rejected(std::string id, std::string failure) {
+  PlanResponse r;
+  r.id = std::move(id);
+  r.outcome = Outcome::Rejected;
+  r.failure = std::move(failure);
+  return r;
+}
+
+}  // namespace sekitei::service::wire

@@ -1,0 +1,114 @@
+// The planning service's wire codec, shared by the batch driver
+// (tools/sekitei_serve), the network daemon (src/server), and the load
+// generator (tools/sekitei_load).  Three layers, none of which touch a
+// socket:
+//
+//   1. Framing.  A frame is a length-prefixed NDJSON object:
+//
+//        <decimal byte count>\n<body>\n
+//
+//      where the count covers the body only (not either newline) and the
+//      body is exactly one JSON object.  Stripping the length lines from a
+//      frame stream therefore yields plain NDJSON — the same records the
+//      batch driver writes to stdout — while the prefix lets a reader slice
+//      frames without scanning JSON (and lets bodies legally contain raw
+//      newlines, which our writer never emits but a client's might).
+//
+//   2. Request parsing.  One frame body holds one request object:
+//
+//        {"op":"plan","id":"q1","problem":"<.sk problem text>",
+//         "deadline_ms":250,"mode":"leveled","validate":true,
+//         "preflight":false,"degrade":true}
+//
+//      `op` defaults to "plan"; "healthz" and "stats" are introspection
+//      requests with no further fields.  Unknown keys are ignored (forward
+//      compatibility), wrong types are errors.
+//
+//   3. Response rendering.  Responses reuse the exact NDJSON record the
+//      batch driver has always emitted (response_to_json): the `request`
+//      key carries the request id, so pipelined responses may arrive out
+//      of order and still be matched up.  wire_test.cpp pins the rendering
+//      byte-for-byte so daemon and batch output never drift apart.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/planner.hpp"
+#include "service/request.hpp"
+
+namespace sekitei::service::wire {
+
+/// Encodes one frame: "<len>\n<body>\n".
+[[nodiscard]] std::string encode_frame(const std::string& body);
+
+/// Incremental frame slicer over a byte stream.  feed() appends received
+/// bytes; next() yields complete frame bodies until NeedMore.  A malformed
+/// length line or an oversized frame is a hard protocol error: the decoder
+/// latches Error and the connection must be closed (resynchronization
+/// inside a corrupt length-prefixed stream is guesswork).
+class FrameDecoder {
+ public:
+  enum class Status : unsigned char { NeedMore, Frame, Error };
+
+  explicit FrameDecoder(std::size_t max_frame_bytes = 1u << 20)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(const char* data, std::size_t n);
+  void feed(const std::string& data) { feed(data.data(), data.size()); }
+
+  /// Extracts the next complete frame body into `body`.
+  [[nodiscard]] Status next(std::string& body);
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  [[nodiscard]] Status fail(std::string why);
+
+  std::size_t max_frame_bytes_;
+  std::string buf_;
+  std::size_t pos_ = 0;   // consumed prefix of buf_
+  long long want_ = -1;   // body length once the header line parsed; -1 = header
+  std::string error_;
+  bool failed_ = false;
+};
+
+/// A parsed request frame.
+struct WireRequest {
+  enum class Op : unsigned char { Plan, Healthz, Stats };
+
+  Op op = Op::Plan;
+  std::string id;            // echoed back; sessions assign one when empty
+  std::string problem_text;  // .sk problem/scenario text (plan only)
+  double deadline_ms = 0.0;  // <= 0 = daemon default
+  core::PlannerOptions::Mode mode = core::PlannerOptions::Mode::Leveled;
+  bool validate = true;
+  bool preflight = false;
+  bool degrade = true;
+};
+
+/// Parses one frame body into `out`.  Returns false with a human-readable
+/// `error` on malformed JSON, wrong types, or a plan request without a
+/// problem.
+[[nodiscard]] bool parse_request(const std::string& body, WireRequest& out,
+                                 std::string& error);
+
+/// The canonical request-body rendering (what FrameClient and the load
+/// generator send).  parse_request(render_request(r)) round-trips exactly;
+/// wire_test.cpp pins it.
+[[nodiscard]] std::string render_request(const WireRequest& r);
+
+/// The one-line NDJSON rendering of a response — response_to_json plus the
+/// trailing newline, exactly what the batch driver writes per request.
+[[nodiscard]] std::string render_response_line(const PlanResponse& r);
+
+/// The same record as a frame (for the daemon's response stream).
+[[nodiscard]] std::string render_response_frame(const PlanResponse& r);
+
+/// Builds the Rejected response the daemon answers protocol-level refusals
+/// with (quota exceeded, draining, parse failure); rendering it through the
+/// normal response path keeps the client-visible schema uniform.
+[[nodiscard]] PlanResponse make_rejected(std::string id, std::string failure);
+
+}  // namespace sekitei::service::wire

@@ -1,0 +1,59 @@
+// Deterministic jittered exponential backoff, shared by every driver that
+// re-submits transiently-rejected work (sekitei_serve's admission-control
+// retries, sekitei_load's reconnects).  One SplitMix64 stream per Backoff
+// instance: two identical invocations draw identical jitter, so retry
+// schedules are part of the reproducible behavior under test.
+//
+//   Backoff backoff({.base_ms = 5.0});          // default deterministic seed
+//   for (uint32_t attempt = 0; transient_failure(); ++attempt)
+//     sleep_ms(backoff.next_delay_ms(attempt));
+//
+// Attempt k draws base_ms * 2^k * uniform(1, 1 + jitter) — the exact
+// schedule the serve driver has emitted since the ladder PR, now in one
+// place (tests/support_test.cpp pins the bounds and the sequence).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "support/rng.hpp"
+
+namespace sekitei {
+
+class Backoff {
+ public:
+  /// The historical serve-driver seed; kept as the shared default so the
+  /// batch driver's retry schedule stays byte-identical across the refactor.
+  static constexpr std::uint64_t kDefaultSeed = 0x5ec17e15ULL;
+
+  struct Options {
+    double base_ms = 5.0;  ///< attempt-0 delay before jitter
+    double jitter = 0.5;   ///< delay is multiplied by uniform(1, 1 + jitter)
+  };
+
+  explicit Backoff(Options opt, std::uint64_t seed = kDefaultSeed)
+      : opt_(opt), rng_(seed) {}
+  Backoff() : Backoff(Options{}) {}
+
+  /// Delay for retry `attempt` (counted from 0); consumes one RNG draw, so
+  /// call it exactly once per retry to keep schedules reproducible.
+  /// Guaranteed within [base * 2^attempt, base * 2^attempt * (1 + jitter)).
+  [[nodiscard]] double next_delay_ms(std::uint32_t attempt) {
+    const double scale = static_cast<double>(1ULL << (attempt < 63 ? attempt : 63));
+    return opt_.base_ms * scale * rng_.uniform(1.0, 1.0 + opt_.jitter);
+  }
+
+  [[nodiscard]] const Options& options() const { return opt_; }
+
+ private:
+  Options opt_;
+  SplitMix64 rng_;
+};
+
+/// The drivers' sleep: plain thread sleep with sub-millisecond resolution.
+inline void sleep_ms(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace sekitei

@@ -1,0 +1,36 @@
+#include "support/signal_flag.hpp"
+
+#include <csignal>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace sekitei::signal_flag {
+
+namespace {
+
+volatile std::sig_atomic_t g_fired = 0;
+
+extern "C" void on_signal(int signo) { g_fired = signo; }
+
+}  // namespace
+
+void install(std::initializer_list<int> signals) {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: a parked accept/poll returns EINTR, so the caller's next
+  // tick observes the flag promptly instead of after a full blocking call.
+  for (int signo : signals) {
+    if (sigaction(signo, &sa, nullptr) != 0) {
+      raise("sigaction(" + std::to_string(signo) + ") failed");
+    }
+  }
+}
+
+int fired() { return static_cast<int>(g_fired); }
+
+void reset() { g_fired = 0; }
+
+}  // namespace sekitei::signal_flag

@@ -1,0 +1,22 @@
+// Async-signal-safe termination flag for the long-lived drivers: install()
+// registers a sigaction handler that records the signal number in a
+// volatile sig_atomic_t; fired() is polled from ordinary threads (the
+// daemon's accept loop already wakes every tick, so no self-pipe is
+// needed).  Nothing here allocates or locks inside the handler.
+#pragma once
+
+#include <initializer_list>
+
+namespace sekitei::signal_flag {
+
+/// Installs the flag handler for each signal (typically {SIGTERM, SIGINT}).
+/// Re-installing is harmless.  Raises sekitei::Error if sigaction fails.
+void install(std::initializer_list<int> signals);
+
+/// The last signal caught, or 0 when none fired yet.
+[[nodiscard]] int fired();
+
+/// Clears the flag (tests re-use the process).
+void reset();
+
+}  // namespace sekitei::signal_flag

@@ -1,0 +1,155 @@
+#include "support/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace sekitei::sock {
+
+namespace {
+
+/// poll(2) for `events` with a millisecond timeout; retries EINTR with the
+/// original timeout (close enough: callers treat timeouts as ticks).
+int poll_one(int fd, short events, double timeout_ms) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = events;
+  p.revents = 0;
+  const int ms = timeout_ms < 0.0 ? -1 : static_cast<int>(timeout_ms);
+  for (;;) {
+    const int rc = ::poll(&p, 1, ms);
+    if (rc >= 0) return rc;
+    if (errno != EINTR) return -1;
+  }
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+Socket listen_tcp(std::uint16_t port, std::uint16_t& bound_port, int backlog) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) raise(std::string("socket(): ") + std::strerror(errno));
+  const int one = 1;
+  (void)::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(s.fd(), reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+    raise(std::string("bind(127.0.0.1:") + std::to_string(port) + "): " +
+          std::strerror(errno));
+  }
+  if (::listen(s.fd(), backlog) != 0) {
+    raise(std::string("listen(): ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(s.fd(), reinterpret_cast<struct sockaddr*>(&addr), &len) != 0) {
+    raise(std::string("getsockname(): ") + std::strerror(errno));
+  }
+  bound_port = ntohs(addr.sin_port);
+  return s;
+}
+
+Socket accept_tcp(const Socket& listener, double timeout_ms) {
+  if (!listener.valid()) return Socket();
+  const int rc = poll_one(listener.fd(), POLLIN, timeout_ms);
+  if (rc <= 0) return Socket();
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) return Socket();
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Socket(fd);
+}
+
+Socket connect_tcp(std::uint16_t port) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) raise(std::string("socket(): ") + std::strerror(errno));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(s.fd(), reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+    raise(std::string("connect(127.0.0.1:") + std::to_string(port) + "): " +
+          std::strerror(errno));
+  }
+  const int one = 1;
+  (void)::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return s;
+}
+
+RecvStatus recv_some(const Socket& s, std::string& buf, double timeout_ms,
+                     std::size_t max_bytes) {
+  if (!s.valid()) return RecvStatus::Error;
+  const int rc = poll_one(s.fd(), POLLIN, timeout_ms);
+  if (rc < 0) return RecvStatus::Error;
+  if (rc == 0) return RecvStatus::Timeout;
+  char chunk[4096];
+  const std::size_t want = max_bytes < sizeof chunk ? max_bytes : sizeof chunk;
+  for (;;) {
+    const ssize_t n = ::recv(s.fd(), chunk, want, 0);
+    if (n > 0) {
+      buf.append(chunk, static_cast<std::size_t>(n));
+      return RecvStatus::Data;
+    }
+    if (n == 0) return RecvStatus::Eof;
+    if (errno == EINTR) continue;
+    return RecvStatus::Error;
+  }
+}
+
+bool send_all(const Socket& s, const std::string& data) {
+  if (!s.valid()) return false;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(s.fd(), data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Blocking socket with a full send buffer: wait for writability.
+      if (poll_one(s.fd(), POLLOUT, 1000.0) <= 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sekitei::sock

@@ -1,0 +1,76 @@
+// Thin RAII wrappers over POSIX TCP sockets — just enough for the planning
+// daemon (src/server) and its loopback clients: bind/listen on an ephemeral
+// port, accept, connect, poll-guarded reads and short-write-safe sends.
+//
+// Deliberately blocking-I/O + poll(2): the daemon runs one session thread
+// per connection (see server/daemon.hpp for why), so every call here
+// operates on a single fd and a timeout.  Nothing in this header knows
+// about frames or JSON — that is service/wire.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sekitei::sock {
+
+/// Owning socket fd.  Move-only; close() is idempotent and run by the
+/// destructor.  shutdown_both() unblocks a thread parked in poll/recv on
+/// the same fd from another thread without racing the close (the fd number
+/// stays reserved until close()).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  void close();
+  /// shutdown(SHUT_RDWR): wakes blocked peers/poll without invalidating fd.
+  void shutdown_both();
+  /// shutdown(SHUT_WR): half-close, the read side keeps draining responses.
+  void shutdown_write();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Result of a poll-guarded read.
+enum class RecvStatus : unsigned char {
+  Data,     ///< >= 1 byte appended to the buffer
+  Timeout,  ///< nothing arrived within the timeout
+  Eof,      ///< orderly shutdown by the peer
+  Error,    ///< socket error (connection reset, bad fd)
+};
+
+/// Binds + listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral port).
+/// On success returns the listening socket and stores the actual port in
+/// `bound_port`.  Raises sekitei::Error on failure.
+[[nodiscard]] Socket listen_tcp(std::uint16_t port, std::uint16_t& bound_port,
+                                int backlog = 64);
+
+/// Accepts one connection, waiting at most `timeout_ms` (< 0 = forever).
+/// Returns an invalid Socket on timeout or on a closed/failed listener.
+[[nodiscard]] Socket accept_tcp(const Socket& listener, double timeout_ms);
+
+/// Connects to 127.0.0.1:`port` (the daemon is loopback-only by design; see
+/// README "Network daemon").  Raises sekitei::Error on failure.
+[[nodiscard]] Socket connect_tcp(std::uint16_t port);
+
+/// Waits up to `timeout_ms` for readability, then appends whatever recv(2)
+/// returns (at most `max_bytes`) to `buf`.
+[[nodiscard]] RecvStatus recv_some(const Socket& s, std::string& buf,
+                                   double timeout_ms, std::size_t max_bytes = 65536);
+
+/// Sends the whole buffer, looping over short writes.  MSG_NOSIGNAL: a peer
+/// that vanished yields `false`, never SIGPIPE.
+[[nodiscard]] bool send_all(const Socket& s, const std::string& data);
+
+}  // namespace sekitei::sock

@@ -1,0 +1,218 @@
+// Wire-codec tests (service/wire.hpp): framing, incremental decode, request
+// parsing, and — most load-bearing — the byte-for-byte golden rendering of
+// response records.  The batch driver (sekitei_serve) and the daemon
+// (sekitei_netd) both emit these records through the shared codec; the
+// golden strings here are what keeps their output from ever drifting apart.
+#include "service/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace wire = sekitei::service::wire;
+using sekitei::service::Outcome;
+using sekitei::service::PlanResponse;
+
+TEST(Frame, EncodeProducesLengthPrefixedBody) {
+  EXPECT_EQ(wire::encode_frame("{\"op\":\"plan\"}"), "13\n{\"op\":\"plan\"}\n");
+  EXPECT_EQ(wire::encode_frame(""), "0\n\n");
+}
+
+TEST(Frame, DecoderRoundTripsWholeFrames) {
+  wire::FrameDecoder dec;
+  dec.feed(wire::encode_frame("{\"a\":1}") + wire::encode_frame("{\"b\":2}"));
+  std::string body;
+  ASSERT_EQ(dec.next(body), wire::FrameDecoder::Status::Frame);
+  EXPECT_EQ(body, "{\"a\":1}");
+  ASSERT_EQ(dec.next(body), wire::FrameDecoder::Status::Frame);
+  EXPECT_EQ(body, "{\"b\":2}");
+  EXPECT_EQ(dec.next(body), wire::FrameDecoder::Status::NeedMore);
+}
+
+TEST(Frame, DecoderHandlesByteAtATimeDelivery) {
+  const std::string stream =
+      wire::encode_frame("{\"op\":\"healthz\"}") + wire::encode_frame("{}");
+  wire::FrameDecoder dec;
+  std::string body;
+  std::size_t frames = 0;
+  for (char c : stream) {
+    dec.feed(&c, 1);
+    while (dec.next(body) == wire::FrameDecoder::Status::Frame) ++frames;
+  }
+  EXPECT_EQ(frames, 2u);
+}
+
+TEST(Frame, BodyMayContainNewlines) {
+  wire::FrameDecoder dec;
+  dec.feed(wire::encode_frame("line1\nline2"));
+  std::string body;
+  ASSERT_EQ(dec.next(body), wire::FrameDecoder::Status::Frame);
+  EXPECT_EQ(body, "line1\nline2");
+}
+
+TEST(Frame, CarriageReturnBeforeHeaderNewlineTolerated) {
+  wire::FrameDecoder dec;
+  dec.feed("2\r\nhi\n");
+  std::string body;
+  ASSERT_EQ(dec.next(body), wire::FrameDecoder::Status::Frame);
+  EXPECT_EQ(body, "hi");
+}
+
+TEST(Frame, OversizedFrameLatchesError) {
+  wire::FrameDecoder dec(16);
+  dec.feed("17\n");
+  std::string body;
+  EXPECT_EQ(dec.next(body), wire::FrameDecoder::Status::Error);
+  EXPECT_NE(dec.error().find("exceeds"), std::string::npos);
+  // Latched: more input cannot resurrect the stream.
+  dec.feed(wire::encode_frame("{}"));
+  EXPECT_EQ(dec.next(body), wire::FrameDecoder::Status::Error);
+}
+
+TEST(Frame, GarbageHeaderLatchesError) {
+  wire::FrameDecoder dec;
+  dec.feed("{\"op\":\"plan\"}\n");  // NDJSON without the length prefix
+  std::string body;
+  EXPECT_EQ(dec.next(body), wire::FrameDecoder::Status::Error);
+}
+
+TEST(Frame, BodyNotNewlineTerminatedIsError) {
+  wire::FrameDecoder dec;
+  dec.feed("2\nabX");
+  std::string body;
+  EXPECT_EQ(dec.next(body), wire::FrameDecoder::Status::Error);
+}
+
+TEST(ParseRequest, DefaultsMatchWireRequestDefaults) {
+  wire::WireRequest req;
+  std::string err;
+  ASSERT_TRUE(wire::parse_request("{\"problem\":\"network {}\"}", req, err)) << err;
+  EXPECT_EQ(req.op, wire::WireRequest::Op::Plan);
+  EXPECT_EQ(req.problem_text, "network {}");
+  EXPECT_TRUE(req.id.empty());
+  EXPECT_EQ(req.deadline_ms, 0.0);
+  EXPECT_EQ(req.mode, sekitei::core::PlannerOptions::Mode::Leveled);
+  EXPECT_TRUE(req.validate);
+  EXPECT_FALSE(req.preflight);
+  EXPECT_TRUE(req.degrade);
+}
+
+TEST(ParseRequest, AllFieldsParsed) {
+  wire::WireRequest req;
+  std::string err;
+  const std::string body =
+      "{\"op\":\"plan\",\"id\":\"q7\",\"problem\":\"p\",\"deadline_ms\":250,"
+      "\"mode\":\"greedy\",\"validate\":false,\"preflight\":true,"
+      "\"degrade\":false}";
+  ASSERT_TRUE(wire::parse_request(body, req, err)) << err;
+  EXPECT_EQ(req.id, "q7");
+  EXPECT_EQ(req.deadline_ms, 250.0);
+  EXPECT_EQ(req.mode, sekitei::core::PlannerOptions::Mode::Greedy);
+  EXPECT_FALSE(req.validate);
+  EXPECT_TRUE(req.preflight);
+  EXPECT_FALSE(req.degrade);
+}
+
+TEST(ParseRequest, IntrospectionOpsNeedNoProblem) {
+  wire::WireRequest req;
+  std::string err;
+  ASSERT_TRUE(wire::parse_request("{\"op\":\"healthz\"}", req, err));
+  EXPECT_EQ(req.op, wire::WireRequest::Op::Healthz);
+  ASSERT_TRUE(wire::parse_request("{\"op\":\"stats\"}", req, err));
+  EXPECT_EQ(req.op, wire::WireRequest::Op::Stats);
+}
+
+TEST(ParseRequest, Errors) {
+  wire::WireRequest req;
+  std::string err;
+  EXPECT_FALSE(wire::parse_request("not json", req, err));
+  EXPECT_NE(err.find("malformed JSON"), std::string::npos);
+  EXPECT_FALSE(wire::parse_request("[1,2]", req, err));
+  EXPECT_FALSE(wire::parse_request("{\"op\":\"plan\"}", req, err));
+  EXPECT_NE(err.find("problem"), std::string::npos);
+  EXPECT_FALSE(wire::parse_request("{\"op\":\"destroy\"}", req, err));
+  EXPECT_NE(err.find("unknown op"), std::string::npos);
+  EXPECT_FALSE(wire::parse_request("{\"problem\":\"p\",\"mode\":\"x\"}", req, err));
+  EXPECT_NE(err.find("unknown mode"), std::string::npos);
+  EXPECT_FALSE(wire::parse_request("{\"problem\":42}", req, err));
+  EXPECT_NE(err.find("must be a string"), std::string::npos);
+  EXPECT_FALSE(wire::parse_request("{\"problem\":\"p\",\"deadline_ms\":\"no\"}", req, err));
+  EXPECT_NE(err.find("must be a number"), std::string::npos);
+  EXPECT_FALSE(wire::parse_request("{\"problem\":\"p\",\"validate\":1}", req, err));
+  EXPECT_NE(err.find("must be a boolean"), std::string::npos);
+}
+
+TEST(RenderRequest, RoundTripsThroughParse) {
+  wire::WireRequest out;
+  out.id = "rt-1";
+  out.problem_text = "network {\n  node n0 { cpu 1; }\n}";
+  out.deadline_ms = 125.5;
+  out.mode = sekitei::core::PlannerOptions::Mode::Greedy;
+  out.validate = false;
+  out.preflight = true;
+  out.degrade = false;
+
+  wire::WireRequest back;
+  std::string err;
+  ASSERT_TRUE(wire::parse_request(wire::render_request(out), back, err)) << err;
+  EXPECT_EQ(back.id, out.id);
+  EXPECT_EQ(back.problem_text, out.problem_text);
+  EXPECT_EQ(back.deadline_ms, out.deadline_ms);
+  EXPECT_EQ(back.mode, out.mode);
+  EXPECT_EQ(back.validate, out.validate);
+  EXPECT_EQ(back.preflight, out.preflight);
+  EXPECT_EQ(back.degrade, out.degrade);
+
+  wire::WireRequest health;
+  health.op = wire::WireRequest::Op::Healthz;
+  ASSERT_TRUE(wire::parse_request(wire::render_request(health), back, err));
+  EXPECT_EQ(back.op, wire::WireRequest::Op::Healthz);
+}
+
+// The golden record: sekitei_serve has emitted exactly this rendering since
+// the service PR, and the daemon's response frames reuse it.  A change here
+// is a wire-format break — bump deliberately, never accidentally.
+TEST(RenderResponse, GoldenRejectedRecord) {
+  PlanResponse r = wire::make_rejected("q1", "queue full (3 pending)");
+  const std::string expect =
+      "{\"request\":\"q1\",\"outcome\":\"rejected\",\"ladder\":\"primary\","
+      "\"cache_hit\":false,\"fingerprint\":\"0000000000000000\","
+      "\"wait_ms\":0.000,\"compile_ms\":0.000,\"solve_ms\":0.000,"
+      "\"failure\":\"queue full (3 pending)\",\"stats\":" +
+      sekitei::core::stats_to_json(r.stats) + "}";
+  EXPECT_EQ(sekitei::service::response_to_json(r), expect);
+  EXPECT_EQ(wire::render_response_line(r),
+            sekitei::service::response_to_json(r) + "\n");
+  EXPECT_EQ(wire::render_response_frame(r),
+            wire::encode_frame(sekitei::service::response_to_json(r)));
+}
+
+TEST(RenderResponse, GoldenSolvedRecordWithOptionalKeys) {
+  PlanResponse r;
+  r.id = "batch/tiny.sk#2";
+  r.outcome = Outcome::Solved;
+  r.plan.emplace();
+  r.plan->cost_lb = 12.5;
+  r.cache_hit = true;
+  r.fingerprint = 0xdeadbeef01020304ULL;
+  r.wait_ms = 1.25;
+  r.compile_ms = 3.5;
+  r.solve_ms = 40.125;
+  r.attempts = 2;
+  const std::string expect =
+      "{\"request\":\"batch/tiny.sk#2\",\"outcome\":\"solved\","
+      "\"ladder\":\"primary\",\"cache_hit\":true,"
+      "\"fingerprint\":\"deadbeef01020304\",\"plan_actions\":0,"
+      "\"cost_lb\":12.500,\"wait_ms\":1.250,\"compile_ms\":3.500,"
+      "\"solve_ms\":40.125,\"attempts\":2,\"stats\":" +
+      sekitei::core::stats_to_json(r.stats) + "}";
+  EXPECT_EQ(sekitei::service::response_to_json(r), expect);
+}
+
+TEST(MakeRejected, CarriesIdAndFailure) {
+  const PlanResponse r = wire::make_rejected("x", "draining");
+  EXPECT_EQ(r.id, "x");
+  EXPECT_EQ(r.outcome, Outcome::Rejected);
+  EXPECT_EQ(r.failure, "draining");
+  EXPECT_FALSE(r.ok());
+}

@@ -15,6 +15,8 @@ Gated metrics (lower_is_better marked "<"):
     table2.total_ms_total    <  sum of total_ms over all table2 rows
     throughput.best_rps      >  max req/s across the worker sweep
     throughput.warm_rps      >  req/s of the warm-cache ablation row
+    netload.rps              >  req/s sustained through the daemon's wire
+                                path (sekitei_load record, max across runs)
 
 A metric missing from the input is skipped (so the gate can run on a
 table2-only stream); a metric missing from the baseline fails unless
@@ -39,7 +41,7 @@ SCHEMA_MAJOR = 1  # mirrors benchjson::kSchemaVersion
 def collect(paths):
     """Extract the gated metrics from bench NDJSON files."""
     table2_search, table2_total = [], []
-    best_rps, warm_rps = None, None
+    best_rps, warm_rps, netload_rps = None, None, None
     for path in paths:
         with open(path, encoding="utf-8") as fh:
             for line in fh:
@@ -65,6 +67,10 @@ def collect(paths):
                     best_rps = rps if best_rps is None else max(best_rps, rps)
                 elif name == "throughput_cache" and rec.get("cache") == "warm":
                     warm_rps = float(rec.get("rps", 0.0))
+                elif name == "netload":
+                    rps = float(rec.get("rps", 0.0))
+                    netload_rps = (rps if netload_rps is None
+                                   else max(netload_rps, rps))
 
     current = {}
     if table2_search:
@@ -79,6 +85,9 @@ def collect(paths):
     if warm_rps is not None:
         current["throughput.warm_rps"] = {
             "value": round(warm_rps, 3), "lower_is_better": False}
+    if netload_rps is not None:
+        current["netload.rps"] = {
+            "value": round(netload_rps, 3), "lower_is_better": False}
     return current
 
 

@@ -1,0 +1,226 @@
+// Network-facing planning daemon: serve one component domain over the
+// length-prefixed NDJSON wire protocol (service/wire.hpp) until told to
+// drain.
+//
+//   $ ./sekitei_netd <domain.sk> [--port N] [--jobs N] [--deadline-ms D]
+//                    [--max-pending N] [--quota-conn N] [--quota-global N]
+//                    [--idle-timeout-ms D] [--max-frame-bytes N]
+//                    [--drain-ms D] [--cache-capacity N] [--preflight]
+//                    [--access-log PATH] [--metrics-every-ms D] [--log <level>]
+//   $ ./sekitei_netd --probe --port N
+//
+// --port            listen port (default 0 = ephemeral; the bound port is
+//                   printed, so 0 is what tests and CI use)
+// --deadline-ms     engine default deadline applied to requests without one
+// --max-pending     engine admission control (process protection)
+// --quota-conn      per-connection in-flight cap (default 16; 0 = unbounded)
+// --quota-global    global in-flight cap; also turns on fair-share division
+//                   between connections (server/quota.hpp)
+// --idle-timeout-ms close a connection idle this long with nothing in flight
+// --drain-ms        budget granted to in-flight requests on SIGTERM/SIGINT
+// --access-log      append one NDJSON record per served request (PATH, or
+//                   "-" for stderr); sekitei_stats aggregates these
+// --metrics-every-ms  periodic registry snapshots to stderr while serving
+// --probe           client mode: send healthz + stats to a running daemon on
+//                   --port, print both bodies, exit 0 when healthy
+//
+// Startup prints exactly one line to stdout and flushes it:
+//
+//   {"netd":"listening","port":43121,"pid":12345}
+//
+// On SIGTERM/SIGINT the daemon drains gracefully (see server/daemon.hpp),
+// writes a final metrics snapshot to stderr, and exits 0; a second signal
+// during the drain escalates to a hard stop (still exit 0 — every accepted
+// request was answered).
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "server/client.hpp"
+#include "server/daemon.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/metrics.hpp"
+#include "support/retry.hpp"
+#include "support/signal_flag.hpp"
+
+namespace {
+
+std::string slurp(const char* path) {
+  std::ifstream in(path);
+  if (!in) sekitei::raise(std::string("cannot open ") + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+int run_probe(std::uint16_t port) {
+  using sekitei::server::FrameClient;
+  try {
+    FrameClient client(port);
+    if (!client.send(std::string("{\"op\":\"healthz\"}")) ||
+        !client.send(std::string("{\"op\":\"stats\"}"))) {
+      std::fprintf(stderr, "probe: send failed\n");
+      return 1;
+    }
+    for (int i = 0; i < 2; ++i) {
+      std::string body;
+      if (client.recv_frame(body, 5000.0) != FrameClient::Recv::Frame) {
+        std::fprintf(stderr, "probe: no response frame\n");
+        return 1;
+      }
+      std::printf("%s\n", body.c_str());
+    }
+    return 0;
+  } catch (const sekitei::Error& e) {
+    std::fprintf(stderr, "probe: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sekitei;
+
+  server::Daemon::Options opt;
+  double metrics_every_ms = 0.0;
+  const char* access_log_path = nullptr;
+  const char* domain_path = nullptr;
+  bool probe = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      opt.port = static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      opt.engine.workers = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      opt.engine.default_deadline_ms = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--max-pending") == 0 && i + 1 < argc) {
+      opt.engine.max_pending = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--cache-capacity") == 0 && i + 1 < argc) {
+      opt.engine.cache_capacity = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--quota-conn") == 0 && i + 1 < argc) {
+      opt.quota.per_conn_inflight = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--quota-global") == 0 && i + 1 < argc) {
+      opt.quota.global_inflight = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0 && i + 1 < argc) {
+      opt.session.idle_timeout_ms = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--max-frame-bytes") == 0 && i + 1 < argc) {
+      opt.session.max_frame_bytes = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--drain-ms") == 0 && i + 1 < argc) {
+      opt.drain_deadline_ms = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--preflight") == 0) {
+      opt.engine.preflight = true;
+    } else if (std::strcmp(argv[i], "--access-log") == 0 && i + 1 < argc) {
+      access_log_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-every-ms") == 0 && i + 1 < argc) {
+      metrics_every_ms = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--probe") == 0) {
+      probe = true;
+    } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
+      const char* name = argv[++i];
+#ifndef SEKITEI_LOG_DISABLED
+      const log::Level lvl = log::parse_level(name);
+      log::set_level(lvl);
+      if (lvl != log::Level::Off) {
+        log::add_sink(std::make_shared<log::StreamSink>(stderr));
+      } else if (std::strcmp(name, "off") != 0) {
+        std::fprintf(stderr, "unknown log level '%s'\n", name);
+        return 2;
+      }
+#else
+      std::fprintf(stderr, "--log %s ignored: built with SEKITEI_LOG_DISABLED\n", name);
+#endif
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return 2;
+    } else if (domain_path == nullptr) {
+      domain_path = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  if (probe) {
+    if (opt.port == 0) {
+      std::fprintf(stderr, "--probe needs --port\n");
+      return 2;
+    }
+    return run_probe(opt.port);
+  }
+
+  if (domain_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: %s <domain.sk> [--port N] [--jobs N] [--deadline-ms D]\n"
+                 "          [--max-pending N] [--quota-conn N] [--quota-global N]\n"
+                 "          [--idle-timeout-ms D] [--max-frame-bytes N] [--drain-ms D]\n"
+                 "          [--cache-capacity N] [--preflight] [--access-log PATH]\n"
+                 "          [--metrics-every-ms D] [--log <level>]\n"
+                 "       %s --probe --port N\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+
+  std::FILE* access_log = nullptr;
+  try {
+    opt.domain_text = slurp(domain_path);
+    if (access_log_path != nullptr) {
+      if (std::strcmp(access_log_path, "-") == 0) {
+        access_log = stderr;
+      } else {
+        access_log = std::fopen(access_log_path, "a");
+        if (access_log == nullptr) raise(std::string("cannot open ") + access_log_path);
+      }
+      opt.access_log = access_log;
+    }
+
+    signal_flag::install({SIGTERM, SIGINT});
+
+    const double drain_ms = opt.drain_deadline_ms;
+    server::Daemon daemon(std::move(opt));
+    daemon.start();
+
+    std::printf("{\"netd\":\"listening\",\"port\":%u,\"pid\":%ld}\n",
+                static_cast<unsigned>(daemon.port()),
+                static_cast<long>(::getpid()));
+    std::fflush(stdout);
+
+    std::unique_ptr<metrics::Flusher> flusher;
+    if (metrics_every_ms > 0.0) {
+      flusher = std::make_unique<metrics::Flusher>(metrics::registry(), stderr,
+                                                   metrics_every_ms);
+    }
+
+    while (signal_flag::fired() == 0) sleep_ms(50.0);
+    const int sig = signal_flag::fired();
+    std::fprintf(stderr, "sekitei_netd: signal %d, draining (budget %.0f ms)\n",
+                 sig, drain_ms);
+    const bool clean = daemon.drain();
+
+    if (flusher) {
+      flusher->stop();
+    } else {
+      const std::string snap = metrics::registry().to_ndjson(metrics::wall_ms());
+      std::fwrite(snap.data(), 1, snap.size(), stderr);
+    }
+    std::fprintf(stderr, "sekitei_netd: drained %s, served %llu requests over %llu connections\n",
+                 clean ? "cleanly" : "with escalation",
+                 static_cast<unsigned long long>(daemon.requests_served()),
+                 static_cast<unsigned long long>(daemon.connections_accepted()));
+    if (access_log != nullptr && access_log != stderr) std::fclose(access_log);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    if (access_log != nullptr && access_log != stderr) std::fclose(access_log);
+    return 2;
+  }
+}

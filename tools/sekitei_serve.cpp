@@ -48,11 +48,12 @@
 #include <vector>
 
 #include "service/engine.hpp"
+#include "service/wire.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
-#include "support/rng.hpp"
+#include "support/retry.hpp"
 #include "support/timer.hpp"
 
 namespace {
@@ -210,9 +211,10 @@ int main(int argc, char** argv) {
       }
     }
 
-    // Jitter seed is fixed so two identical invocations sleep identically —
-    // retry schedules are part of the reproducible behavior under test.
-    SplitMix64 rng(0x5ec17e15ULL);
+    // The default Backoff seed is fixed so two identical invocations sleep
+    // identically — retry schedules are part of the reproducible behavior
+    // under test (support/retry.hpp; the daemon's load generator shares it).
+    Backoff backoff({.base_ms = retry_base_ms});
     int worst = 0;
     std::size_t solved = 0, degraded = 0, retried = 0;
     for (auto& sub : tickets) {
@@ -222,16 +224,13 @@ int main(int argc, char** argv) {
       // workers finish — so re-submission after a short sleep usually lands.
       std::uint32_t attempts = 1;
       while (is_queue_full(r) && attempts <= retries) {
-        const double delay_ms =
-            retry_base_ms * static_cast<double>(1ULL << (attempts - 1)) *
-            rng.uniform(1.0, 1.5);
-        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+        sleep_ms(backoff.next_delay_ms(attempts - 1));
         r = engine.plan(make_request(sub.file, sub.rep));
         ++attempts;
       }
       if (attempts > 1) ++retried;
       r.attempts = attempts;
-      const std::string line = service::response_to_json(r) + "\n";
+      const std::string line = service::wire::render_response_line(r);
       std::fwrite(line.data(), 1, line.size(), stdout);
       const int code = service::outcome_exit_code(r.outcome);
       if (code > worst) worst = code;

@@ -8,12 +8,17 @@
 //   $ ./sekitei_fuzz --runs 50 | ./sekitei_stats      # reads stdin too
 //
 // Dispatch is on the leading key of each line's object:
+//   "access"   daemon (sekitei_netd) per-request access-log record ->
+//              per-session request counts + outcome tally + exact solve/wait
+//              percentiles + response bytes
 //   "request"  serve driver per-request record -> outcome counts + exact
 //              solve/wait percentiles + cache hit tally
 //   "metric"   registry snapshot line -> last value per series wins (a
 //              periodic flusher emits many snapshots; the newest is the
 //              state of record)
-//   "bench"    bench record -> per-name count
+//   "bench"    bench record -> per-name count; netload / netload_direct
+//              records additionally surface their headline numbers (rps,
+//              percentiles, losses) and the wire/direct rps ratio
 //   "flight"   flight-recorder dump header -> listed individually
 // Anything else (stats records, flight samples) is counted and skipped.
 // Malformed lines are tolerated and tallied to stderr; --strict makes them
@@ -51,6 +56,18 @@ struct Tally {
   std::vector<double> solve_ms, wait_ms;
   std::map<std::string, SeriesValue> series;  // rendered "name{labels}" -> last value
   std::map<std::string, std::size_t> benches;
+  struct Access {
+    std::size_t records = 0;
+    std::map<std::string, std::size_t> per_session;  // session id -> requests
+    std::map<std::string, std::size_t> outcomes;
+    std::vector<double> solve_ms, wait_ms;
+    std::uint64_t bytes = 0;
+  } access;
+  struct NetLoad {
+    bool seen = false;
+    double rps = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0;
+    std::uint64_t lost = 0, requests = 0;
+  } netload, netload_direct;  // last record of each wins
   struct Flight {
     std::string id, outcome;
     std::uint64_t samples = 0, recorded = 0;
@@ -96,6 +113,17 @@ void take_line(Tally& t, const std::string& line) {
     ++t.malformed;
     return;
   }
+  // Before the "request" check: access records carry a "request" key too.
+  if (v.find("access") != nullptr) {
+    ++t.access.records;
+    ++t.access.per_session[std::to_string(
+        static_cast<long long>(num_or(v, "session", -1.0)))];
+    ++t.access.outcomes[str_or(v, "outcome", "?")];
+    t.access.solve_ms.push_back(num_or(v, "solve_ms", 0.0));
+    t.access.wait_ms.push_back(num_or(v, "wait_ms", 0.0));
+    t.access.bytes += static_cast<std::uint64_t>(num_or(v, "bytes", 0.0));
+    return;
+  }
   if (v.find("request") != nullptr) {
     ++t.requests;
     ++t.outcomes[str_or(v, "outcome", "?")];
@@ -125,7 +153,18 @@ void take_line(Tally& t, const std::string& line) {
     return;
   }
   if (v.find("bench") != nullptr) {
-    ++t.benches[str_or(v, "bench", "?")];
+    const std::string name = str_or(v, "bench", "?");
+    ++t.benches[name];
+    if (name == "netload" || name == "netload_direct") {
+      Tally::NetLoad& nl = name == "netload" ? t.netload : t.netload_direct;
+      nl.seen = true;
+      nl.rps = num_or(v, "rps", 0.0);
+      nl.p50 = num_or(v, "p50_ms", 0.0);
+      nl.p90 = num_or(v, "p90_ms", 0.0);
+      nl.p99 = num_or(v, "p99_ms", 0.0);
+      nl.lost = static_cast<std::uint64_t>(num_or(v, "lost", 0.0));
+      nl.requests = static_cast<std::uint64_t>(num_or(v, "requests", 0.0));
+    }
     return;
   }
   if (const Value* flight = v.find("flight"); flight != nullptr) {
@@ -174,6 +213,34 @@ void report(const Tally& t) {
     print_latency_row("solve_ms", t.solve_ms);
     print_latency_row("wait_ms", t.wait_ms);
   }
+  if (t.access.records != 0) {
+    std::printf("== daemon access log (%zu requests, %zu sessions) ==\n",
+                t.access.records, t.access.per_session.size());
+    for (const auto& [name, count] : t.access.outcomes) {
+      std::printf("  %-20s %8zu\n", name.c_str(), count);
+    }
+    std::size_t busiest = 0;
+    for (const auto& [id, count] : t.access.per_session) {
+      busiest = std::max(busiest, count);
+    }
+    std::printf("  busiest session: %zu requests; %" PRIu64 " response bytes total\n",
+                busiest, t.access.bytes);
+    print_latency_row("solve_ms", t.access.solve_ms);
+    print_latency_row("wait_ms", t.access.wait_ms);
+  }
+  if (t.netload.seen) {
+    std::printf("== netload ==\n");
+    std::printf("  wire    %9.1f req/s  p50 %9.3f  p90 %9.3f  p99 %9.3f  (%" PRIu64
+                " requests, %" PRIu64 " lost)\n",
+                t.netload.rps, t.netload.p50, t.netload.p90, t.netload.p99,
+                t.netload.requests, t.netload.lost);
+    if (t.netload_direct.seen) {
+      std::printf("  direct  %9.1f req/s\n", t.netload_direct.rps);
+      if (t.netload_direct.rps > 0.0) {
+        std::printf("  wire/direct ratio %.3f\n", t.netload.rps / t.netload_direct.rps);
+      }
+    }
+  }
   if (!t.series.empty()) {
     std::printf("== metrics (last of %zu snapshot%s, %zu series) ==\n", t.snapshots_seen,
                 t.snapshots_seen == 1 ? "" : "s", t.series.size());
@@ -200,7 +267,8 @@ void report(const Tally& t) {
     }
   }
   if (t.other != 0) std::printf("(%zu other NDJSON lines skipped)\n", t.other);
-  if (t.requests == 0 && t.series.empty() && t.benches.empty() && t.flights.empty()) {
+  if (t.requests == 0 && t.access.records == 0 && t.series.empty() &&
+      t.benches.empty() && t.flights.empty()) {
     std::printf("no recognized records in %zu lines\n", t.lines);
   }
 }
