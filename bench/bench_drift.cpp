@@ -1,0 +1,131 @@
+// Drift repair vs full replan, wall-clock (the service-mode counterpart of
+// bench_repair's cost comparison): solve the 93-node transit-stub Large
+// network, fail the direct stub-stub WAN edge the plan streams across, and
+// time the two answers —
+//
+//   repair   survivors walk + residual deduction + repair compile + search
+//            with reconnect/migrate discounts (what the service's repair
+//            mode runs per request),
+//   replan   fresh compile + search on the bare damaged network (the
+//            degradation ladder's FullReplan rung).
+//
+// The repair problem is mostly solved before the search starts, so its
+// median must sit strictly below the replan median; the "driftload" bench
+// record's `speedup` (replan p50 / repair p50) is pinned by the perf gate.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/planner.hpp"
+#include "domains/media.hpp"
+#include "model/compile.hpp"
+#include "repair/repair.hpp"
+#include "sim/executor.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  using namespace sekitei;
+
+  auto inst = domains::media::large();
+  const spec::LevelScenario scen = domains::media::scenario('C');
+  auto cp = model::compile(inst->problem, scen);
+  core::Sekitei planner(cp);
+  sim::Executor exec(cp);
+  auto original = planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+  if (!original.ok()) {
+    std::printf("no original plan: %s\n", original.failure.c_str());
+    return 1;
+  }
+  const auto rep = exec.execute(*original.plan);
+
+  // The drift event: fail the first WAN link the plan streams across.  The
+  // transit-stub topology keeps a longer alternate route through the transit
+  // domains, so every placement survives and the repair only re-routes the
+  // cut crossings — the survivor-heavy case the repair mode exists for —
+  // while the replan re-derives placements and routes from nothing.
+  repair::Damage dmg;
+  for (const ActionId a : original.plan->steps) {
+    const model::GroundAction& act = cp.actions[a.index()];
+    if (act.kind != model::ActionKind::Cross) continue;
+    if (inst->net.link(act.link).cls == net::LinkClass::Wan) {
+      dmg.failed_links.push_back(act.link);
+      break;
+    }
+  }
+  if (dmg.empty()) {
+    std::printf("plan crosses no WAN link\n");
+    return 1;
+  }
+
+  constexpr int kRepeats = 9;
+  std::vector<double> repair_ms, replan_ms;
+  double repair_cost = 0.0, replan_cost = 0.0;
+  std::size_t survivor_count = 0;
+  core::PlannerStats repair_stats;
+  for (int i = 0; i < kRepeats; ++i) {
+    {
+      Stopwatch w;
+      auto survivors = repair::compute_survivors(cp, *original.plan, rep.choices, dmg);
+      net::Network damaged = repair::damaged_copy(inst->net, dmg, &survivors.residual);
+      model::CppProblem rp = repair::repair_problem(inst->problem, damaged, survivors);
+      auto rcp = model::compile(rp, scen);
+      repair::apply_adaptation_costs(rcp, survivors, {});
+      core::Sekitei rplanner(rcp);
+      sim::Executor rexec(rcp);
+      auto rr = rplanner.plan([&](const core::Plan& p) { return rexec.execute(p).feasible; });
+      repair_ms.push_back(w.elapsed_ms());
+      if (!rr.ok()) {
+        std::printf("repair found no plan: %s\n", rr.failure.c_str());
+        return 1;
+      }
+      repair_cost = rr.plan->cost_lb;
+      survivor_count = survivors.placements.size();
+      repair_stats = rr.stats;
+    }
+    {
+      Stopwatch w;
+      net::Network bare = repair::damaged_copy(inst->net, dmg);
+      model::CppProblem sp = inst->problem;
+      sp.network = &bare;
+      auto scp = model::compile(sp, scen);
+      core::Sekitei splanner(scp);
+      sim::Executor sexec(scp);
+      auto sr = splanner.plan([&](const core::Plan& p) { return sexec.execute(p).feasible; });
+      replan_ms.push_back(w.elapsed_ms());
+      if (!sr.ok()) {
+        std::printf("replan found no plan: %s\n", sr.failure.c_str());
+        return 1;
+      }
+      replan_cost = sr.plan->cost_lb;
+    }
+  }
+
+  const double repair_p50 = median(repair_ms);
+  const double replan_p50 = median(replan_ms);
+  std::printf("WAN-link drift on Large/C: %zu survivors kept\n", survivor_count);
+  std::printf("  repair  p50 %8.3f ms  (cost lb %.2f)\n", repair_p50, repair_cost);
+  std::printf("  replan  p50 %8.3f ms  (cost lb %.2f)\n", replan_p50, replan_cost);
+  std::printf("  speedup %.2fx\n", repair_p50 > 0.0 ? replan_p50 / repair_p50 : 0.0);
+  benchjson::emit("driftload",
+                  {benchjson::kv("family", "large-wanfail"),
+                   benchjson::kv("repeats", static_cast<std::uint64_t>(kRepeats)),
+                   benchjson::kv("survivors", static_cast<std::uint64_t>(survivor_count)),
+                   benchjson::kv("repair_p50_ms", repair_p50),
+                   benchjson::kv("replan_p50_ms", replan_p50),
+                   benchjson::kv("speedup", repair_p50 > 0.0 ? replan_p50 / repair_p50 : 0.0),
+                   benchjson::kv("repair_cost_lb", repair_cost),
+                   benchjson::kv("replan_cost_lb", replan_cost)},
+                  &repair_stats);
+  return 0;
+}

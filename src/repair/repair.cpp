@@ -4,6 +4,7 @@
 #include <set>
 
 #include "support/error.hpp"
+#include "support/rng.hpp"
 
 namespace sekitei::repair {
 
@@ -22,6 +23,11 @@ net::Network damaged_copy(const net::Network& net, const Damage& damage,
     const net::Node& node = net.node(n);
     std::map<std::string, double> res =
         damage.node_failed(n) ? std::map<std::string, double>{} : node.resources;
+    for (const DegradedNode& dn : damage.degraded_nodes) {
+      if (dn.node == n && res.count(dn.resource)) {
+        res[dn.resource] = std::max(0.0, std::min(res[dn.resource], dn.capacity));
+      }
+    }
     if (residual != nullptr) {
       for (const sim::NodeUse& nu : residual->node_use) {
         if (nu.node == n && res.count("cpu")) res["cpu"] = std::max(0.0, res["cpu"] - nu.used);
@@ -34,6 +40,11 @@ net::Network damaged_copy(const net::Network& net, const Damage& damage,
     const net::Link& link = net.link(l);
     if (damage.node_failed(link.a) || damage.node_failed(link.b)) continue;
     std::map<std::string, double> res = link.resources;
+    for (const DegradedLink& dl : damage.degraded_links) {
+      if (dl.link == l && res.count(dl.resource)) {
+        res[dl.resource] = std::max(0.0, std::min(res[dl.resource], dl.capacity));
+      }
+    }
     if (residual != nullptr) {
       for (const sim::LinkUse& lu : residual->link_use) {
         if (lu.link == l && res.count("lbw")) res["lbw"] = std::max(0.0, res["lbw"] - lu.used);
@@ -44,9 +55,12 @@ net::Network damaged_copy(const net::Network& net, const Damage& damage,
   return out;
 }
 
-Survivors compute_survivors(const model::CompiledProblem& cp, const core::Plan& plan,
-                            std::span<const double> choices, const Damage& damage,
-                            bool drop_goal_component) {
+namespace {
+
+/// One provenance walk + re-execution against a fixed effective-failed set.
+Survivors walk_survivors(const model::CompiledProblem& cp, const core::Plan& plan,
+                         std::span<const double> choices, const Damage& damage,
+                         bool drop_goal_component) {
   Survivors out;
   // Live streams: (interface index, node index), seeded by the problem's own
   // initial streams on surviving nodes.
@@ -121,6 +135,46 @@ Survivors compute_survivors(const model::CompiledProblem& cp, const core::Plan& 
   return out;
 }
 
+}  // namespace
+
+Survivors compute_survivors(const model::CompiledProblem& cp, const core::Plan& plan,
+                            std::span<const double> choices, const Damage& damage,
+                            bool drop_goal_component) {
+  // Contract-violation fixpoint: a survivor set is only valid once no
+  // degraded entity is overdrawn by the survivors' own residual consumption.
+  // A violated entity joins the effective-failed set (survivor selection
+  // only — damaged_copy still keeps its degraded capacity) and the walk
+  // repeats; the set grows monotonically, so this terminates.
+  Damage effective = damage;
+  for (;;) {
+    Survivors out = walk_survivors(cp, plan, choices, effective, drop_goal_component);
+    bool evicted = false;
+    for (const DegradedLink& dl : damage.degraded_links) {
+      if (dl.resource != "lbw" || effective.link_failed(dl.link)) continue;
+      double used = 0.0;
+      for (const sim::LinkUse& lu : out.residual.link_use) {
+        if (lu.link == dl.link) used += lu.used;
+      }
+      if (used > dl.capacity + 1e-9) {
+        effective.failed_links.push_back(dl.link);
+        evicted = true;
+      }
+    }
+    for (const DegradedNode& dn : damage.degraded_nodes) {
+      if (dn.resource != "cpu" || effective.node_failed(dn.node)) continue;
+      double used = 0.0;
+      for (const sim::NodeUse& nu : out.residual.node_use) {
+        if (nu.node == dn.node) used += nu.used;
+      }
+      if (used > dn.capacity + 1e-9) {
+        effective.failed_nodes.push_back(dn.node);
+        evicted = true;
+      }
+    }
+    if (!evicted) return out;
+  }
+}
+
 void apply_adaptation_costs(model::CompiledProblem& cp, const Survivors& survivors,
                             const AdaptationCosts& costs) {
   for (model::GroundAction& act : cp.actions) {
@@ -163,6 +217,81 @@ model::CppProblem repair_problem(const model::CppProblem& base, const net::Netwo
   out.placement_rule = base.placement_rule;
   out.goal_component = base.goal_component;
   out.goal_node = base.goal_node;
+  return out;
+}
+
+Damage seeded_drift(const model::CompiledProblem& cp, const core::Plan& plan,
+                    std::uint64_t seed) {
+  Damage out;
+  SplitMix64 rng(seed ^ 0xD21F7D21F7ULL);
+
+  // Candidate links: distinct links the plan crossed, in first-use order.
+  std::vector<LinkId> used_links;
+  std::vector<NodeId> placed_nodes;
+  for (ActionId aid : plan.steps) {
+    const model::GroundAction& act = cp.actions[aid.index()];
+    if (act.kind == model::ActionKind::Place) {
+      if (std::find(placed_nodes.begin(), placed_nodes.end(), act.node) == placed_nodes.end()) {
+        placed_nodes.push_back(act.node);
+      }
+    } else if (std::find(used_links.begin(), used_links.end(), act.link) == used_links.end()) {
+      used_links.push_back(act.link);
+    }
+  }
+  // Never fail the goal node, a source (initial-stream) node, or a node
+  // carrying a preplaced component — that would ask repair to re-deliver to
+  // a destination that no longer exists.
+  std::vector<NodeId> protected_nodes{cp.problem->goal_node};
+  for (const model::InitialStream& is : cp.problem->initial_streams) {
+    protected_nodes.push_back(is.node);
+  }
+  for (const auto& [comp, node] : cp.problem->preplaced) protected_nodes.push_back(node);
+  std::vector<NodeId> migratable;
+  for (NodeId n : placed_nodes) {
+    if (std::find(protected_nodes.begin(), protected_nodes.end(), n) ==
+        protected_nodes.end()) {
+      migratable.push_back(n);
+    }
+  }
+
+  const auto fail_link = [&]() -> bool {
+    if (used_links.empty()) return false;
+    out.failed_links.push_back(used_links[rng.next_below(used_links.size())]);
+    return true;
+  };
+  const auto degrade_link = [&]() -> bool {
+    for (std::size_t probe = 0; probe < used_links.size(); ++probe) {
+      const LinkId l = used_links[rng.next_below(used_links.size())];
+      const auto it = cp.net->link(l).resources.find("lbw");
+      if (it == cp.net->link(l).resources.end()) continue;
+      out.degraded_links.push_back({l, "lbw", it->second * rng.uniform(0.25, 0.75)});
+      return true;
+    }
+    return false;
+  };
+  const auto fail_node = [&]() -> bool {
+    if (migratable.empty()) return false;
+    out.failed_nodes.push_back(migratable[rng.next_below(migratable.size())]);
+    return true;
+  };
+  const auto degrade_node = [&]() -> bool {
+    for (std::size_t probe = 0; probe < migratable.size(); ++probe) {
+      const NodeId n = migratable[rng.next_below(migratable.size())];
+      const auto it = cp.net->node(n).resources.find("cpu");
+      if (it == cp.net->node(n).resources.end()) continue;
+      // Low enough that a tenant of any size violates the new contract.
+      out.degraded_nodes.push_back({n, "cpu", it->second * rng.uniform(0.0, 0.05)});
+      return true;
+    }
+    return false;
+  };
+
+  switch (seed % 4) {
+    case 0: (void)(fail_link() || degrade_node()); break;
+    case 1: (void)(degrade_link() || fail_link() || degrade_node()); break;
+    case 2: (void)(fail_node() || fail_link() || degrade_link()); break;
+    default: (void)(degrade_node() || degrade_link() || fail_link()); break;
+  }
   return out;
 }
 

@@ -23,7 +23,9 @@
 // naturally reuses what survived.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/plan.hpp"
@@ -33,12 +35,34 @@
 
 namespace sekitei::repair {
 
+/// Capacity degradation (the common drift case — bandwidth drops, CPU
+/// contention — as opposed to binary failure).  `capacity` is the resource's
+/// new absolute value; it is applied as min(old, capacity), so drift never
+/// *raises* a capacity through this channel.
+struct DegradedNode {
+  NodeId node;
+  std::string resource;  // e.g. "cpu"
+  double capacity = 0.0;
+};
+
+struct DegradedLink {
+  LinkId link;
+  std::string resource;  // e.g. "lbw"
+  double capacity = 0.0;
+};
+
 struct Damage {
   std::vector<LinkId> failed_links;
   std::vector<NodeId> failed_nodes;
+  std::vector<DegradedLink> degraded_links;
+  std::vector<DegradedNode> degraded_nodes;
 
   [[nodiscard]] bool link_failed(LinkId l) const;
   [[nodiscard]] bool node_failed(NodeId n) const;
+  [[nodiscard]] bool empty() const {
+    return failed_links.empty() && failed_nodes.empty() && degraded_links.empty() &&
+           degraded_nodes.empty();
+  }
 };
 
 /// What remains of a running deployment.
@@ -53,6 +77,14 @@ struct Survivors {
 /// `choices` are the original execution's production choices
 /// (ExecutionReport::choices).  `drop_goal_component` excludes the goal
 /// component from survivors so the repair plan re-validates delivery.
+///
+/// Degraded capacities follow the resource-contract model (Le Sommer):
+/// a degradation is a renegotiated contract, and a survivor whose residual
+/// consumption exceeds the new capacity has its contract violated — the
+/// entity is treated as failed *for survivor selection only* (the network
+/// keeps the degraded capacity) and the walk repeats until no survivor
+/// overdraws a degraded link's "lbw" or node's "cpu".  The effective-failed
+/// set grows monotonically, so the fixpoint terminates.
 [[nodiscard]] Survivors compute_survivors(const model::CompiledProblem& cp,
                                           const core::Plan& plan,
                                           std::span<const double> choices,
@@ -60,8 +92,9 @@ struct Survivors {
                                           bool drop_goal_component = true);
 
 /// A copy of `net` with failed links removed, failed nodes stripped of links
-/// and resources, and (optionally) the survivors' residual consumption
-/// deducted from link bandwidth / node cpu.  Node ids are preserved.
+/// and resources, degraded capacities clamped to their new values, and
+/// (optionally) the survivors' residual consumption deducted from link
+/// bandwidth / node cpu.  Node ids are preserved.
 [[nodiscard]] net::Network damaged_copy(const net::Network& net, const Damage& damage,
                                         const sim::ExecutionReport* residual = nullptr);
 
@@ -82,5 +115,16 @@ void apply_adaptation_costs(model::CompiledProblem& cp, const Survivors& survivo
 [[nodiscard]] model::CppProblem repair_problem(const model::CppProblem& base,
                                                const net::Network& damaged_net,
                                                const Survivors& survivors);
+
+/// Deterministically derives a plausible drift event from a solved instance
+/// (shared by the drift oracle, the load generator's --drift stream, and
+/// bench_drift).  By seed % 4: fail a link the plan crossed / degrade a
+/// crossed link's "lbw" / fail a node hosting a placed component (never the
+/// goal node, a source node, or a preplaced node) / degrade such a node's
+/// "cpu" hard enough to evict its tenant.  Falls back down that list when a
+/// variant has no candidate; the result may be empty only for plans that
+/// place nothing and cross nothing.
+[[nodiscard]] Damage seeded_drift(const model::CompiledProblem& cp, const core::Plan& plan,
+                                  std::uint64_t seed);
 
 }  // namespace sekitei::repair

@@ -180,12 +180,25 @@ void Daemon::submit(wire::WireRequest&& w,
 
   service::PlanRequest req;
   req.id = std::move(w.id);
-  req.problem = std::move(problem);
   req.mode = w.mode;
   req.deadline_ms = w.deadline_ms;
   req.validate = w.validate;
   req.preflight = w.preflight;
   req.degrade.enabled = w.degrade;
+  req.echo_plan = w.echo_plan;
+  if (w.repair) {
+    // Resolve the name-keyed wire damage against the loaded instance before
+    // the request leaves this thread; a bad name is a protocol-level refusal,
+    // not a planning outcome.
+    service::RepairSpec spec;
+    std::string error;
+    if (!wire::resolve_repair(w, *problem, spec, error)) {
+      done(wire::make_rejected(std::move(req.id), "bad repair: " + error));
+      return;
+    }
+    req.repair = std::move(spec);
+  }
+  req.problem = std::move(problem);
   req.stop = std::move(stop);
   engine_.submit_async(std::move(req), std::move(done));
 }

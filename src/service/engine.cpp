@@ -110,8 +110,14 @@ PlanningEngine::PlanningEngine(Options options)
         "service.ladder",
         {{"engine", engine_label_}, {"step", ladder_step_name(static_cast<LadderStep>(i))}});
   }
+  for (std::size_t i = 0; i < repair_counters_.size(); ++i) {
+    repair_counters_[i] = &reg.counter(
+        "service.repairs",
+        {{"engine", engine_label_}, {"outcome", outcome_name(static_cast<Outcome>(i))}});
+  }
   latency_hist_ = &reg.histogram("service.latency_ms", eng);
   queue_wait_hist_ = &reg.histogram("service.queue_wait_ms", eng);
+  repair_migrations_hist_ = &reg.histogram("repair.migrations", eng);
 }
 
 PlanningEngine::Ticket PlanningEngine::submit(PlanRequest request) {
@@ -211,6 +217,10 @@ PlanResponse PlanningEngine::process(PlanRequest& request, double wait_ms) {
   if (r.ok()) {
     SEKITEI_METRIC(ladder_counters_[static_cast<std::size_t>(r.ladder)]->add(1));
   }
+  if (r.repair_requested) {
+    SEKITEI_METRIC(repair_counters_[static_cast<std::size_t>(r.outcome)]->add(1));
+    if (r.ok()) SEKITEI_METRIC(repair_migrations_hist_->observe(r.migrations));
+  }
   // Dump the recording for every answer the caller will want to autopsy:
   // deadline/cancel/degraded cut the search short, infeasible-after-search
   // shows where the frontier died.  Solved requests (and Rejected ones,
@@ -272,6 +282,16 @@ PlanResponse PlanningEngine::process_inner(PlanRequest& request, double wait_ms)
   if (!hit) r.compile_ms = entry->compile_ms;
   const model::CompiledProblem& cp = entry->cp;
 
+  if (request.repair) {
+    process_repair(request, r, cp);
+    SEKITEI_LOG_INFO("service.engine", "repair served", log::kv("id", r.id.c_str()),
+                     log::kv("outcome", outcome_name(r.outcome)),
+                     log::kv("ladder", ladder_step_name(r.ladder)),
+                     log::kv("repaired", r.repaired), log::kv("migrations", r.migrations),
+                     log::kv("solve_ms", r.solve_ms));
+    return r;
+  }
+
   // Pre-flight: a provably-infeasible instance is answered here, before a
   // search budget (or the degradation ladder) is committed to it.  The
   // analysis is one-sided — it only ever rejects instances no plan can
@@ -332,6 +352,14 @@ PlanResponse PlanningEngine::process_inner(PlanRequest& request, double wait_ms)
   auto adopt_plan = [&](core::PlanResult& result) {
     r.plan_text = result.plan->str(cp);
     r.plan = std::move(result.plan);
+    if (request.echo_plan) {
+      r.plan_steps.clear();
+      r.plan_steps.reserve(r.plan->steps.size());
+      for (const ActionId aid : r.plan->steps) r.plan_steps.push_back(aid.index());
+      sim::Executor echo_exec(cp);
+      const sim::ExecutionReport echoed = echo_exec.execute(*r.plan);
+      if (echoed.feasible) r.choices = echoed.choices;
+    }
   };
 
   Stopwatch watch;
@@ -406,6 +434,258 @@ PlanResponse PlanningEngine::process_inner(PlanRequest& request, double wait_ms)
                    log::kv("cache_hit", r.cache_hit), log::kv("wait_ms", r.wait_ms),
                    log::kv("solve_ms", r.solve_ms));
   return r;
+}
+
+namespace {
+
+/// Deployment-churn accounting for a shipped (repair or replan) plan.
+/// `plan_cp` is the compile the plan's action ids index; `base_cp` is the
+/// compile the prior plan's ids index.
+void count_churn(const model::CompiledProblem& plan_cp, const core::Plan& plan,
+                 const model::CompiledProblem& base_cp, const core::Plan& prior,
+                 const repair::Survivors& survivors, PlanResponse& r) {
+  std::vector<std::pair<std::string, NodeId>> placed;
+  for (const ActionId aid : plan.steps) {
+    const model::GroundAction& act = plan_cp.actions[aid.index()];
+    if (act.kind != model::ActionKind::Place) continue;
+    placed.emplace_back(plan_cp.domain->component_at(act.spec_index).name, act.node);
+  }
+  const auto survived = [&](const std::string& comp, const NodeId* node) {
+    for (const auto& [name, at] : survivors.placements) {
+      if (name == comp && (node == nullptr || at == *node)) return true;
+    }
+    return false;
+  };
+  r.migrations = 0;
+  r.reconnects = 0;
+  for (const auto& [comp, node] : placed) {
+    if (survived(comp, &node)) {
+      ++r.reconnects;
+    } else if (survived(comp, nullptr)) {
+      ++r.migrations;
+    }
+  }
+  // Lost: prior placements that neither survived nor were re-established at
+  // their original node by the new plan (e.g. a tenant of a failed node that
+  // nothing re-places).  A survivor re-placed elsewhere is a migration, not
+  // a loss — counting it under both would double-charge the churn.
+  std::uint32_t lost = 0;
+  for (const ActionId aid : prior.steps) {
+    const model::GroundAction& act = base_cp.actions[aid.index()];
+    if (act.kind != model::ActionKind::Place) continue;
+    const std::string& comp = base_cp.domain->component_at(act.spec_index).name;
+    if (survived(comp, &act.node)) continue;
+    bool reestablished = false;
+    for (const auto& [name, node] : placed) {
+      if (name == comp && node == act.node) reestablished = true;
+    }
+    if (!reestablished && survived(comp, nullptr)) continue;  // migrated survivor
+    if (!reestablished) ++lost;
+  }
+  r.disruption = r.migrations + lost;
+}
+
+}  // namespace
+
+void PlanningEngine::process_repair(PlanRequest& request, PlanResponse& r,
+                                    const model::CompiledProblem& cp) {
+  trace::Span span("service.repair", "service");
+  const RepairSpec& spec = *request.repair;
+  r.repair_requested = true;
+  const StopToken token = request.stop.token();
+
+  for (const ActionId aid : spec.prior_plan.steps) {
+    if (aid.index() >= cp.actions.size()) {
+      r.outcome = Outcome::Rejected;
+      r.failure = "repair: prior-plan action " + std::to_string(aid.index()) +
+                  " out of range (problem compiles to " +
+                  std::to_string(cp.actions.size()) + " actions)";
+      return;
+    }
+  }
+
+  // Survivors of the prior deployment under the damage delta.  An empty
+  // prior plan means "no survivors": the repair degenerates to a replan on
+  // the damaged network (the load generator's replan yardstick).
+  if (SEKITEI_FAULT_POINT("repair.survivors")) {
+    raise("injected fault at repair.survivors");
+  }
+  repair::Survivors survivors;
+  const bool have_prior = !spec.prior_plan.steps.empty();
+  if (have_prior) {
+    survivors = repair::compute_survivors(cp, spec.prior_plan, spec.choices, spec.damage);
+  }
+
+  // The repair CPP: damaged network minus the survivors' residual
+  // consumption, survivors pre-placed, their streams initial, placement
+  // actions discounted to RECONNECT/MIGRATE rates.  Compiled locally — the
+  // damaged network is request-specific, so the compiled-problem cache
+  // cannot serve it.
+  Stopwatch compile_watch;
+  const net::Network damaged =
+      repair::damaged_copy(*cp.net, spec.damage, have_prior ? &survivors.residual : nullptr);
+  const model::CppProblem rp = repair::repair_problem(*cp.problem, damaged, survivors);
+  model::CompiledProblem rcp = model::compile(rp, cp.scenario);
+  repair::apply_adaptation_costs(rcp, survivors, spec.costs);
+  r.compile_ms += compile_watch.elapsed_ms();
+
+  bool preflight_skip = false;  // preflight proved the repair CPP infeasible
+  if (request.preflight || options_.preflight) {
+    if (SEKITEI_FAULT_POINT("preflight")) {
+      raise("injected fault at preflight");
+    }
+    const Stopwatch preflight_watch;
+    const analysis::PreflightVerdict verdict = analysis::preflight(rcp);
+    r.preflight_ran = true;
+    r.preflight_ms = preflight_watch.elapsed_ms();
+    r.preflight_sweeps = verdict.sweeps;
+    if (verdict.infeasible) {
+      // Infeasible *with the survivors pinned* is not infeasible outright —
+      // tearing everything down frees their resources — so this falls down
+      // the ladder to the full replan instead of answering Infeasible.
+      r.preflight_rejected = true;
+      preflight_rejections_->add(1);
+      preflight_skip = true;
+      r.failure = std::string(verdict.code) + " " + verdict.reason;
+    }
+  }
+
+  // Ladder budget split, as in process_inner: the repair attempt gets
+  // primary_fraction of the remaining budget, the reserve funds the full
+  // replan on the damaged network.
+  const std::int64_t t_end = request.stop.deadline_epoch_ns();
+  const bool can_replan = request.degrade.enabled;
+  if (can_replan && t_end != 0 && request.degrade.primary_fraction > 0.0 &&
+      request.degrade.primary_fraction < 1.0) {
+    const std::int64_t now = StopSource::now_epoch_ns();
+    if (t_end > now) {
+      const auto slice = static_cast<std::int64_t>(
+          static_cast<double>(t_end - now) * request.degrade.primary_fraction);
+      request.stop.arm_deadline_at_ns(now + slice);
+    }
+  }
+
+  auto attempt_on = [&](const model::CompiledProblem& target) {
+    core::PlannerOptions opt;
+    opt.mode = request.mode;
+    opt.stop = token;
+    opt.progress_every = request.progress_every;
+    opt.progress = request.progress;
+    opt.anytime = request.degrade.enabled;
+    core::Sekitei planner(target, opt);
+    if (request.validate) {
+      sim::Executor exec(target);
+      return planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+    }
+    return planner.plan();
+  };
+
+  auto adopt_plan = [&](core::PlanResult& result, const model::CompiledProblem& target) {
+    r.plan_text = result.plan->str(target);
+    r.plan = std::move(result.plan);
+    count_churn(target, *r.plan, cp, spec.prior_plan, survivors, r);
+    r.repair_cost = r.plan->cost_lb + spec.migration_penalty * r.migrations;
+    if (request.echo_plan) {
+      r.plan_steps.clear();
+      r.plan_steps.reserve(r.plan->steps.size());
+      for (const ActionId aid : r.plan->steps) r.plan_steps.push_back(aid.index());
+      sim::Executor echo_exec(target);
+      const sim::ExecutionReport echoed = echo_exec.execute(*r.plan);
+      if (echoed.feasible) r.choices = echoed.choices;
+    }
+  };
+
+  // Deterministic mid-repair failure for tests and the CI fault matrix: Fail
+  // mode behaves exactly like the repair search's budget slice expiring with
+  // no incumbent in hand, driving the FullReplan rung below.
+  const bool fault_cut = SEKITEI_FAULT_POINT("repair.plan");
+
+  Stopwatch watch;
+  core::PlanResult result;
+  if (!preflight_skip && !fault_cut) {
+    trace::Span repair_span("service.repair_search", "service");
+    result = attempt_on(rcp);
+    r.failure = result.failure;
+  }
+  r.solve_ms = watch.elapsed_ms();
+  r.stats = result.stats;
+
+  if (result.plan && !result.stats.stopped) {
+    adopt_plan(result, rcp);
+    r.outcome = Outcome::Solved;
+    r.ladder = LadderStep::Primary;
+    r.repaired = true;
+    r.failure.clear();
+    return;
+  }
+  if (result.plan) {
+    // Rung 2: the stopped repair search held a replay-validated incumbent.
+    adopt_plan(result, rcp);
+    r.outcome = Outcome::Degraded;
+    r.ladder = LadderStep::AnytimeIncumbent;
+    r.repaired = true;
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%s fired mid-repair; returning best incumbent (cost %.3f, open lower "
+                  "bound %.3f)",
+                  stop_reason_name(token.reason()), r.stats.incumbent_cost,
+                  r.stats.open_cost_lb);
+    r.failure = buf;
+    return;
+  }
+  if (result.stats.stopped && token.reason() == StopReason::Cancelled) {
+    r.outcome = Outcome::Cancelled;
+    return;
+  }
+
+  // Rung 3 (FullReplan): the repair could not answer — infeasible with the
+  // survivors pinned, budget slice expired without an incumbent, or cut
+  // short by the repair.plan fault — so replan from scratch on the damaged
+  // network at full capacities and undiscounted costs.
+  r.outcome = (fault_cut || result.stats.stopped) ? Outcome::DeadlineExceeded
+                                                  : Outcome::Infeasible;
+  if (!can_replan) return;
+  if (t_end != 0) {
+    const std::int64_t now = StopSource::now_epoch_ns();
+    if (t_end <= now) return;  // budget already gone
+    std::int64_t budget = t_end - now;
+    if (request.degrade.greedy_fraction > 0.0 && request.degrade.greedy_fraction < 1.0) {
+      budget = static_cast<std::int64_t>(static_cast<double>(budget) *
+                                         request.degrade.greedy_fraction);
+    }
+    request.stop.arm_deadline_at_ns(now + std::max<std::int64_t>(budget, 1));
+  }
+  trace::Span replan_span("service.full_replan", "service");
+  Stopwatch fb;
+  const net::Network bare = repair::damaged_copy(*cp.net, spec.damage, nullptr);
+  model::CppProblem fresh = *cp.problem;
+  fresh.network = &bare;
+  const model::CompiledProblem fcp = model::compile(fresh, cp.scenario);
+  core::PlanResult replanned = attempt_on(fcp);
+  r.fallback_ms = fb.elapsed_ms();
+  r.solve_ms = watch.elapsed_ms();
+  if (replanned.plan) {
+    r.stats = replanned.stats;
+    adopt_plan(replanned, fcp);
+    r.outcome = Outcome::Degraded;
+    r.ladder = LadderStep::FullReplan;
+    r.repaired = false;
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "repair could not answer within its budget; full replan on the damaged "
+                  "network (cost lb %.3f)",
+                  r.plan->cost_lb);
+    r.failure = buf;
+  } else if (replanned.stats.stopped && token.reason() == StopReason::Cancelled) {
+    r.outcome = Outcome::Cancelled;
+    r.stats = replanned.stats;
+  } else if (!replanned.stats.stopped) {
+    // Both the pinned-survivors repair and the from-scratch replan ran to
+    // completion without a plan: the damaged instance is infeasible.
+    r.outcome = Outcome::Infeasible;
+    r.stats = replanned.stats;
+    r.failure = replanned.failure;
+  }
 }
 
 }  // namespace sekitei::service

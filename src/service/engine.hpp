@@ -122,6 +122,11 @@ class PlanningEngine {
   /// ladder counters); process_inner() holds the planning logic.
   [[nodiscard]] PlanResponse process(PlanRequest& request, double wait_ms);
   [[nodiscard]] PlanResponse process_inner(PlanRequest& request, double wait_ms);
+  /// The repair path (PlanRequest::repair): survivors-compute, discounted
+  /// repair search, and the FullReplan ladder rung.  Fills `r` in place;
+  /// `cp` is the cached compile of the request's (base) problem.
+  void process_repair(PlanRequest& request, PlanResponse& r,
+                      const model::CompiledProblem& cp);
 
   Options options_;
   CompiledProblemCache cache_;
@@ -133,9 +138,11 @@ class PlanningEngine {
   metrics::Gauge* queue_depth_ = nullptr;
   metrics::Counter* preflight_rejections_ = nullptr;
   std::array<metrics::Counter*, 6> outcome_counters_{};  // indexed by Outcome
-  std::array<metrics::Counter*, 3> ladder_counters_{};   // indexed by LadderStep
+  std::array<metrics::Counter*, 4> ladder_counters_{};   // indexed by LadderStep
+  std::array<metrics::Counter*, 6> repair_counters_{};   // repair requests by Outcome
   metrics::Histogram* latency_hist_ = nullptr;
   metrics::Histogram* queue_wait_hist_ = nullptr;
+  metrics::Histogram* repair_migrations_hist_ = nullptr;
   ThreadPool pool_;  // last member: destroyed (joined) first, while the cache
                      // and options it reads are still alive
 };

@@ -31,6 +31,7 @@ const char* ladder_step_name(LadderStep s) {
     case LadderStep::Primary: return "primary";
     case LadderStep::AnytimeIncumbent: return "anytime_incumbent";
     case LadderStep::GreedyFallback: return "greedy_fallback";
+    case LadderStep::FullReplan: return "full_replan";
   }
   return "primary";
 }

@@ -37,10 +37,13 @@
 #include <optional>
 #include <string>
 
+#include <vector>
+
 #include "core/plan.hpp"
 #include "core/planner.hpp"
 #include "core/stats.hpp"
 #include "model/textio.hpp"
+#include "repair/repair.hpp"
 #include "support/stop_token.hpp"
 
 namespace sekitei::service {
@@ -66,6 +69,8 @@ enum class LadderStep : unsigned char {
   Primary,           // the requested (usually optimal) search answered
   AnytimeIncumbent,  // the stopped search's best incumbent plan
   GreedyFallback,    // greedy retry on the remaining budget
+  FullReplan,        // repair could not beat the budget: replanned from
+                     // scratch on the damaged network (repair requests only)
 };
 
 [[nodiscard]] const char* ladder_step_name(LadderStep s);
@@ -85,6 +90,29 @@ struct DegradePolicy {
   /// Share of the budget remaining *after* the primary attempt stopped that
   /// the greedy retry may spend.  Values outside (0, 1] mean all of it.
   double greedy_fraction = 1.0;
+};
+
+/// Repair payload: turns a PlanRequest into a drift-resilient replanning
+/// request.  The engine computes the survivors of `prior_plan` under
+/// `damage` (repair/repair.hpp), plans a minimally-disruptive patch on the
+/// damaged network with RECONNECT/MIGRATE-discounted placement costs, and
+/// reports `repair_cost = plan cost + migration_penalty * migrations`.  When
+/// the repair search cannot answer inside its budget slice, the ladder falls
+/// to a full replan from scratch on the damaged network (LadderStep::
+/// FullReplan) instead of silently shipping nothing.
+struct RepairSpec {
+  /// The previously shipped plan; action ids index the deterministic compile
+  /// of this request's problem.
+  core::Plan prior_plan;
+  /// The prior execution's production choices (ExecutionReport::choices,
+  /// init_map order).  Empty means "no survivors": the repair degenerates to
+  /// a from-scratch replan on the damaged network.
+  std::vector<double> choices;
+  repair::Damage damage;
+  /// Added to the reported repair cost once per migrated component — the
+  /// client's knob for how much deployment stability is worth.
+  double migration_penalty = 0.0;
+  repair::AdaptationCosts costs;
 };
 
 struct PlanRequest {
@@ -125,6 +153,15 @@ struct PlanRequest {
   /// Graceful-degradation ladder policy for this request.
   DegradePolicy degrade;
 
+  /// Present on repair requests (see RepairSpec).
+  std::optional<RepairSpec> repair;
+
+  /// Echo the winning plan's action indices and execution choices in the
+  /// response (PlanResponse::plan_steps/choices) so a wire client can later
+  /// resubmit them as a RepairSpec.  Off by default: the echo costs one
+  /// extra plan execution when validation is off.
+  bool echo_plan = false;
+
   /// Optional progress observer forwarded to PlannerOptions::progress (the
   /// worker invokes it from the search loop; it may call request_stop() on
   /// the request's own StopSource).
@@ -159,6 +196,26 @@ struct PlanResponse {
   /// Submission attempts the client made (> 1 after admission-control
   /// retries, e.g. sekitei_serve's jittered backoff).
   std::uint32_t attempts = 1;
+
+  /// Repair accounting (only meaningful when `repair_requested`; the wire
+  /// rendering emits the block exactly then, keeping plain records stable).
+  bool repair_requested = false;
+  /// True when the shipped plan reuses the survivors (any rung above
+  /// FullReplan); false once the ladder fell to a from-scratch replan.
+  bool repaired = false;
+  std::uint32_t migrations = 0;  // surviving components re-placed elsewhere
+  std::uint32_t reconnects = 0;  // surviving components re-placed in situ
+  /// Deployment churn: migrations plus prior placements that neither
+  /// survived nor were re-established at their original node.
+  std::uint32_t disruption = 0;
+  /// plan->cost_lb + migration_penalty * migrations (the ladder's yardstick).
+  double repair_cost = 0.0;
+
+  /// Echo of the winning plan for later repair submission (echo_plan only):
+  /// action indices into the compile the plan was found against, plus the
+  /// validated execution's production choices.
+  std::vector<std::uint32_t> plan_steps;
+  std::vector<double> choices;
 
   /// True when the response carries a usable plan (optimal or degraded).
   [[nodiscard]] bool ok() const {

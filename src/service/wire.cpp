@@ -113,6 +113,156 @@ bool take_bool(const Value& v, const char* key, bool& out, std::string& error) {
   return true;
 }
 
+bool take_index_array(const Value& v, const char* key, std::vector<std::uint32_t>& out,
+                      std::string& error) {
+  const Value* f = v.find(key);
+  if (f == nullptr) return true;
+  if (!f->is_array()) {
+    error = std::string("\"") + key + "\" must be an array of action indices";
+    return false;
+  }
+  for (const Value& e : *f->arr) {
+    if (!e.is_number() || e.number < 0) {
+      error = std::string("\"") + key + "\" must be an array of action indices";
+      return false;
+    }
+    out.push_back(static_cast<std::uint32_t>(e.number));
+  }
+  return true;
+}
+
+bool take_number_array(const Value& v, const char* key, std::vector<double>& out,
+                       std::string& error) {
+  const Value* f = v.find(key);
+  if (f == nullptr) return true;
+  if (!f->is_array()) {
+    error = std::string("\"") + key + "\" must be an array of numbers";
+    return false;
+  }
+  for (const Value& e : *f->arr) {
+    if (!e.is_number()) {
+      error = std::string("\"") + key + "\" must be an array of numbers";
+      return false;
+    }
+    out.push_back(e.number);
+  }
+  return true;
+}
+
+bool parse_damage(const Value& v, WireDamage& out, std::string& error) {
+  const Value* d = v.find("damage");
+  if (d == nullptr) return true;
+  if (!d->is_object()) {
+    error = "\"damage\" must be an object";
+    return false;
+  }
+  if (const Value* f = d->find("failed_nodes")) {
+    if (!f->is_array()) {
+      error = "\"failed_nodes\" must be an array of node names";
+      return false;
+    }
+    for (const Value& e : *f->arr) {
+      if (!e.is_string()) {
+        error = "\"failed_nodes\" must be an array of node names";
+        return false;
+      }
+      out.failed_nodes.push_back(e.str);
+    }
+  }
+  if (const Value* f = d->find("failed_links")) {
+    if (!f->is_array()) {
+      error = "\"failed_links\" must be an array of [a, b] endpoint-name pairs";
+      return false;
+    }
+    for (const Value& e : *f->arr) {
+      if (!e.is_array() || e.arr->size() != 2 || !(*e.arr)[0].is_string() ||
+          !(*e.arr)[1].is_string()) {
+        error = "\"failed_links\" must be an array of [a, b] endpoint-name pairs";
+        return false;
+      }
+      out.failed_links.emplace_back((*e.arr)[0].str, (*e.arr)[1].str);
+    }
+  }
+  if (const Value* f = d->find("degraded_nodes")) {
+    if (!f->is_array()) {
+      error = "\"degraded_nodes\" must be an array of {node, resource, capacity} objects";
+      return false;
+    }
+    for (const Value& e : *f->arr) {
+      WireDamage::DegradedNode dn;
+      if (!e.is_object() || !take_string(e, "node", dn.node, error) ||
+          !take_string(e, "resource", dn.resource, error) ||
+          !take_number(e, "capacity", dn.capacity, error) || dn.node.empty() ||
+          dn.resource.empty()) {
+        error = "\"degraded_nodes\" must be an array of {node, resource, capacity} objects";
+        return false;
+      }
+      out.degraded_nodes.push_back(std::move(dn));
+    }
+  }
+  if (const Value* f = d->find("degraded_links")) {
+    if (!f->is_array()) {
+      error = "\"degraded_links\" must be an array of {a, b, resource, capacity} objects";
+      return false;
+    }
+    for (const Value& e : *f->arr) {
+      WireDamage::DegradedLink dl;
+      if (!e.is_object() || !take_string(e, "a", dl.a, error) ||
+          !take_string(e, "b", dl.b, error) ||
+          !take_string(e, "resource", dl.resource, error) ||
+          !take_number(e, "capacity", dl.capacity, error) || dl.a.empty() || dl.b.empty() ||
+          dl.resource.empty()) {
+        error = "\"degraded_links\" must be an array of {a, b, resource, capacity} objects";
+        return false;
+      }
+      out.degraded_links.push_back(std::move(dl));
+    }
+  }
+  return true;
+}
+
+void append_damage(std::string& out, const WireDamage& d) {
+  out += "{\"failed_nodes\":[";
+  for (std::size_t i = 0; i < d.failed_nodes.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    json::append_escaped(out, d.failed_nodes[i]);
+  }
+  out += "],\"failed_links\":[";
+  for (std::size_t i = 0; i < d.failed_links.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.push_back('[');
+    json::append_escaped(out, d.failed_links[i].first);
+    out.push_back(',');
+    json::append_escaped(out, d.failed_links[i].second);
+    out.push_back(']');
+  }
+  out += "],\"degraded_nodes\":[";
+  for (std::size_t i = 0; i < d.degraded_nodes.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += "{\"node\":";
+    json::append_escaped(out, d.degraded_nodes[i].node);
+    out += ",\"resource\":";
+    json::append_escaped(out, d.degraded_nodes[i].resource);
+    out += ",\"capacity\":";
+    json::append_number(out, d.degraded_nodes[i].capacity);
+    out.push_back('}');
+  }
+  out += "],\"degraded_links\":[";
+  for (std::size_t i = 0; i < d.degraded_links.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += "{\"a\":";
+    json::append_escaped(out, d.degraded_links[i].a);
+    out += ",\"b\":";
+    json::append_escaped(out, d.degraded_links[i].b);
+    out += ",\"resource\":";
+    json::append_escaped(out, d.degraded_links[i].resource);
+    out += ",\"capacity\":";
+    json::append_number(out, d.degraded_links[i].capacity);
+    out.push_back('}');
+  }
+  out += "]}";
+}
+
 }  // namespace
 
 bool parse_request(const std::string& body, WireRequest& out, std::string& error) {
@@ -138,8 +288,10 @@ bool parse_request(const std::string& body, WireRequest& out, std::string& error
     out.op = WireRequest::Op::Stats;
     return true;
   }
-  if (op != "plan") {
-    error = "unknown op \"" + op + "\" (expected plan, healthz, or stats)";
+  if (op == "repair") {
+    out.repair = true;  // a plan request plus the repair payload below
+  } else if (op != "plan") {
+    error = "unknown op \"" + op + "\" (expected plan, repair, healthz, or stats)";
     return false;
   }
   out.op = WireRequest::Op::Plan;
@@ -164,6 +316,14 @@ bool parse_request(const std::string& body, WireRequest& out, std::string& error
   if (!take_bool(v, "validate", out.validate, error)) return false;
   if (!take_bool(v, "preflight", out.preflight, error)) return false;
   if (!take_bool(v, "degrade", out.degrade, error)) return false;
+  if (!take_bool(v, "echo_plan", out.echo_plan, error)) return false;
+  if (!out.repair) return true;
+  if (!take_index_array(v, "prior_plan", out.prior_plan, error)) return false;
+  if (!take_number_array(v, "choices", out.choices, error)) return false;
+  if (!parse_damage(v, out.damage, error)) return false;
+  if (!take_number(v, "migration_penalty", out.migration_penalty, error)) return false;
+  if (!take_number(v, "reconnect_factor", out.reconnect_factor, error)) return false;
+  if (!take_number(v, "migrate_factor", out.migrate_factor, error)) return false;
   return true;
 }
 
@@ -172,7 +332,7 @@ std::string render_request(const WireRequest& r) {
   switch (r.op) {
     case WireRequest::Op::Healthz: out += "\"healthz\""; break;
     case WireRequest::Op::Stats: out += "\"stats\""; break;
-    case WireRequest::Op::Plan: out += "\"plan\""; break;
+    case WireRequest::Op::Plan: out += r.repair ? "\"repair\"" : "\"plan\""; break;
   }
   if (r.op != WireRequest::Op::Plan) {
     out.push_back('}');
@@ -192,8 +352,88 @@ std::string render_request(const WireRequest& r) {
   out += r.preflight ? "true" : "false";
   out += ",\"degrade\":";
   out += r.degrade ? "true" : "false";
+  // Plain plan requests stay byte-identical to the pre-repair rendering
+  // unless the new knob is actually on (wire_test.cpp pins both shapes).
+  if (!r.repair) {
+    if (r.echo_plan) out += ",\"echo_plan\":true";
+    out.push_back('}');
+    return out;
+  }
+  out += ",\"echo_plan\":";
+  out += r.echo_plan ? "true" : "false";
+  out += ",\"prior_plan\":[";
+  for (std::size_t i = 0; i < r.prior_plan.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    json::append_number(out, static_cast<std::uint64_t>(r.prior_plan[i]));
+  }
+  out += "],\"choices\":[";
+  for (std::size_t i = 0; i < r.choices.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    json::append_number(out, r.choices[i]);
+  }
+  out += "],\"damage\":";
+  append_damage(out, r.damage);
+  out += ",\"migration_penalty\":";
+  json::append_number(out, r.migration_penalty);
+  out += ",\"reconnect_factor\":";
+  json::append_number(out, r.reconnect_factor);
+  out += ",\"migrate_factor\":";
+  json::append_number(out, r.migrate_factor);
   out.push_back('}');
   return out;
+}
+
+bool resolve_repair(const WireRequest& w, const model::LoadedProblem& lp, RepairSpec& out,
+                    std::string& error) {
+  out = RepairSpec{};
+  out.prior_plan.steps.reserve(w.prior_plan.size());
+  for (const std::uint32_t idx : w.prior_plan) out.prior_plan.steps.emplace_back(idx);
+  out.choices = w.choices;
+  out.migration_penalty = w.migration_penalty;
+  out.costs.reconnect_factor = w.reconnect_factor;
+  out.costs.migrate_factor = w.migrate_factor;
+
+  const net::Network& net = lp.net;
+  auto node_of = [&](const std::string& name, NodeId& id) {
+    id = net.find_node(name);
+    if (!id.valid()) {
+      error = "repair damage names unknown node \"" + name + "\"";
+      return false;
+    }
+    return true;
+  };
+  auto link_of = [&](const std::string& a, const std::string& b, LinkId& id) {
+    NodeId na, nb;
+    if (!node_of(a, na) || !node_of(b, nb)) return false;
+    id = net.find_link(na, nb);
+    if (!id.valid()) {
+      error = "repair damage names no link between \"" + a + "\" and \"" + b + "\"";
+      return false;
+    }
+    return true;
+  };
+
+  for (const std::string& name : w.damage.failed_nodes) {
+    NodeId id;
+    if (!node_of(name, id)) return false;
+    out.damage.failed_nodes.push_back(id);
+  }
+  for (const auto& [a, b] : w.damage.failed_links) {
+    LinkId id;
+    if (!link_of(a, b, id)) return false;
+    out.damage.failed_links.push_back(id);
+  }
+  for (const WireDamage::DegradedNode& dn : w.damage.degraded_nodes) {
+    NodeId id;
+    if (!node_of(dn.node, id)) return false;
+    out.damage.degraded_nodes.push_back({id, dn.resource, dn.capacity});
+  }
+  for (const WireDamage::DegradedLink& dl : w.damage.degraded_links) {
+    LinkId id;
+    if (!link_of(dl.a, dl.b, id)) return false;
+    out.damage.degraded_links.push_back({id, dl.resource, dl.capacity});
+  }
+  return true;
 }
 
 std::string render_response_line(const PlanResponse& r) {
@@ -225,6 +465,31 @@ std::string response_to_json(const PlanResponse& r) {
     json::append_number(out, static_cast<std::uint64_t>(r.plan->size()));
     out += ",\"cost_lb\":";
     json::append_number(out, r.plan->cost_lb);
+  }
+  if (r.repair_requested) {
+    out += ",\"repaired\":";
+    out += r.repaired ? "true" : "false";
+    out += ",\"migrations\":";
+    json::append_number(out, static_cast<std::uint64_t>(r.migrations));
+    out += ",\"reconnects\":";
+    json::append_number(out, static_cast<std::uint64_t>(r.reconnects));
+    out += ",\"disruption\":";
+    json::append_number(out, static_cast<std::uint64_t>(r.disruption));
+    out += ",\"repair_cost\":";
+    json::append_number(out, r.repair_cost);
+  }
+  if (!r.plan_steps.empty() || !r.choices.empty()) {
+    out += ",\"plan_steps\":[";
+    for (std::size_t i = 0; i < r.plan_steps.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      json::append_number(out, static_cast<std::uint64_t>(r.plan_steps[i]));
+    }
+    out += "],\"choices\":[";
+    for (std::size_t i = 0; i < r.choices.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      json::append_number(out, r.choices[i]);
+    }
+    out += "]";
   }
   out += ",\"wait_ms\":";
   json::append_number(out, r.wait_ms);

@@ -32,7 +32,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/planner.hpp"
 #include "service/request.hpp"
@@ -74,6 +77,28 @@ class FrameDecoder {
   bool failed_ = false;
 };
 
+/// Name-keyed damage delta of a repair request.  Numeric entity ids are
+/// meaningless across the wire, so nodes travel by name and links by their
+/// endpoint names; the daemon resolves them against the loaded problem's
+/// network (resolve_repair) before planning.
+struct WireDamage {
+  struct DegradedNode {
+    std::string node;
+    std::string resource;
+    double capacity = 0.0;
+  };
+  struct DegradedLink {
+    std::string a, b;
+    std::string resource;
+    double capacity = 0.0;
+  };
+
+  std::vector<std::string> failed_nodes;
+  std::vector<std::pair<std::string, std::string>> failed_links;  // endpoint names
+  std::vector<DegradedNode> degraded_nodes;
+  std::vector<DegradedLink> degraded_links;
+};
+
 /// A parsed request frame.
 struct WireRequest {
   enum class Op : unsigned char { Plan, Healthz, Stats };
@@ -86,6 +111,18 @@ struct WireRequest {
   bool validate = true;
   bool preflight = false;
   bool degrade = true;
+  /// Echo the winning plan's action indices + execution choices in the
+  /// response (the raw material of a later repair request).
+  bool echo_plan = false;
+
+  /// Repair payload (op == "repair"; a plan request plus the fields below).
+  bool repair = false;
+  std::vector<std::uint32_t> prior_plan;  // action indices of the prior plan
+  std::vector<double> choices;            // prior execution's choices
+  WireDamage damage;
+  double migration_penalty = 0.0;
+  double reconnect_factor = 0.2;  // mirror repair::AdaptationCosts defaults
+  double migrate_factor = 0.6;
 };
 
 /// Parses one frame body into `out`.  Returns false with a human-readable
@@ -93,6 +130,14 @@ struct WireRequest {
 /// problem.
 [[nodiscard]] bool parse_request(const std::string& body, WireRequest& out,
                                  std::string& error);
+
+/// Resolves a wire repair payload against a loaded problem: node/link names
+/// become ids, the prior plan's action indices become a core::Plan, the cost
+/// knobs land in RepairSpec.  Returns false with a human-readable `error`
+/// when a named entity does not exist in the problem's network (the action-
+/// index range check stays in the engine, which owns the compile).
+[[nodiscard]] bool resolve_repair(const WireRequest& w, const model::LoadedProblem& lp,
+                                  RepairSpec& out, std::string& error);
 
 /// The canonical request-body rendering (what FrameClient and the load
 /// generator send).  parse_request(render_request(r)) round-trips exactly;

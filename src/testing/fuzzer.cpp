@@ -43,6 +43,7 @@ OracleConfig solo(OracleConfig cfg, const std::string& oracle) {
   cfg.widening = oracle == "widening";
   cfg.refinement = oracle == "refinement";
   cfg.service = oracle == "service";
+  cfg.drift = oracle == "drift";
   return cfg;
 }
 

@@ -8,6 +8,7 @@
 #include "core/planner.hpp"
 #include "model/compile.hpp"
 #include "model/textio.hpp"
+#include "repair/repair.hpp"
 #include "service/engine.hpp"
 #include "sim/executor.hpp"
 #include "support/error.hpp"
@@ -94,6 +95,7 @@ const char* verdict_name(Verdict v) {
 bool parse_oracle_set(const std::string& csv, OracleConfig& cfg, std::string* error) {
   cfg.greedy = cfg.preflight = cfg.validator = false;
   cfg.permutation = cfg.widening = cfg.refinement = cfg.service = false;
+  cfg.drift = false;
   std::size_t pos = 0;
   while (pos <= csv.size()) {
     std::size_t comma = csv.find(',', pos);
@@ -104,6 +106,7 @@ bool parse_oracle_set(const std::string& csv, OracleConfig& cfg, std::string* er
     if (name == "all") {
       cfg.greedy = cfg.preflight = cfg.validator = true;
       cfg.permutation = cfg.widening = cfg.refinement = cfg.service = true;
+      cfg.drift = true;
     } else if (name == "greedy") {
       cfg.greedy = true;
     } else if (name == "preflight") {
@@ -118,6 +121,8 @@ bool parse_oracle_set(const std::string& csv, OracleConfig& cfg, std::string* er
       cfg.refinement = true;
     } else if (name == "service") {
       cfg.service = true;
+    } else if (name == "drift") {
+      cfg.drift = true;
     } else {
       if (error != nullptr) *error = "unknown oracle '" + name + "'";
       return false;
@@ -223,6 +228,98 @@ void check_differential(const std::string& domain, const std::string& problem,
                        service::outcome_name(r.outcome) +
                        (r.plan_text != first.plan_text ? " (plan text differs)" : ""));
           break;
+        }
+      }
+    }
+
+    if (cfg.drift && report.optimal.verdict == Verdict::Solved &&
+        report.optimal.rg_expansions <= cfg.service_expansion_cap) {
+      // Drift oracle: mutate the solved instance with a seeded damage delta,
+      // serve the mutation back as a repair request, and hold the answer to
+      // two theorems: (a) the repair plan re-proves through the independent
+      // validator on an independently reconstructed repair problem, and
+      // (b) its migration-penalty-aware cost never exceeds a full replan
+      // that pays the penalty for every prior placement (the replan's
+      // worst-case disruption).
+      const core::Plan& prior = *base.result.plan;
+      const std::vector<double> choices = sim::Executor(base.cp).execute(prior).choices;
+      // Per-instance deterministic seed: FNV-1a over the problem text, mixed
+      // with the configured drift seed.
+      std::uint64_t seed = 1469598103934665603ULL;
+      for (const char c : problem) {
+        seed = (seed ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+      }
+      seed ^= cfg.drift_seed;
+      const repair::Damage damage = repair::seeded_drift(base.cp, prior, seed);
+      if (!damage.empty()) {
+        ++report.oracles_run;
+        const repair::AdaptationCosts costs;
+        service::RepairSpec spec;
+        spec.prior_plan = prior;
+        spec.choices = choices;
+        spec.damage = damage;
+        spec.migration_penalty = cfg.drift_penalty;
+        spec.costs = costs;
+        service::PlanRequest req;
+        req.id = "drift";
+        req.problem = model::load_problem(domain, problem);
+        req.repair = std::move(spec);
+        service::PlanningEngine one({.workers = 1});
+        const service::PlanResponse rrep = one.plan(std::move(req));
+
+        // The independent replan yardstick: a fresh leveled search on the
+        // bare damaged network under the base run's budgets.
+        const net::Network bare = repair::damaged_copy(*base.cp.net, damage, nullptr);
+        model::CppProblem fresh = *base.cp.problem;
+        fresh.network = &bare;
+        const model::CompiledProblem fcp = model::compile(fresh, base.cp.scenario);
+        core::PlannerOptions opt;
+        opt.max_rg_expansions = cfg.max_rg_expansions;
+        opt.max_slrg_sets = cfg.max_slrg_sets;
+        core::Sekitei replanner(fcp, opt);
+        sim::Executor fexec(fcp);
+        const core::PlanResult replan =
+            replanner.plan([&](const core::Plan& p) { return fexec.execute(p).feasible; });
+
+        if (rrep.ok() && rrep.plan) {
+          Validation v;
+          if (rrep.repaired) {
+            // Reconstruct the repair problem independently (the walk,
+            // residual deduction and compile are deterministic, so action
+            // ids line up with the engine's).
+            const repair::Survivors survivors =
+                repair::compute_survivors(base.cp, prior, choices, damage);
+            const net::Network damaged =
+                repair::damaged_copy(*base.cp.net, damage, &survivors.residual);
+            const model::CppProblem rp =
+                repair::repair_problem(*base.cp.problem, damaged, survivors);
+            model::CompiledProblem rcp = model::compile(rp, base.cp.scenario);
+            repair::apply_adaptation_costs(rcp, survivors, costs);
+            v = validate_plan(rcp, *rrep.plan);
+          } else {
+            v = validate_plan(fcp, *rrep.plan);
+          }
+          if (!v.ok) {
+            disagree("drift", "repair plan failed independent re-validation: " + v.failure);
+          }
+          if (replan.ok()) {
+            std::size_t prior_places = 0;
+            for (const ActionId a : prior.steps) {
+              if (base.cp.actions[a.index()].kind == model::ActionKind::Place) ++prior_places;
+            }
+            const double budget = replan.plan->cost_lb +
+                                  cfg.drift_penalty * static_cast<double>(prior_places);
+            if (rrep.repair_cost > budget + kEps) {
+              disagree("drift",
+                       "repair cost " + fmt(rrep.repair_cost) + " exceeds full replan " +
+                           fmt(replan.plan->cost_lb) + " plus the worst-case migration " +
+                           "penalty " + fmt(budget - replan.plan->cost_lb));
+            }
+          }
+        } else if (replan.ok() && !rrep.stats.hit_search_limit && !rrep.stats.stopped) {
+          disagree("drift", std::string("repair request answered ") +
+                                service::outcome_name(rrep.outcome) +
+                                " but a full replan on the damaged network solves");
         }
       }
     }

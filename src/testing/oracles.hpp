@@ -30,6 +30,12 @@
 //                tighten (raise) the optimal cost lower bound.
 //   service      the same instance through the planning service with 1
 //                worker and with N workers yields byte-identical plans.
+//   drift        a seeded damage delta (repair::seeded_drift) applied to a
+//                solved instance and served back as a repair request yields
+//                a plan that re-proves through the independent validator on
+//                an independently reconstructed repair problem, and whose
+//                migration-penalty-aware cost never exceeds a full replan
+//                paying the penalty for every prior placement.
 //
 // Search-limit exhaustion yields Verdict::Unknown; comparisons involving an
 // Unknown side are skipped, never reported (an oracle only speaks when both
@@ -66,6 +72,7 @@ struct OracleConfig {
   bool widening = true;
   bool refinement = true;
   bool service = true;
+  bool drift = true;
 
   // Deterministic search budgets; exhaustion classifies as Unknown.
   std::uint64_t max_rg_expansions = 60000;
@@ -77,6 +84,10 @@ struct OracleConfig {
   std::size_t service_jobs = 4;
   double widen_factor = 1.5;
   std::uint64_t perm_seed = 0xC0FFEEULL;
+  /// Mixed into the per-instance drift seed (a hash of the problem text) and
+  /// the migration penalty the drift oracle prices repairs with.
+  std::uint64_t drift_seed = 0xD21F7ULL;
+  double drift_penalty = 5.0;
 };
 
 /// Enables exactly the named oracles ("greedy,validator,...", or "all").

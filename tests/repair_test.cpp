@@ -160,6 +160,62 @@ TEST(Repair, RepairCheaperThanPlanningFromScratch) {
   EXPECT_LT(rr.plan->size(), sr.plan->size());
 }
 
+TEST(Repair, DamagedCopyClampsDegradedCapacities) {
+  auto inst = domains::media::diamond();
+  const NodeId b = inst->net.find_node("b");
+  const LinkId ab = inst->net.find_link(inst->net.find_node("a"), b);
+  ASSERT_TRUE(b.valid() && ab.valid());
+  const double old_lbw = inst->net.link(ab).resource("lbw");
+  const double old_cpu = inst->net.node(b).resource("cpu");
+
+  repair::Damage dmg;
+  dmg.degraded_links.push_back({ab, "lbw", 10.0});
+  dmg.degraded_nodes.push_back({b, "cpu", -5.0});  // clamped to zero
+  net::Network damaged = repair::damaged_copy(inst->net, dmg);
+  EXPECT_DOUBLE_EQ(damaged.link(ab).resource("lbw"), 10.0);
+  EXPECT_DOUBLE_EQ(damaged.node(b).resource("cpu"), 0.0);
+
+  // Degradation never *grows* a capacity: a delta above the current value
+  // keeps the current value.
+  repair::Damage grow;
+  grow.degraded_links.push_back({ab, "lbw", old_lbw + 1000.0});
+  grow.degraded_nodes.push_back({b, "cpu", old_cpu + 1000.0});
+  net::Network same = repair::damaged_copy(inst->net, grow);
+  EXPECT_DOUBLE_EQ(same.link(ab).resource("lbw"), old_lbw);
+  EXPECT_DOUBLE_EQ(same.node(b).resource("cpu"), old_cpu);
+}
+
+TEST(Repair, DegradedLinkBelowResidualEvictsLikeFailure) {
+  Pipeline p = solve_diamond();
+  ASSERT_TRUE(p.result.ok()) << p.result.failure;
+  const LinkId wan = used_wan_link(p);
+  ASSERT_TRUE(wan.valid());
+
+  // Shrinking the crossed link below the survivors' residual draw must
+  // trigger the contract-violation fixpoint: the overdrawn crossing is
+  // evicted exactly as if the link had failed outright.
+  repair::Damage degraded;
+  degraded.degraded_links.push_back({wan, "lbw", 1.0});
+  repair::Survivors via_degrade =
+      repair::compute_survivors(p.cp, *p.result.plan, p.report.choices, degraded);
+
+  repair::Damage failed;
+  failed.failed_links.push_back(wan);
+  repair::Survivors via_failure =
+      repair::compute_survivors(p.cp, *p.result.plan, p.report.choices, failed);
+
+  EXPECT_EQ(via_degrade.placements, via_failure.placements);
+  EXPECT_EQ(via_degrade.subplan.size(), via_failure.subplan.size());
+
+  // A degradation that still fits the residual draw evicts nothing beyond
+  // the goal component.
+  repair::Damage roomy;
+  roomy.degraded_links.push_back({wan, "lbw", 1e6});
+  repair::Survivors untouched =
+      repair::compute_survivors(p.cp, *p.result.plan, p.report.choices, roomy);
+  EXPECT_GT(untouched.placements.size(), via_degrade.placements.size());
+}
+
 TEST(Repair, ReconnectCheaperThanMigrate) {
   Pipeline p = solve_diamond();
   ASSERT_TRUE(p.result.ok());

@@ -209,6 +209,145 @@ TEST(RenderResponse, GoldenSolvedRecordWithOptionalKeys) {
   EXPECT_EQ(sekitei::service::response_to_json(r), expect);
 }
 
+TEST(ParseRequest, RepairOpParsesThePayload) {
+  wire::WireRequest req;
+  std::string err;
+  const std::string body =
+      "{\"op\":\"repair\",\"id\":\"d1\",\"problem\":\"p\",\"echo_plan\":true,"
+      "\"prior_plan\":[3,1,4],\"choices\":[0.5,1],"
+      "\"damage\":{\"failed_nodes\":[\"n1\"],\"failed_links\":[[\"a\",\"b\"]],"
+      "\"degraded_nodes\":[{\"node\":\"n2\",\"resource\":\"cpu\",\"capacity\":1}],"
+      "\"degraded_links\":[{\"a\":\"x\",\"b\":\"y\",\"resource\":\"lbw\",\"capacity\":40}]},"
+      "\"migration_penalty\":2.5,\"reconnect_factor\":0.1,\"migrate_factor\":0.4}";
+  ASSERT_TRUE(wire::parse_request(body, req, err)) << err;
+  EXPECT_EQ(req.op, wire::WireRequest::Op::Plan);
+  EXPECT_TRUE(req.repair);
+  EXPECT_TRUE(req.echo_plan);
+  EXPECT_EQ(req.prior_plan, (std::vector<std::uint32_t>{3, 1, 4}));
+  EXPECT_EQ(req.choices, (std::vector<double>{0.5, 1.0}));
+  ASSERT_EQ(req.damage.failed_nodes.size(), 1u);
+  EXPECT_EQ(req.damage.failed_nodes[0], "n1");
+  ASSERT_EQ(req.damage.failed_links.size(), 1u);
+  EXPECT_EQ(req.damage.failed_links[0].first, "a");
+  EXPECT_EQ(req.damage.failed_links[0].second, "b");
+  ASSERT_EQ(req.damage.degraded_nodes.size(), 1u);
+  EXPECT_EQ(req.damage.degraded_nodes[0].node, "n2");
+  EXPECT_EQ(req.damage.degraded_nodes[0].resource, "cpu");
+  EXPECT_DOUBLE_EQ(req.damage.degraded_nodes[0].capacity, 1.0);
+  ASSERT_EQ(req.damage.degraded_links.size(), 1u);
+  EXPECT_EQ(req.damage.degraded_links[0].a, "x");
+  EXPECT_EQ(req.damage.degraded_links[0].b, "y");
+  EXPECT_DOUBLE_EQ(req.damage.degraded_links[0].capacity, 40.0);
+  EXPECT_DOUBLE_EQ(req.migration_penalty, 2.5);
+  EXPECT_DOUBLE_EQ(req.reconnect_factor, 0.1);
+  EXPECT_DOUBLE_EQ(req.migrate_factor, 0.4);
+}
+
+TEST(ParseRequest, RepairPayloadErrors) {
+  wire::WireRequest req;
+  std::string err;
+  EXPECT_FALSE(wire::parse_request(
+      "{\"op\":\"repair\",\"problem\":\"p\",\"prior_plan\":[-1]}", req, err));
+  EXPECT_NE(err.find("action indices"), std::string::npos);
+  EXPECT_FALSE(wire::parse_request(
+      "{\"op\":\"repair\",\"problem\":\"p\",\"choices\":[\"x\"]}", req, err));
+  EXPECT_NE(err.find("array of numbers"), std::string::npos);
+  EXPECT_FALSE(
+      wire::parse_request("{\"op\":\"repair\",\"problem\":\"p\",\"damage\":3}", req, err));
+  EXPECT_NE(err.find("\"damage\" must be an object"), std::string::npos);
+  EXPECT_FALSE(wire::parse_request(
+      "{\"op\":\"repair\",\"problem\":\"p\",\"damage\":{\"failed_links\":[[\"a\"]]}}", req,
+      err));
+  EXPECT_NE(err.find("endpoint-name pairs"), std::string::npos);
+  EXPECT_FALSE(wire::parse_request(
+      "{\"op\":\"repair\",\"problem\":\"p\",\"damage\":{\"degraded_nodes\":[{\"node\":\"\","
+      "\"resource\":\"cpu\"}]}}",
+      req, err));
+  EXPECT_NE(err.find("degraded_nodes"), std::string::npos);
+  EXPECT_FALSE(wire::parse_request("{\"op\":\"heal\",\"problem\":\"p\"}", req, err));
+  EXPECT_NE(err.find("expected plan, repair, healthz, or stats"), std::string::npos);
+}
+
+TEST(RenderRequest, RepairRoundTripsThroughParse) {
+  wire::WireRequest out;
+  out.id = "d2";
+  out.problem_text = "network {}";
+  out.repair = true;
+  out.echo_plan = true;
+  out.prior_plan = {0, 5, 2};
+  out.choices = {31.5};
+  out.damage.failed_nodes = {"n3"};
+  out.damage.failed_links = {{"n0", "n1"}};
+  out.damage.degraded_nodes.push_back({"n2", "cpu", 1.5});
+  out.damage.degraded_links.push_back({"n2", "n3", "lbw", 40.0});
+  out.migration_penalty = 3.0;
+  out.reconnect_factor = 0.25;
+  out.migrate_factor = 0.5;
+
+  wire::WireRequest back;
+  std::string err;
+  ASSERT_TRUE(wire::parse_request(wire::render_request(out), back, err)) << err;
+  EXPECT_TRUE(back.repair);
+  EXPECT_TRUE(back.echo_plan);
+  EXPECT_EQ(back.prior_plan, out.prior_plan);
+  EXPECT_EQ(back.choices, out.choices);
+  EXPECT_EQ(back.damage.failed_nodes, out.damage.failed_nodes);
+  EXPECT_EQ(back.damage.failed_links, out.damage.failed_links);
+  ASSERT_EQ(back.damage.degraded_nodes.size(), 1u);
+  EXPECT_EQ(back.damage.degraded_nodes[0].node, "n2");
+  EXPECT_DOUBLE_EQ(back.damage.degraded_nodes[0].capacity, 1.5);
+  ASSERT_EQ(back.damage.degraded_links.size(), 1u);
+  EXPECT_EQ(back.damage.degraded_links[0].b, "n3");
+  EXPECT_DOUBLE_EQ(back.migration_penalty, 3.0);
+  EXPECT_DOUBLE_EQ(back.reconnect_factor, 0.25);
+  EXPECT_DOUBLE_EQ(back.migrate_factor, 0.5);
+}
+
+TEST(RenderRequest, PlainPlanRenderingUnchangedUnlessEchoRequested) {
+  wire::WireRequest r;
+  r.id = "p1";
+  r.problem_text = "p";
+  // The pre-repair rendering, byte for byte: no echo_plan, no repair keys.
+  EXPECT_EQ(wire::render_request(r),
+            "{\"op\":\"plan\",\"id\":\"p1\",\"problem\":\"p\",\"deadline_ms\":0.000,"
+            "\"mode\":\"leveled\",\"validate\":true,\"preflight\":false,"
+            "\"degrade\":true}");
+  r.echo_plan = true;
+  EXPECT_EQ(wire::render_request(r),
+            "{\"op\":\"plan\",\"id\":\"p1\",\"problem\":\"p\",\"deadline_ms\":0.000,"
+            "\"mode\":\"leveled\",\"validate\":true,\"preflight\":false,"
+            "\"degrade\":true,\"echo_plan\":true}");
+}
+
+// Repair responses extend the golden record with the repaired/migrations/
+// reconnects/disruption/repair_cost block and the echoed plan; plain
+// responses above stay byte-identical.
+TEST(RenderResponse, GoldenRepairRecordWithEchoedPlan) {
+  PlanResponse r;
+  r.id = "drift-1";
+  r.outcome = Outcome::Degraded;
+  r.ladder = sekitei::service::LadderStep::FullReplan;
+  r.plan.emplace();
+  r.plan->cost_lb = 12.5;
+  r.repair_requested = true;
+  r.repaired = false;
+  r.migrations = 1;
+  r.reconnects = 2;
+  r.disruption = 3;
+  r.repair_cost = 20.25;
+  r.plan_steps = {4, 7};
+  r.choices = {0.5};
+  const std::string expect =
+      "{\"request\":\"drift-1\",\"outcome\":\"degraded\",\"ladder\":\"full_replan\","
+      "\"cache_hit\":false,\"fingerprint\":\"0000000000000000\",\"plan_actions\":0,"
+      "\"cost_lb\":12.500,\"repaired\":false,\"migrations\":1,\"reconnects\":2,"
+      "\"disruption\":3,\"repair_cost\":20.250,\"plan_steps\":[4,7],"
+      "\"choices\":[0.500],\"wait_ms\":0.000,\"compile_ms\":0.000,"
+      "\"solve_ms\":0.000,\"stats\":" +
+      sekitei::core::stats_to_json(r.stats) + "}";
+  EXPECT_EQ(sekitei::service::response_to_json(r), expect);
+}
+
 TEST(MakeRejected, CarriesIdAndFailure) {
   const PlanResponse r = wire::make_rejected("x", "draining");
   EXPECT_EQ(r.id, "x");

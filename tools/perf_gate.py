@@ -17,6 +17,8 @@ Gated metrics (lower_is_better marked "<"):
     throughput.warm_rps      >  req/s of the warm-cache ablation row
     netload.rps              >  req/s sustained through the daemon's wire
                                 path (sekitei_load record, max across runs)
+    driftload.speedup        >  full-replan p50 over incremental-repair p50
+                                on the drift bench (bench_drift record)
 
 A metric missing from the input is skipped (so the gate can run on a
 table2-only stream); a metric missing from the baseline fails unless
@@ -41,7 +43,7 @@ SCHEMA_MAJOR = 1  # mirrors benchjson::kSchemaVersion
 def collect(paths):
     """Extract the gated metrics from bench NDJSON files."""
     table2_search, table2_total = [], []
-    best_rps, warm_rps, netload_rps = None, None, None
+    best_rps, warm_rps, netload_rps, drift_speedup = None, None, None, None
     for path in paths:
         with open(path, encoding="utf-8") as fh:
             for line in fh:
@@ -71,6 +73,10 @@ def collect(paths):
                     rps = float(rec.get("rps", 0.0))
                     netload_rps = (rps if netload_rps is None
                                    else max(netload_rps, rps))
+                elif name == "driftload":
+                    sp = float(rec.get("speedup", 0.0))
+                    drift_speedup = (sp if drift_speedup is None
+                                     else max(drift_speedup, sp))
 
     current = {}
     if table2_search:
@@ -88,6 +94,9 @@ def collect(paths):
     if netload_rps is not None:
         current["netload.rps"] = {
             "value": round(netload_rps, 3), "lower_is_better": False}
+    if drift_speedup is not None:
+        current["driftload.speedup"] = {
+            "value": round(drift_speedup, 3), "lower_is_better": False}
     return current
 
 

@@ -29,6 +29,12 @@
 // --flight-dir DIR  dump a search flight recording (NDJSON ring of RG
 //                 progress samples) to DIR/<id>.flight.ndjson for every
 //                 non-solved request
+// --drift         drift-stream mode: solve each problem, mutate the solved
+//                 instance with a seeded damage delta (repair::seeded_drift),
+//                 resubmit the damaged instance as a repair request, and
+//                 stream both records (the repair's id gets a "/repair"
+//                 suffix).  --drift-seed varies the damage; --migration-
+//                 penalty prices each migrated component into repair_cost.
 //
 // Fault injection: SEKITEI_FAULTS=<point>:<nth>[:throw|:fail][,...] arms
 // deterministic faults before any request is submitted (support/fault.hpp).
@@ -47,6 +53,8 @@
 #include <thread>
 #include <vector>
 
+#include "model/compile.hpp"
+#include "repair/repair.hpp"
 #include "service/engine.hpp"
 #include "service/wire.hpp"
 #include "support/error.hpp"
@@ -81,7 +89,8 @@ int main(int argc, char** argv) {
                  "          [--repeat K] [--greedy] [--no-validate] [--no-degrade]\n"
                  "          [--cache-capacity N] [--max-pending N] [--retries N]\n"
                  "          [--retry-base-ms D] [--preflight] [--log <level>]\n"
-                 "          [--metrics] [--metrics-every-ms D] [--flight-dir DIR]\n",
+                 "          [--metrics] [--metrics-every-ms D] [--flight-dir DIR]\n"
+                 "          [--drift] [--drift-seed N] [--migration-penalty P]\n",
                  argv[0]);
     return 2;
   }
@@ -102,6 +111,9 @@ int main(int argc, char** argv) {
   bool greedy = false, validate = true, degrade = true;
   bool metrics_final = false;
   double metrics_every_ms = 0.0;
+  bool drift = false;
+  std::uint64_t drift_seed = 0xD21F7;
+  double migration_penalty = 0.0;
   std::vector<const char*> files;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
@@ -136,6 +148,13 @@ int main(int argc, char** argv) {
       metrics_final = true;
     } else if (std::strcmp(argv[i], "--flight-dir") == 0 && i + 1 < argc) {
       engine_opts.flight_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--drift") == 0) {
+      drift = true;
+    } else if (std::strcmp(argv[i], "--drift-seed") == 0 && i + 1 < argc) {
+      drift_seed = std::strtoull(argv[++i], nullptr, 10);
+      drift = true;
+    } else if (std::strcmp(argv[i], "--migration-penalty") == 0 && i + 1 < argc) {
+      migration_penalty = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
       const char* name = argv[++i];
 #ifndef SEKITEI_LOG_DISABLED
@@ -197,6 +216,56 @@ int main(int argc, char** argv) {
       req.degrade.enabled = degrade;
       return req;
     };
+
+    if (drift) {
+      // Drift stream: solve -> seeded damage -> repair, sequentially per
+      // instance (the pair only makes sense in order), two records each.
+      int worst = 0;
+      std::size_t base_solved = 0, pairs = 0, repaired = 0;
+      for (std::size_t k = 0; k < repeat; ++k) {
+        for (std::size_t f = 0; f < files.size(); ++f) {
+          service::PlanRequest req = make_request(f, k);
+          req.echo_plan = true;
+          service::PlanResponse base = engine.plan(std::move(req));
+          std::string line = service::wire::render_response_line(base);
+          std::fwrite(line.data(), 1, line.size(), stdout);
+          int code = service::outcome_exit_code(base.outcome);
+          if (code > worst) worst = code;
+          if (!base.ok() || !base.plan) continue;
+          ++base_solved;
+          const model::LoadedProblem& lp = *problems[f];
+          const model::CompiledProblem cp = model::compile(lp.problem, lp.scenario);
+          service::PlanRequest rreq = make_request(f, k);
+          rreq.id += "/repair";
+          service::RepairSpec spec;
+          spec.prior_plan = *base.plan;
+          spec.choices = base.choices;
+          spec.damage =
+              repair::seeded_drift(cp, *base.plan, drift_seed + k * files.size() + f);
+          spec.migration_penalty = migration_penalty;
+          rreq.repair = std::move(spec);
+          service::PlanResponse rep = engine.plan(std::move(rreq));
+          line = service::wire::render_response_line(rep);
+          std::fwrite(line.data(), 1, line.size(), stdout);
+          code = service::outcome_exit_code(rep.outcome);
+          if (code > worst) worst = code;
+          ++pairs;
+          if (rep.repaired) ++repaired;
+        }
+      }
+      if (flusher) {
+        flusher->stop();
+      } else if (metrics_final) {
+        const std::string snap = metrics::registry().to_ndjson(metrics::wall_ms());
+        std::fwrite(snap.data(), 1, snap.size(), stdout);
+      }
+      std::fflush(stdout);
+      std::fprintf(stderr,
+                   "sekitei_serve: drift stream %zu pairs (%zu repaired in place) "
+                   "from %zu solved bases in %.1f ms\n",
+                   pairs, repaired, base_solved, wall.elapsed_ms());
+      return worst;
+    }
 
     struct Submitted {
       service::PlanningEngine::Ticket ticket;

@@ -18,7 +18,12 @@
 //              state of record)
 //   "bench"    bench record -> per-name count; netload / netload_direct
 //              records additionally surface their headline numbers (rps,
-//              percentiles, losses) and the wire/direct rps ratio
+//              percentiles, losses) and the wire/direct rps ratio, and
+//              driftload records surface the repaired-vs-replanned latency
+//              comparison
+//              (repair request records — those with a "repaired" key — also
+//              get their own digest: latency split by repaired/replanned,
+//              migration/reconnect/disruption tallies)
 //   "flight"   flight-recorder dump header -> listed individually
 // Anything else (stats records, flight samples) is counted and skipped.
 // Malformed lines are tolerated and tallied to stderr; --strict makes them
@@ -54,6 +59,11 @@ struct Tally {
   std::map<std::string, std::size_t> ladders;
   std::size_t cache_hits = 0;
   std::vector<double> solve_ms, wait_ms;
+  struct Repair {
+    std::size_t records = 0, repaired = 0;
+    std::uint64_t migrations = 0, reconnects = 0, disruption = 0;
+    std::vector<double> repaired_ms, replanned_ms;  // solve_ms split by path
+  } repair;
   std::map<std::string, SeriesValue> series;  // rendered "name{labels}" -> last value
   std::map<std::string, std::size_t> benches;
   struct Access {
@@ -68,6 +78,11 @@ struct Tally {
     double rps = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0;
     std::uint64_t lost = 0, requests = 0;
   } netload, netload_direct;  // last record of each wins
+  struct DriftLoad {
+    bool seen = false;
+    double repair_p50 = 0.0, replan_p50 = 0.0, speedup = 0.0;
+    std::uint64_t pairs = 0, repaired = 0, disruption = 0, lost = 0;
+  } driftload;  // last record wins
   struct Flight {
     std::string id, outcome;
     std::uint64_t samples = 0, recorded = 0;
@@ -130,8 +145,23 @@ void take_line(Tally& t, const std::string& line) {
     ++t.ladders[str_or(v, "ladder", "?")];
     const Value* hit = v.find("cache_hit");
     if (hit != nullptr && hit->is_bool() && hit->boolean) ++t.cache_hits;
-    t.solve_ms.push_back(num_or(v, "solve_ms", 0.0));
+    const double solve = num_or(v, "solve_ms", 0.0);
+    t.solve_ms.push_back(solve);
     t.wait_ms.push_back(num_or(v, "wait_ms", 0.0));
+    // Repair records carry a "repaired" flag; split their latency by whether
+    // the survivors held or the ladder fell to a full replan.
+    if (const Value* rep = v.find("repaired"); rep != nullptr && rep->is_bool()) {
+      ++t.repair.records;
+      if (rep->boolean) {
+        ++t.repair.repaired;
+        t.repair.repaired_ms.push_back(solve);
+      } else {
+        t.repair.replanned_ms.push_back(solve);
+      }
+      t.repair.migrations += static_cast<std::uint64_t>(num_or(v, "migrations", 0.0));
+      t.repair.reconnects += static_cast<std::uint64_t>(num_or(v, "reconnects", 0.0));
+      t.repair.disruption += static_cast<std::uint64_t>(num_or(v, "disruption", 0.0));
+    }
     return;
   }
   if (const Value* name = v.find("metric"); name != nullptr) {
@@ -164,6 +194,17 @@ void take_line(Tally& t, const std::string& line) {
       nl.p99 = num_or(v, "p99_ms", 0.0);
       nl.lost = static_cast<std::uint64_t>(num_or(v, "lost", 0.0));
       nl.requests = static_cast<std::uint64_t>(num_or(v, "requests", 0.0));
+    }
+    if (name == "driftload") {
+      Tally::DriftLoad& dl = t.driftload;
+      dl.seen = true;
+      dl.repair_p50 = num_or(v, "repair_p50_ms", 0.0);
+      dl.replan_p50 = num_or(v, "replan_p50_ms", 0.0);
+      dl.speedup = num_or(v, "speedup", 0.0);
+      dl.pairs = static_cast<std::uint64_t>(num_or(v, "pairs", 0.0));
+      dl.repaired = static_cast<std::uint64_t>(num_or(v, "repaired", 0.0));
+      dl.disruption = static_cast<std::uint64_t>(num_or(v, "disruption", 0.0));
+      dl.lost = static_cast<std::uint64_t>(num_or(v, "lost", 0.0));
     }
     return;
   }
@@ -213,6 +254,16 @@ void report(const Tally& t) {
     print_latency_row("solve_ms", t.solve_ms);
     print_latency_row("wait_ms", t.wait_ms);
   }
+  if (t.repair.records != 0) {
+    std::printf("== repairs (%zu of the requests) ==\n", t.repair.records);
+    std::printf("  repaired in place %zu, fell to full replan %zu\n", t.repair.repaired,
+                t.repair.records - t.repair.repaired);
+    std::printf("  churn: %" PRIu64 " migrations, %" PRIu64 " reconnects, %" PRIu64
+                " disruption\n",
+                t.repair.migrations, t.repair.reconnects, t.repair.disruption);
+    print_latency_row("repaired", t.repair.repaired_ms);
+    print_latency_row("replanned", t.repair.replanned_ms);
+  }
   if (t.access.records != 0) {
     std::printf("== daemon access log (%zu requests, %zu sessions) ==\n",
                 t.access.records, t.access.per_session.size());
@@ -240,6 +291,15 @@ void report(const Tally& t) {
         std::printf("  wire/direct ratio %.3f\n", t.netload.rps / t.netload_direct.rps);
       }
     }
+  }
+  if (t.driftload.seen) {
+    std::printf("== driftload ==\n");
+    std::printf("  %" PRIu64 " pairs (%" PRIu64 " repaired in place, %" PRIu64
+                " disruption, %" PRIu64 " lost)\n",
+                t.driftload.pairs, t.driftload.repaired, t.driftload.disruption,
+                t.driftload.lost);
+    std::printf("  repair p50 %9.3f ms vs replan p50 %9.3f ms (speedup %.2fx)\n",
+                t.driftload.repair_p50, t.driftload.replan_p50, t.driftload.speedup);
   }
   if (!t.series.empty()) {
     std::printf("== metrics (last of %zu snapshot%s, %zu series) ==\n", t.snapshots_seen,
