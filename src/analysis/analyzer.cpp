@@ -7,6 +7,7 @@
 
 #include "analysis/hygiene.hpp"
 #include "analysis/reachability.hpp"
+#include "analysis/symmetry.hpp"
 #include "model/problem.hpp"
 #include "net/network.hpp"
 
@@ -297,6 +298,12 @@ AnalysisReport analyze(const model::CompiledProblem& cp, const AnalysisOptions& 
 
   if (options.reachability) stage1_reachability(cp, reach, options, report, emit);
   if (options.intervals) stage2_intervals(cp, reach, emit);
+  if (options.symmetry) {
+    run_symmetry_checks(cp, [&](Code code, std::string subject, std::string message,
+                                std::string source) {
+      emit(code, std::move(subject), std::move(message), std::move(source));
+    });
+  }
   if (options.hygiene) {
     run_hygiene_checks(cp, [&](Code code, std::string subject, std::string message,
                                std::string source) {

@@ -10,8 +10,11 @@
 //   2. intervals     capacity composition: components no node admits (SK101),
 //                    level cutpoints no producible value ever inhabits
 //                    (SK204), interfaces no link can carry (SK203).
-//   3. hygiene       spec smells (hygiene.hpp): SK102..SK108.
-//   4. dead code     interfaces that never become available (SK202) and
+//   3. symmetry      node structure (symmetry.hpp): strictly dominated nodes
+//                    (SK110), nodes leveling made unusable (SK111), and
+//                    verified symmetric node classes (SK301).
+//   4. hygiene       spec smells (hygiene.hpp): SK102..SK108.
+//   5. dead code     interfaces that never become available (SK202) and
 //                    ground actions that can never fire (SK201) — notes:
 //                    leveled grounding *expects* dead combinations.
 //
@@ -29,9 +32,10 @@
 namespace sekitei::analysis {
 
 struct AnalysisOptions {
-  bool reachability = true;  // stages 1 and 4
+  bool reachability = true;  // stages 1 and 5
   bool intervals = true;     // stage 2
-  bool hygiene = true;       // stage 3
+  bool symmetry = true;      // stage 3
+  bool hygiene = true;       // stage 4
   /// Promote warnings to errors (notes are unaffected).
   bool werror = false;
   /// Codes to drop entirely (not rendered, not counted in the exit code).

@@ -20,24 +20,47 @@ struct CodeInfo {
   const char* id;
   const char* name;
   Severity severity;
+  const char* description;
 };
 
 constexpr CodeInfo kCodes[kCodeCount] = {
-    {Code::GoalUnreachable, "SK001", "goal-unreachable", Severity::Error},
-    {Code::GoalUnplaceable, "SK002", "goal-unplaceable", Severity::Error},
-    {Code::NeverPlaceableComponent, "SK101", "never-placeable-component", Severity::Warning},
-    {Code::NonMonotoneFormula, "SK102", "non-monotone-formula", Severity::Warning},
-    {Code::TagMismatch, "SK103", "tag-mismatch", Severity::Warning},
-    {Code::UnusedInterface, "SK104", "unused-interface", Severity::Warning},
-    {Code::UnusedProperty, "SK105", "unused-property", Severity::Warning},
-    {Code::ShadowedComponent, "SK106", "shadowed-component", Severity::Warning},
-    {Code::DuplicateName, "SK107", "duplicate-name", Severity::Warning},
-    {Code::GoalPreplaced, "SK108", "goal-preplaced", Severity::Warning},
-    {Code::DeadAction, "SK201", "dead-action", Severity::Note},
-    {Code::UnreachableInterface, "SK202", "unreachable-interface", Severity::Note},
-    {Code::InterfaceCannotCross, "SK203", "interface-cannot-cross", Severity::Note},
-    {Code::UninhabitedLevel, "SK204", "uninhabited-level", Severity::Note},
-    {Code::AnalysisInconclusive, "SK205", "analysis-inconclusive", Severity::Note},
+    {Code::GoalUnreachable, "SK001", "goal-unreachable", Severity::Error,
+     "goal unreachable under interval-relaxed reachability — provably infeasible"},
+    {Code::GoalUnplaceable, "SK002", "goal-unplaceable", Severity::Error,
+     "no ground action can ever achieve the goal"},
+    {Code::NeverPlaceableComponent, "SK101", "never-placeable-component", Severity::Warning,
+     "no node admits any leveled placement of the component"},
+    {Code::NonMonotoneFormula, "SK102", "non-monotone-formula", Severity::Warning,
+     "formula violates the monotonicity premise"},
+    {Code::TagMismatch, "SK103", "tag-mismatch", Severity::Warning,
+     "declared degradable/upgradable tag contradicts the consumer conditions"},
+    {Code::UnusedInterface, "SK104", "unused-interface", Severity::Warning,
+     "no component requires or implements the interface"},
+    {Code::UnusedProperty, "SK105", "unused-property", Severity::Warning,
+     "property never referenced by any formula, level set, or stream"},
+    {Code::ShadowedComponent, "SK106", "shadowed-component", Severity::Warning,
+     "same requires/implements signature as another component"},
+    {Code::DuplicateName, "SK107", "duplicate-name", Severity::Warning,
+     "interface/component declared more than once"},
+    {Code::GoalPreplaced, "SK108", "goal-preplaced", Severity::Warning,
+     "the goal already holds in the initial state"},
+    {Code::DominatedNode, "SK110", "dominated-node", Severity::Warning,
+     "strictly dominated node: a twin with pointwise-greater capacities and links "
+     "serves every plan this node could"},
+    {Code::UnusableNode, "SK111", "unusable-node", Severity::Warning,
+     "no component's contracts admit any placement on the node"},
+    {Code::DeadAction, "SK201", "dead-action", Severity::Note,
+     "ground action that can never fire"},
+    {Code::UnreachableInterface, "SK202", "unreachable-interface", Severity::Note,
+     "interface nothing produces from the initial state"},
+    {Code::InterfaceCannotCross, "SK203", "interface-cannot-cross", Severity::Note,
+     "no level of the interface can cross any link"},
+    {Code::UninhabitedLevel, "SK204", "uninhabited-level", Severity::Note,
+     "level interval no producible value ever inhabits"},
+    {Code::AnalysisInconclusive, "SK205", "analysis-inconclusive", Severity::Note,
+     "widening did not converge; no claims made"},
+    {Code::SymmetricNodeClass, "SK301", "symmetric-node-class", Severity::Note,
+     "interchangeable nodes: search only needs one representative per class"},
 };
 
 const CodeInfo& info(Code c) {
@@ -51,6 +74,7 @@ const CodeInfo& info(Code c) {
 
 const char* code_id(Code c) { return info(c).id; }
 const char* code_name(Code c) { return info(c).name; }
+const char* code_description(Code c) { return info(c).description; }
 Severity default_severity(Code c) { return info(c).severity; }
 
 bool parse_code(const std::string& text, Code* out) {

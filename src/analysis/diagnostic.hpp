@@ -27,7 +27,8 @@ enum class Severity : unsigned char { Note, Warning, Error };
 
 /// Stable diagnostic codes.  Numbering groups by severity family:
 /// SK0xx provable infeasibility (errors), SK1xx spec hygiene (warnings),
-/// SK2xx informational findings (notes).
+/// SK2xx informational findings (notes), SK3xx structural notes from the
+/// symmetry/dominance analyzer.
 enum class Code : unsigned char {
   GoalUnreachable,          // SK001
   GoalUnplaceable,          // SK002
@@ -39,19 +40,24 @@ enum class Code : unsigned char {
   ShadowedComponent,        // SK106
   DuplicateName,            // SK107
   GoalPreplaced,            // SK108
+  DominatedNode,            // SK110
+  UnusableNode,             // SK111
   DeadAction,               // SK201
   UnreachableInterface,     // SK202
   InterfaceCannotCross,     // SK203
   UninhabitedLevel,         // SK204
   AnalysisInconclusive,     // SK205
+  SymmetricNodeClass,       // SK301
 };
 
-inline constexpr std::size_t kCodeCount = 15;
+inline constexpr std::size_t kCodeCount = 18;
 
 /// "SK001", "SK101", ...
 [[nodiscard]] const char* code_id(Code c);
 /// "goal-unreachable", "dead-action", ...
 [[nodiscard]] const char* code_name(Code c);
+/// One-sentence rule description (SARIF `shortDescription`, renderers).
+[[nodiscard]] const char* code_description(Code c);
 [[nodiscard]] Severity default_severity(Code c);
 
 /// Parses either form ("SK104" or "unused-interface"); false when unknown.

@@ -1,0 +1,68 @@
+#include "analysis/sarif.hpp"
+
+#include <cstddef>
+
+#include "support/json.hpp"
+
+namespace sekitei::analysis {
+
+namespace {
+
+const char* sarif_level(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "note";
+}
+
+}  // namespace
+
+std::string render_sarif(
+    const std::vector<std::pair<std::string, AnalysisReport>>& files) {
+  std::string out;
+  out.reserve(4096);
+  out +=
+      "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+      "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+      "\"name\":\"sekitei_lint\",\"rules\":[";
+  for (std::size_t i = 0; i < kCodeCount; ++i) {
+    const Code c = static_cast<Code>(i);
+    if (i > 0) out.push_back(',');
+    out += "{\"id\":";
+    json::append_escaped(out, code_id(c));
+    out += ",\"name\":";
+    json::append_escaped(out, code_name(c));
+    out += ",\"shortDescription\":{\"text\":";
+    json::append_escaped(out, code_description(c));
+    out += "},\"defaultConfiguration\":{\"level\":";
+    json::append_escaped(out, sarif_level(default_severity(c)));
+    out += "}}";
+  }
+  out += "]}},\"results\":[";
+  bool first = true;
+  for (const auto& [uri, report] : files) {
+    for (const Diagnostic& d : report.diagnostics) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += "{\"ruleId\":";
+      json::append_escaped(out, code_id(d.code));
+      out += ",\"ruleIndex\":";
+      json::append_number(out, static_cast<std::uint64_t>(d.code));
+      out += ",\"level\":";
+      json::append_escaped(out, sarif_level(d.severity));
+      out += ",\"message\":{\"text\":";
+      std::string text = d.subject + ": " + d.message;
+      if (!d.source.empty()) text += " (at: " + d.source + ")";
+      json::append_escaped(out, text);
+      out += "},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":";
+      json::append_escaped(out, uri);
+      out += "}}}]}";
+    }
+  }
+  out += "]}]}\n";
+  return out;
+}
+
+}  // namespace sekitei::analysis

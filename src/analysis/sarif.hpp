@@ -1,0 +1,24 @@
+// SARIF 2.1.0 rendering of analyzer reports (sekitei_lint --format sarif).
+//
+// One document covers a whole lint invocation: the tool.driver block carries
+// a reportingDescriptor for every stable SK code (id, kebab-case name, short
+// description, default severity), and each finding becomes a result pointing
+// at the instance file it was raised for.  The output is deliberately
+// minimal-but-valid so CI code-scanning uploads and SARIF viewers accept it
+// without post-processing.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+
+namespace sekitei::analysis {
+
+/// Renders `files` — (artifact uri, its report) pairs in lint order — as one
+/// SARIF 2.1.0 document with a trailing newline.
+[[nodiscard]] std::string render_sarif(
+    const std::vector<std::pair<std::string, AnalysisReport>>& files);
+
+}  // namespace sekitei::analysis

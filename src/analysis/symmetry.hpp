@@ -1,0 +1,73 @@
+// Node symmetry & dominance analysis over a compiled problem.
+//
+// The paper's evaluation networks (star hubs, GT-ITM transit-stub) are full
+// of interchangeable nodes: identical resource vectors, identical placement
+// rules, link-for-link identical neighborhoods.  The planner is provably
+// blind to which twin it picks (the fuzzer's node-permutation-invariance
+// oracle), yet the RG/SLRG searches expand every twin as a distinct branch.
+// This pass computes the facts that let search and tooling exploit that:
+//
+//   * **Equivalence classes** — partition refinement (color refinement) over
+//     (resource vector, per-component placeability, pinnedness) seeded colors,
+//     refined by link-class-aware neighborhood signatures to a fixpoint.
+//     Color refinement only over-approximates the orbit partition, so every
+//     candidate class is then *verified*: each member must be the image of
+//     the class representative under a transposition automorphism of the
+//     instance (node swap fixing everything else).  Verified classes are
+//     sound to prune on; transitivity holds by conjugation of transpositions.
+//   * **Dominance order** — node A dominates B when B is unpinned, every
+//     component placeable on B is placeable on A, A's capacities are
+//     pointwise >= B's, A reaches a superset of B's neighbors, and each
+//     shared incident link's resource hull is pointwise >= B's.  Strict
+//     dominance (A dominates B but not vice versa) means no optimal plan
+//     needs B; it is reported (SK110), never silently pruned.
+//   * **Unusable nodes** — a node the placement rules admit components on,
+//     but where leveling-time pruning killed every ground Place action
+//     (SK111): capacity too low for any level combination.
+//
+// attach_symmetry() publishes the verified partition onto the
+// CompiledProblem (plain data; see model/compile.hpp) so the core searches —
+// which sit *below* this library in the layering — can read it without
+// linking analysis.  An unattached problem behaves exactly as before.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/hygiene.hpp"  // Emit
+#include "model/compile.hpp"
+
+namespace sekitei::analysis {
+
+struct SymmetryAnalysis {
+  /// node_class[n] = class id of node index n; ids ascend with the class
+  /// representative's node index, members are ascending node indices.
+  std::vector<std::uint32_t> node_class;
+  std::vector<std::vector<std::uint32_t>> class_members;
+  /// Classes with >= 2 members (the ones worth reporting / pruning on).
+  std::uint32_t symmetric_classes = 0;
+
+  /// Pinned nodes (initial streams, preplaced components, goals) are always
+  /// singletons and never flagged dominated/unusable.
+  std::vector<char> pinned;
+
+  struct Dominated {
+    std::uint32_t node = 0;  // the strictly dominated node
+    std::uint32_t by = 0;    // its smallest-index strict dominator
+  };
+  std::vector<Dominated> dominated;      // ascending by .node
+  std::vector<std::uint32_t> unusable;   // ascending node indices
+};
+
+[[nodiscard]] SymmetryAnalysis analyze_symmetry(const model::CompiledProblem& cp);
+
+/// Computes the verified partition and publishes it on `cp` (node_class,
+/// node_class_members, symmetric_class_count).  Idempotent; recomputes from
+/// scratch each call.
+void attach_symmetry(model::CompiledProblem& cp);
+
+/// Analyzer stage: emits SK110 (strictly dominated), SK111 (unusable) and
+/// SK301 (symmetric class) findings through the battery's emitter.
+void run_symmetry_checks(const model::CompiledProblem& cp, const Emit& emit);
+
+}  // namespace sekitei::analysis

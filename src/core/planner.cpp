@@ -29,7 +29,10 @@ PlanResult Sekitei::plan(const std::function<bool(const Plan&)>& validate) {
 
   // Phase 2 oracle; constructed up front so that every exit path below can
   // report the same stats snapshot through `finish`.
-  Slrg slrg(cp_, plrg, cost, {options_.max_slrg_sets}, options_.stop);
+  SlrgLimits slrg_limits;
+  slrg_limits.max_sets = options_.max_slrg_sets;
+  slrg_limits.symmetry_pruning = options_.symmetry_pruning;
+  Slrg slrg(cp_, plrg, cost, slrg_limits, options_.stop);
 
   // Single exit point: whatever path ends the plan() call, the stats carry
   // the same complete snapshot (graph sizes, memo counters, limit flags).
@@ -43,6 +46,7 @@ PlanResult Sekitei::plan(const std::function<bool(const Plan&)>& validate) {
     result.stats.slrg_sets = slrg.set_count();
     result.stats.slrg_memo_hits = slrg.memo_hits();
     result.stats.slrg_memo_misses = slrg.memo_misses();
+    result.stats.pruned_placements += slrg.symmetry_pruned();
     result.stats.hit_search_limit = result.stats.hit_search_limit || slrg.hit_limit();
     result.failure = std::move(failure);
     SEKITEI_METRIC(metrics::registry()
@@ -108,6 +112,7 @@ PlanResult Sekitei::plan(const std::function<bool(const Plan&)>& validate) {
   Rg::Options rg_opts;
   rg_opts.max_expansions = options_.max_rg_expansions;
   rg_opts.forbid_repeated_actions = options_.forbid_repeated_actions;
+  rg_opts.symmetry_pruning = options_.symmetry_pruning;
   rg_opts.replay_mode = options_.mode == PlannerOptions::Mode::Greedy ? ReplayMode::WorstCase
                                                                       : ReplayMode::Optimistic;
   rg_opts.progress = options_.progress;

@@ -29,6 +29,12 @@ struct PlannerOptions {
   std::uint64_t max_rg_expansions = 1u << 21;
   std::uint64_t max_slrg_sets = 2u << 20;
   bool forbid_repeated_actions = true;
+  /// Canonical-representative pruning over the node symmetry partition the
+  /// analysis layer attaches to the compiled problem (RG and SLRG; see
+  /// Rg::Options::symmetry_pruning).  Plans and costs are unchanged — only
+  /// which of several interchangeable twins appears in them.  Ignored (a
+  /// no-op) when no partition is attached.
+  bool symmetry_pruning = true;
 
   /// Progress observer: invoked from inside the RG search every
   /// `progress_every` expansions with a live snapshot of the statistics so

@@ -152,6 +152,33 @@ std::optional<Plan> Rg::search(const std::vector<PropId>& goal_set, const Option
       // (e.g. produce more of a stream elsewhere), so fall through.
     }
 
+    // Symmetry pruning state: which nodes the tail-so-far already commits to
+    // (nodes of open propositions plus nodes touched by tail actions).  Any
+    // transposition of two *unused* interchangeable twins fixes this whole
+    // search node, so only the smallest unused twin needs to be introduced.
+    const bool sym = options.symmetry_pruning && cp_.symmetric_class_count > 0;
+    std::vector<char> used;
+    if (sym) {
+      used.assign(cp_.net->node_count(), 0);
+      for (PropId p : nd.state) used[cp_.props.key(p).node] = 1;
+      for (std::uint32_t w = cur.node; pool_[w].action.valid(); w = pool_[w].parent) {
+        const model::GroundAction& act = cp_.actions[pool_[w].action.index()];
+        if (act.node.valid()) used[act.node.index()] = 1;
+        if (act.node2.valid()) used[act.node2.index()] = 1;
+      }
+    }
+    // True when introducing fresh node `n` is non-canonical: some strictly
+    // smaller twin is also unused (and is not the action's other node — the
+    // swap must yield a distinct well-formed action).
+    auto sym_blocked = [&](NodeId n, NodeId other) {
+      if (!n.valid() || used[n.index()] != 0) return false;
+      for (const std::uint32_t m : cp_.node_class_members[cp_.node_class[n.index()]]) {
+        if (m >= n.index()) break;
+        if (used[m] == 0 && (!other.valid() || m != other.index())) return true;
+      }
+      return false;
+    };
+
     // Candidate actions: achievers of any unsatisfied proposition.
     std::vector<ActionId> cands;
     for (PropId p : nd.state) {
@@ -169,6 +196,13 @@ std::optional<Plan> Rg::search(const std::vector<PropId>& goal_set, const Option
       if (options.commutativity_pruning && pool_[cur.node].action.valid()) {
         const ActionId b = pool_[cur.node].action;
         if (a > b && independent(a, b)) continue;
+      }
+      if (sym) {
+        const model::GroundAction& act = cp_.actions[a.index()];
+        if (sym_blocked(act.node, act.node2) || sym_blocked(act.node2, act.node)) {
+          ++stats.pruned_placements;
+          continue;
+        }
       }
       if (options.forbid_repeated_actions) {
         bool seen = false;

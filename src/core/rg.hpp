@@ -41,6 +41,13 @@ class Rg {
     /// the replay outcome exactly), so completeness is kept while the
     /// factorial interleavings of parallel stream chains collapse.
     bool commutativity_pruning = true;
+    /// Symmetry (canonical-representative) pruning: when the compiled
+    /// problem carries a verified node partition (analysis::attach_symmetry),
+    /// a candidate that introduces a node unused by the tail-so-far is
+    /// skipped whenever a smaller-index interchangeable twin is also still
+    /// unused — the twin's branch is an automorphism image of this one at
+    /// identical cost.  No-op on problems without an attached partition.
+    bool symmetry_pruning = true;
     /// Replay semantics for both search-time tail replays and the final
     /// initial-state check.  WorstCase reproduces the greedy baseline.
     ReplayMode replay_mode = ReplayMode::Optimistic;

@@ -144,6 +144,25 @@ double Slrg::estimate(const std::vector<PropId>& set) {
       return total;
     }
 
+    // Symmetry pruning: with the canonical twin still unused by cur_props,
+    // the transposition swapping the two fixes cur_props and the initial
+    // state (pinned nodes are singletons), so the canonical branch achieves
+    // the same minimal logical cost — estimates stay exact.
+    const bool sym = limits_.symmetry_pruning && cp_.symmetric_class_count > 0;
+    std::vector<char> used;
+    if (sym) {
+      used.assign(cp_.net->node_count(), 0);
+      for (PropId p : cur_props) used[cp_.props.key(p).node] = 1;
+    }
+    auto sym_blocked = [&](NodeId n, NodeId other) {
+      if (!n.valid() || used[n.index()] != 0) return false;
+      for (const std::uint32_t m : cp_.node_class_members[cp_.node_class[n.index()]]) {
+        if (m >= n.index()) break;
+        if (used[m] == 0 && (!other.valid() || m != other.index())) return true;
+      }
+      return false;
+    };
+
     std::vector<ActionId> cands;
     for (PropId p : cur_props) {
       if (cp_.init_holds(p)) continue;
@@ -153,6 +172,13 @@ double Slrg::estimate(const std::vector<PropId>& set) {
       }
     }
     for (ActionId a : cands) {
+      if (sym) {
+        const model::GroundAction& act = cp_.actions[a.index()];
+        if (sym_blocked(act.node, act.node2) || sym_blocked(act.node2, act.node)) {
+          ++symmetry_pruned_;
+          continue;
+        }
+      }
       std::vector<PropId> nxt = regress_set(cp_, cur_props, a);
       if (nxt == cur_props) continue;
       const double g = cur.g + cost_fn_(a);

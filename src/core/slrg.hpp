@@ -39,6 +39,11 @@ struct SlrgLimits {
   /// weak caches that all later queries and the whole RG lean on, so it is
   /// worth a much deeper search.
   std::uint64_t max_sets_first_query = 256u << 10;
+  /// Canonical-representative pruning over the compiled problem's attached
+  /// node partition (see Rg::Options::symmetry_pruning).  Estimates stay
+  /// exact: a twin transposition fixes the queried set and the initial
+  /// state, so the canonical branch costs exactly the same.
+  bool symmetry_pruning = true;
 };
 
 class Slrg {
@@ -71,6 +76,9 @@ class Slrg {
   [[nodiscard]] std::uint64_t memo_hits() const { return memo_hits_; }
   [[nodiscard]] std::uint64_t memo_misses() const { return memo_misses_; }
 
+  /// Candidate regressions skipped by symmetry pruning across all queries.
+  [[nodiscard]] std::uint64_t symmetry_pruned() const { return symmetry_pruned_; }
+
  private:
   struct SetHash {
     std::size_t operator()(const std::vector<PropId>& v) const noexcept;
@@ -92,6 +100,7 @@ class Slrg {
   std::uint64_t generated_ = 0;
   std::uint64_t memo_hits_ = 0;
   std::uint64_t memo_misses_ = 0;
+  std::uint64_t symmetry_pruned_ = 0;
   bool first_query_ = true;
   bool hit_limit_ = false;
 };

@@ -40,6 +40,7 @@ std::string stats_to_json(const PlannerStats& stats) {
   dbl("time_total_ms", stats.time_total_ms());
   num("rg_expansions", stats.rg_expansions);
   num("rg_pruned_by_replay", stats.rg_pruned_by_replay);
+  num("pruned_placements", stats.pruned_placements);
   num("rg_peak_open", stats.rg_peak_open);
   num("slrg_memo_hits", stats.slrg_memo_hits);
   num("slrg_memo_misses", stats.slrg_memo_misses);

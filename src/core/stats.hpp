@@ -32,6 +32,9 @@ struct PlannerStats {
   // Extra diagnostics (not in the paper's table).
   std::uint64_t rg_expansions = 0;
   std::uint64_t rg_pruned_by_replay = 0;
+  /// Candidate actions skipped by symmetry pruning (RG + SLRG): introducing
+  /// a fresh node when a smaller-index interchangeable twin was still unused.
+  std::uint64_t pruned_placements = 0;
   std::uint64_t rg_peak_open = 0;
   std::uint64_t slrg_memo_hits = 0;    // estimate() served from exact/weak caches
   std::uint64_t slrg_memo_misses = 0;  // estimate() that ran an A* query

@@ -68,6 +68,19 @@ class CompiledProblem {
   std::uint64_t combos_considered = 0;
   std::uint64_t combos_pruned = 0;
 
+  /// Node symmetry partition, filled by analysis::attach_symmetry() (the
+  /// compiler itself never computes it — layering keeps core below analysis).
+  /// Empty `node_class` means "not attached": search treats every node as a
+  /// singleton and behaves exactly as before the partition existed.
+  /// When attached: node_class[n] is n's class index, node_class_members[c]
+  /// lists the class's node indices in ascending order, and
+  /// symmetric_class_count counts classes with >= 2 members.  Membership is
+  /// verified (every member is an automorphism image of its representative),
+  /// so pruning on it is sound, not just color-refinement-plausible.
+  std::vector<std::uint32_t> node_class;
+  std::vector<std::vector<std::uint32_t>> node_class_members;
+  std::uint32_t symmetric_class_count = 0;
+
   [[nodiscard]] const std::vector<ActionId>& achievers_of(PropId p) const;
   [[nodiscard]] bool init_holds(PropId p) const;
 

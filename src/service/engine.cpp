@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/symmetry.hpp"
 #include "model/fingerprint.hpp"
 #include "service/flight_recorder.hpp"
 #include "sim/executor.hpp"
@@ -100,6 +101,10 @@ PlanningEngine::PlanningEngine(Options options)
   pending_ = &reg.gauge("service.pending", eng);
   queue_depth_ = &reg.gauge("service.queue_depth", eng);
   preflight_rejections_ = &reg.counter("service.preflight.rejections", eng);
+  repair_preflight_rejected_ = &reg.counter(
+      "service.repair_preflight", {{"engine", engine_label_}, {"outcome", "rejected"}});
+  repair_preflight_passed_ = &reg.counter(
+      "service.repair_preflight", {{"engine", engine_label_}, {"outcome", "passed"}});
   for (std::size_t i = 0; i < outcome_counters_.size(); ++i) {
     outcome_counters_[i] = &reg.counter(
         "service.requests",
@@ -275,12 +280,17 @@ PlanResponse PlanningEngine::process_inner(PlanRequest& request, double wait_ms)
     Stopwatch watch;
     made->source = request.problem;
     made->cp = model::compile(request.problem->problem, request.problem->scenario);
+    // Attach the node symmetry partition before the entry is published to
+    // the cache (it is immutable — and shared across workers — afterwards);
+    // the searches prune interchangeable twins against it.
+    analysis::attach_symmetry(made->cp);
     made->compile_ms = watch.elapsed_ms();
     return made;
   });
   r.cache_hit = hit;
   if (!hit) r.compile_ms = entry->compile_ms;
   const model::CompiledProblem& cp = entry->cp;
+  r.symmetry_classes = cp.symmetric_class_count;
 
   if (request.repair) {
     process_repair(request, r, cp);
@@ -504,6 +514,41 @@ void PlanningEngine::process_repair(PlanRequest& request, PlanResponse& r,
     }
   }
 
+  // Repair pre-flight cut: before computing survivors or spending any search
+  // budget, test the goal's relaxed reachability on the *bare* damaged
+  // network — no survivors pinned, every capacity free.  That is the most
+  // permissive problem any ladder rung will ever solve, so "unreachable
+  // there" is a sound certificate that the drift is unsurvivable: answer
+  // Infeasible immediately instead of burning the deadline on the repair
+  // search and the full replan.  The bare compile is hoisted to function
+  // scope so the FullReplan rung below reuses it verbatim.
+  const net::Network bare = repair::damaged_copy(*cp.net, spec.damage, nullptr);
+  model::CppProblem fresh = *cp.problem;
+  fresh.network = &bare;
+  std::optional<model::CompiledProblem> bcp;
+  if (request.preflight || options_.preflight) {
+    if (SEKITEI_FAULT_POINT("repair.preflight")) {
+      raise("injected fault at repair.preflight");
+    }
+    const Stopwatch preflight_watch;
+    bcp.emplace(model::compile(fresh, cp.scenario));
+    analysis::attach_symmetry(*bcp);
+    const analysis::PreflightVerdict verdict = analysis::preflight(*bcp);
+    r.repair_preflight_ran = true;
+    r.repair_preflight_ms = preflight_watch.elapsed_ms();
+    if (verdict.infeasible) {
+      r.repair_preflight_rejected = true;
+      SEKITEI_METRIC(repair_preflight_rejected_->add(1));
+      r.symmetry_classes = bcp->symmetric_class_count;
+      r.outcome = Outcome::Infeasible;
+      r.failure = "unsurvivable drift: " + std::string(verdict.code) + " " + verdict.reason;
+      SEKITEI_LOG_INFO("service.engine", "repair preflight rejected request",
+                       log::kv("id", r.id.c_str()), log::kv("code", verdict.code));
+      return;
+    }
+    SEKITEI_METRIC(repair_preflight_passed_->add(1));
+  }
+
   // Survivors of the prior deployment under the damage delta.  An empty
   // prior plan means "no survivors": the repair degenerates to a replan on
   // the damaged network (the load generator's replan yardstick).
@@ -527,6 +572,11 @@ void PlanningEngine::process_repair(PlanRequest& request, PlanResponse& r,
   const model::CppProblem rp = repair::repair_problem(*cp.problem, damaged, survivors);
   model::CompiledProblem rcp = model::compile(rp, cp.scenario);
   repair::apply_adaptation_costs(rcp, survivors, spec.costs);
+  // Discounted costs only vary at survivor nodes, which repair_problem()
+  // pre-places (pinned singletons in the partition), so twin pruning on the
+  // repair compile stays cost-exact.
+  analysis::attach_symmetry(rcp);
+  r.symmetry_classes = rcp.symmetric_class_count;
   r.compile_ms += compile_watch.elapsed_ms();
 
   bool preflight_skip = false;  // preflight proved the repair CPP infeasible
@@ -657,15 +707,17 @@ void PlanningEngine::process_repair(PlanRequest& request, PlanResponse& r,
   }
   trace::Span replan_span("service.full_replan", "service");
   Stopwatch fb;
-  const net::Network bare = repair::damaged_copy(*cp.net, spec.damage, nullptr);
-  model::CppProblem fresh = *cp.problem;
-  fresh.network = &bare;
-  const model::CompiledProblem fcp = model::compile(fresh, cp.scenario);
+  if (!bcp) {
+    bcp.emplace(model::compile(fresh, cp.scenario));
+    analysis::attach_symmetry(*bcp);
+  }
+  const model::CompiledProblem& fcp = *bcp;
   core::PlanResult replanned = attempt_on(fcp);
   r.fallback_ms = fb.elapsed_ms();
   r.solve_ms = watch.elapsed_ms();
   if (replanned.plan) {
     r.stats = replanned.stats;
+    r.symmetry_classes = fcp.symmetric_class_count;
     adopt_plan(replanned, fcp);
     r.outcome = Outcome::Degraded;
     r.ladder = LadderStep::FullReplan;

@@ -137,6 +137,10 @@ class PlanningEngine {
   metrics::Gauge* pending_ = nullptr;
   metrics::Gauge* queue_depth_ = nullptr;
   metrics::Counter* preflight_rejections_ = nullptr;
+  // Repair pre-flight cut tallies ("service.repair_preflight"{outcome=...}):
+  // drift requests proven unsurvivable before any repair search vs passed on.
+  metrics::Counter* repair_preflight_rejected_ = nullptr;
+  metrics::Counter* repair_preflight_passed_ = nullptr;
   std::array<metrics::Counter*, 6> outcome_counters_{};  // indexed by Outcome
   std::array<metrics::Counter*, 4> ladder_counters_{};   // indexed by LadderStep
   std::array<metrics::Counter*, 6> repair_counters_{};   // repair requests by Outcome

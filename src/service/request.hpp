@@ -197,6 +197,21 @@ struct PlanResponse {
   /// retries, e.g. sekitei_serve's jittered backoff).
   std::uint32_t attempts = 1;
 
+  /// Symmetric node classes (>= 2 interchangeable members) the analysis layer
+  /// attached to the compiled problem this answer planned against; 0 when the
+  /// instance has none.  Rendered on the wire only when non-zero.
+  std::uint32_t symmetry_classes = 0;
+
+  /// Repair pre-flight cut: before any repair search, the goal's relaxed
+  /// reachability is checked on the *bare* damaged network (no survivors
+  /// pinned).  Unreachable there means unreachable for the repair and the
+  /// full replan alike, so the request answers Infeasible with a sound
+  /// certificate instead of burning its whole budget.  Only meaningful on
+  /// repair requests with pre-flight enabled.
+  bool repair_preflight_ran = false;
+  bool repair_preflight_rejected = false;
+  double repair_preflight_ms = 0.0;
+
   /// Repair accounting (only meaningful when `repair_requested`; the wire
   /// rendering emits the block exactly then, keeping plain records stable).
   bool repair_requested = false;

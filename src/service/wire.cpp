@@ -466,6 +466,18 @@ std::string response_to_json(const PlanResponse& r) {
     out += ",\"cost_lb\":";
     json::append_number(out, r.plan->cost_lb);
   }
+  // Rendered only when non-zero / when the stage ran: existing plain-record
+  // consumers (and the byte-pinned wire goldens) see unchanged lines.
+  if (r.symmetry_classes > 0) {
+    out += ",\"symmetry_classes\":";
+    json::append_number(out, static_cast<std::uint64_t>(r.symmetry_classes));
+  }
+  if (r.repair_preflight_ran) {
+    out += ",\"repair_preflight_rejected\":";
+    out += r.repair_preflight_rejected ? "true" : "false";
+    out += ",\"repair_preflight_ms\":";
+    json::append_number(out, r.repair_preflight_ms);
+  }
   if (r.repair_requested) {
     out += ",\"repaired\":";
     out += r.repaired ? "true" : "false";

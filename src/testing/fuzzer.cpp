@@ -44,6 +44,7 @@ OracleConfig solo(OracleConfig cfg, const std::string& oracle) {
   cfg.refinement = oracle == "refinement";
   cfg.service = oracle == "service";
   cfg.drift = oracle == "drift";
+  cfg.symmetry = oracle == "symmetry";
   return cfg;
 }
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/symmetry.hpp"
 #include "core/planner.hpp"
 #include "model/compile.hpp"
 #include "model/textio.hpp"
@@ -95,7 +96,7 @@ const char* verdict_name(Verdict v) {
 bool parse_oracle_set(const std::string& csv, OracleConfig& cfg, std::string* error) {
   cfg.greedy = cfg.preflight = cfg.validator = false;
   cfg.permutation = cfg.widening = cfg.refinement = cfg.service = false;
-  cfg.drift = false;
+  cfg.drift = cfg.symmetry = false;
   std::size_t pos = 0;
   while (pos <= csv.size()) {
     std::size_t comma = csv.find(',', pos);
@@ -106,7 +107,7 @@ bool parse_oracle_set(const std::string& csv, OracleConfig& cfg, std::string* er
     if (name == "all") {
       cfg.greedy = cfg.preflight = cfg.validator = true;
       cfg.permutation = cfg.widening = cfg.refinement = cfg.service = true;
-      cfg.drift = true;
+      cfg.drift = cfg.symmetry = true;
     } else if (name == "greedy") {
       cfg.greedy = true;
     } else if (name == "preflight") {
@@ -123,6 +124,8 @@ bool parse_oracle_set(const std::string& csv, OracleConfig& cfg, std::string* er
       cfg.service = true;
     } else if (name == "drift") {
       cfg.drift = true;
+    } else if (name == "symmetry") {
+      cfg.symmetry = true;
     } else {
       if (error != nullptr) *error = "unknown oracle '" + name + "'";
       return false;
@@ -194,6 +197,45 @@ void check_differential(const std::string& domain, const std::string& problem,
         disagree("greedy", "optimal cost_lb " + fmt(report.optimal.cost_lb) +
                                " exceeds the greedy plan's realized cost " +
                                fmt(report.greedy.actual_cost));
+      }
+    }
+
+    if (cfg.symmetry && report.optimal.verdict != Verdict::Unknown &&
+        report.optimal.rg_expansions <= cfg.service_expansion_cap) {
+      // Symmetry oracle: attaching the verified node partition (twin pruning
+      // on in both RG and SLRG) must change neither the verdict nor the
+      // optimal cost, and the pruned plan must re-prove independently.  The
+      // base run compiled without attach_symmetry, so it is the unpruned
+      // side of the differential.
+      ++report.oracles_run;
+      const auto lp = model::load_problem(domain, problem);
+      model::CompiledProblem scp = model::compile(lp->problem, lp->scenario);
+      analysis::attach_symmetry(scp);
+      core::PlannerOptions opt;
+      opt.max_rg_expansions = cfg.max_rg_expansions;
+      opt.max_slrg_sets = cfg.max_slrg_sets;
+      core::Sekitei planner(scp, opt);
+      sim::Executor exec(scp);
+      const core::PlanResult pruned =
+          planner.plan([&](const core::Plan& p) { return exec.execute(p).feasible; });
+      const Verdict pv = pruned.ok() ? Verdict::Solved
+                         : (pruned.stats.hit_search_limit || pruned.stats.stopped)
+                             ? Verdict::Unknown
+                             : Verdict::Infeasible;
+      if (pv != Verdict::Unknown) {
+        if (pv != report.optimal.verdict) {
+          disagree("symmetry", std::string("verdict changed under symmetry pruning: ") +
+                                   verdict_name(report.optimal.verdict) + " vs " +
+                                   verdict_name(pv));
+        } else if (pv == Verdict::Solved) {
+          if (!close(pruned.plan->cost_lb, report.optimal.cost_lb)) {
+            disagree("symmetry", "optimal cost changed under symmetry pruning: " +
+                                     fmt(report.optimal.cost_lb) + " vs " +
+                                     fmt(pruned.plan->cost_lb));
+          } else if (const Validation v = validate_plan(scp, *pruned.plan); !v.ok) {
+            disagree("symmetry", "pruned plan failed independent re-validation: " + v.failure);
+          }
+        }
       }
     }
 

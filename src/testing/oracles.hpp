@@ -30,6 +30,11 @@
 //                tighten (raise) the optimal cost lower bound.
 //   service      the same instance through the planning service with 1
 //                worker and with N workers yields byte-identical plans.
+//   symmetry     planning with the verified node partition attached (twin
+//                pruning on, analysis/symmetry.hpp) yields the same verdict
+//                and the same optimal cost as the unpruned base run, and
+//                the pruned plan re-proves through the independent
+//                validator.
 //   drift        a seeded damage delta (repair::seeded_drift) applied to a
 //                solved instance and served back as a repair request yields
 //                a plan that re-proves through the independent validator on
@@ -73,6 +78,7 @@ struct OracleConfig {
   bool refinement = true;
   bool service = true;
   bool drift = true;
+  bool symmetry = true;
 
   // Deterministic search budgets; exhaustion classifies as Unknown.
   std::uint64_t max_rg_expansions = 60000;

@@ -183,6 +183,47 @@ TEST(DriftTest, RepairSurvivorsFaultAnswersRejected) {
   EXPECT_NE(r.failure.find("repair.survivors"), std::string::npos);
 }
 
+TEST(DriftTest, UnsurvivableDriftRejectedByPreflightWithoutSearch) {
+  PlanningEngine engine({.workers = 1});
+  const Solved s = solve_diamond(engine);
+  ASSERT_TRUE(s.base.ok()) << s.base.failure;
+
+  // Sever every link: the goal stream cannot reach the goal node on the bare
+  // damaged network, so no rung of the ladder — repair, anytime, greedy or
+  // full replan — could ever produce a plan.
+  repair::Damage dmg;
+  for (std::uint32_t l = 0; l < s.problem->net.link_count(); ++l) {
+    dmg.failed_links.push_back(LinkId(l));
+  }
+  PlanRequest req = repair_request(s, std::move(dmg));
+  req.preflight = true;
+  const PlanResponse r = engine.plan(std::move(req));
+
+  EXPECT_EQ(r.outcome, Outcome::Infeasible);
+  EXPECT_TRUE(r.repair_preflight_ran);
+  EXPECT_TRUE(r.repair_preflight_rejected);
+  // The certificate is produced by the static fixpoint, never by search.
+  EXPECT_EQ(r.stats.rg_expansions, 0u);
+  EXPECT_NE(r.failure.find("unsurvivable drift"), std::string::npos) << r.failure;
+}
+
+TEST(DriftTest, SurvivableDriftPassesPreflightAndStillRepairs) {
+  PlanningEngine engine({.workers = 1});
+  const Solved s = solve_diamond(engine);
+  ASSERT_TRUE(s.base.ok()) << s.base.failure;
+
+  repair::Damage dmg;
+  dmg.failed_links.push_back(used_wan_link(*s.problem, prior_from_echo(s.base)));
+  PlanRequest req = repair_request(s, std::move(dmg));
+  req.preflight = true;
+  const PlanResponse r = engine.plan(std::move(req));
+
+  ASSERT_EQ(r.outcome, Outcome::Solved) << r.failure;
+  EXPECT_TRUE(r.repair_preflight_ran);
+  EXPECT_FALSE(r.repair_preflight_rejected);
+  EXPECT_TRUE(r.repaired);
+}
+
 TEST(DriftTest, RepairMetricsCountOutcomesAndMigrations) {
   const auto total = [](const char* name) {
     std::uint64_t sum = 0;

@@ -61,7 +61,8 @@ TEST(StatsJson, GoldenString) {
             "\"slrg_sets\":301,\"rg_nodes\":154,\"rg_open_left\":102,"
             "\"time_graph_ms\":1.500,\"time_search_ms\":2.250,"
             "\"time_total_ms\":3.750,\"rg_expansions\":52,"
-            "\"rg_pruned_by_replay\":129,\"rg_peak_open\":103,"
+            "\"rg_pruned_by_replay\":129,\"pruned_placements\":0,"
+            "\"rg_peak_open\":103,"
             "\"slrg_memo_hits\":261,\"slrg_memo_misses\":9,"
             "\"replay_calls\":283,\"sim_rejections\":4,"
             "\"rg_incumbents\":0,\"incumbent_cost\":0.000,\"open_cost_lb\":0.000,"
@@ -79,7 +80,7 @@ TEST(StatsJson, RoundTripThroughParser) {
   std::string err;
   ASSERT_TRUE(sekitei::json::parse(core::stats_to_json(s), v, &err)) << err;
   ASSERT_TRUE(v.is_object());
-  EXPECT_EQ(v.obj->size(), 23u);
+  EXPECT_EQ(v.obj->size(), 24u);
   ASSERT_NE(v.find("total_actions"), nullptr);
   EXPECT_DOUBLE_EQ(v.find("total_actions")->number, 7.0);
   EXPECT_DOUBLE_EQ(v.find("rg_peak_open")->number, 12345.0);

@@ -1,0 +1,326 @@
+// Node symmetry & dominance analysis (analysis/symmetry.hpp): verified
+// equivalence classes on hand-built instances, the splits that placement
+// rules and pinning force, the strict-dominance order under degraded
+// capacities, and the end-to-end guarantee the tentpole rests on — planning
+// with canonical-representative pruning attached yields the same verdict and
+// the same optimal cost as the unpruned search.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/symmetry.hpp"
+#include "core/planner.hpp"
+#include "model/compile.hpp"
+#include "model/textio.hpp"
+
+#ifndef SEKITEI_TEST_DATA_DIR
+#error "SEKITEI_TEST_DATA_DIR must point at examples/data (set by CMake)"
+#endif
+
+namespace sekitei::analysis {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string data_file(const char* name) {
+  return std::string(SEKITEI_TEST_DATA_DIR) + "/" + name;
+}
+
+/// Producer/consumer pair: Server emits 100 units of M, Client needs 50.
+constexpr const char* kDomain = R"(
+interface M {
+  property ibw degradable;
+  cross {
+    M.ibw' := min(M.ibw, link.lbw);
+    link.lbw -= min(M.ibw, link.lbw);
+  }
+  cost 1;
+}
+component Server {
+  implements M;
+  effects { M.ibw := 100; }
+  cost 1;
+}
+component Client {
+  requires M;
+  conditions { M.ibw >= 50; }
+  cost 1;
+}
+)";
+
+/// Hub h plus three link-for-link identical leaves; the goal pins h, the
+/// leaves are interchangeable Server sites.
+constexpr const char* kStarProblem = R"(
+network {
+  node h { cpu 30; }
+  node l1 { cpu 30; }
+  node l2 { cpu 30; }
+  node l3 { cpu 30; }
+  link h l1 lan { lbw 150; delay 1; }
+  link h l2 lan { lbw 150; delay 1; }
+  link h l3 lan { lbw 150; delay 1; }
+}
+problem {
+  goal Client at h;
+}
+scenario {
+  levels M.ibw { 50 }
+}
+)";
+
+/// A compiled instance that keeps its LoadedProblem alive (the compiled
+/// problem borrows the network/domain/problem it was built from).
+struct Inst {
+  std::shared_ptr<const model::LoadedProblem> lp;
+  model::CompiledProblem cp;
+};
+
+Inst compile_text(const char* domain, const std::string& problem) {
+  auto lp = model::load_problem(domain, problem);
+  model::CompiledProblem cp = model::compile(lp->problem, lp->scenario);
+  return {std::move(lp), std::move(cp)};
+}
+
+/// The multi-member classes of an analysis, as sorted member-index vectors.
+std::vector<std::vector<std::uint32_t>> multi_classes(const SymmetryAnalysis& sa) {
+  std::vector<std::vector<std::uint32_t>> out;
+  for (const auto& members : sa.class_members) {
+    if (members.size() >= 2) out.push_back(members);
+  }
+  return out;
+}
+
+TEST(Symmetry, IdenticalStarLeavesFormOneClass) {
+  const auto inst = compile_text(kDomain, kStarProblem);
+  const model::CompiledProblem& cp = inst.cp;
+  const SymmetryAnalysis sa = analyze_symmetry(cp);
+  EXPECT_EQ(sa.symmetric_classes, 1u);
+  const auto classes = multi_classes(sa);
+  ASSERT_EQ(classes.size(), 1u);
+  const NodeId l1 = cp.net->find_node("l1");
+  const NodeId l2 = cp.net->find_node("l2");
+  const NodeId l3 = cp.net->find_node("l3");
+  EXPECT_EQ(classes[0],
+            (std::vector<std::uint32_t>{l1.index(), l2.index(), l3.index()}));
+  // The goal node is pinned: always a singleton, never dominated/unusable.
+  const NodeId h = cp.net->find_node("h");
+  EXPECT_TRUE(sa.pinned[h.index()]);
+  EXPECT_TRUE(sa.dominated.empty());
+  EXPECT_TRUE(sa.unusable.empty());
+}
+
+TEST(Symmetry, DiamondClassesAreAllSingletons) {
+  // The repair experiments' diamond is deliberately asymmetric (one short
+  // route, one two-WAN-hop backup): no two nodes are interchangeable.
+  const auto lp = model::load_problem(slurp(data_file("media.sk")),
+                                      slurp(data_file("diamond.sk")));
+  const auto cp = model::compile(lp->problem, lp->scenario);
+  const SymmetryAnalysis sa = analyze_symmetry(cp);
+  EXPECT_EQ(sa.symmetric_classes, 0u);
+  EXPECT_TRUE(multi_classes(sa).empty());
+}
+
+TEST(Symmetry, PreplacementPinsAndSplitsAClass) {
+  // Pre-placing the Server on l1 pins it: the class shrinks to {l2, l3}.
+  constexpr const char* kProblem = R"(
+network {
+  node h { cpu 30; }
+  node l1 { cpu 30; }
+  node l2 { cpu 30; }
+  node l3 { cpu 30; }
+  link h l1 lan { lbw 150; delay 1; }
+  link h l2 lan { lbw 150; delay 1; }
+  link h l3 lan { lbw 150; delay 1; }
+}
+problem {
+  preplaced Server at l1;
+  forbid Server;
+  goal Client at h;
+}
+scenario {
+  levels M.ibw { 50 }
+}
+)";
+  const auto inst = compile_text(kDomain, kProblem);
+  const model::CompiledProblem& cp = inst.cp;
+  const SymmetryAnalysis sa = analyze_symmetry(cp);
+  const NodeId l1 = cp.net->find_node("l1");
+  EXPECT_TRUE(sa.pinned[l1.index()]);
+  EXPECT_EQ(sa.symmetric_classes, 1u);
+  const auto classes = multi_classes(sa);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0], (std::vector<std::uint32_t>{
+                            cp.net->find_node("l2").index(),
+                            cp.net->find_node("l3").index()}));
+}
+
+TEST(Symmetry, PlacementRestrictionSplitsAClass) {
+  // Restricting the Server to l2 changes l2's placeability seed: the class
+  // splits into {l1, l3} (still mutual twins) plus the singleton l2.
+  constexpr const char* kProblem = R"(
+network {
+  node h { cpu 30; }
+  node l1 { cpu 30; }
+  node l2 { cpu 30; }
+  node l3 { cpu 30; }
+  link h l1 lan { lbw 150; delay 1; }
+  link h l2 lan { lbw 150; delay 1; }
+  link h l3 lan { lbw 150; delay 1; }
+}
+problem {
+  restrict Server to l2;
+  goal Client at h;
+}
+scenario {
+  levels M.ibw { 50 }
+}
+)";
+  const auto inst = compile_text(kDomain, kProblem);
+  const model::CompiledProblem& cp = inst.cp;
+  const SymmetryAnalysis sa = analyze_symmetry(cp);
+  EXPECT_EQ(sa.symmetric_classes, 1u);
+  const auto classes = multi_classes(sa);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0], (std::vector<std::uint32_t>{
+                            cp.net->find_node("l1").index(),
+                            cp.net->find_node("l3").index()}));
+}
+
+TEST(Symmetry, DegradedCapacityMakesANodeStrictlyDominated) {
+  // l3 is l1 with its cpu degraded: same links, same rules, strictly less
+  // capacity — dominated by the smallest-index twin, reported, not pruned.
+  constexpr const char* kProblem = R"(
+network {
+  node h { cpu 30; }
+  node l1 { cpu 30; }
+  node l2 { cpu 30; }
+  node l3 { cpu 10; }
+  link h l1 lan { lbw 150; delay 1; }
+  link h l2 lan { lbw 150; delay 1; }
+  link h l3 lan { lbw 150; delay 1; }
+}
+problem {
+  goal Client at h;
+}
+scenario {
+  levels M.ibw { 50 }
+}
+)";
+  const auto inst = compile_text(kDomain, kProblem);
+  const model::CompiledProblem& cp = inst.cp;
+  const SymmetryAnalysis sa = analyze_symmetry(cp);
+  const NodeId l1 = cp.net->find_node("l1");
+  const NodeId l3 = cp.net->find_node("l3");
+  ASSERT_EQ(sa.dominated.size(), 1u);
+  EXPECT_EQ(sa.dominated[0].node, l3.index());
+  EXPECT_EQ(sa.dominated[0].by, l1.index());
+  // The degraded twin leaves the class: only {l1, l2} remain interchangeable.
+  const auto classes = multi_classes(sa);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0], (std::vector<std::uint32_t>{
+                            l1.index(), cp.net->find_node("l2").index()}));
+}
+
+TEST(Symmetry, AnalyzerEmitsSymmetryAndDominanceFindings) {
+  constexpr const char* kProblem = R"(
+network {
+  node h { cpu 30; }
+  node l1 { cpu 30; }
+  node l2 { cpu 30; }
+  node l3 { cpu 10; }
+  link h l1 lan { lbw 150; delay 1; }
+  link h l2 lan { lbw 150; delay 1; }
+  link h l3 lan { lbw 150; delay 1; }
+}
+problem {
+  goal Client at h;
+}
+scenario {
+  levels M.ibw { 50 }
+}
+)";
+  const auto inst = compile_text(kDomain, kProblem);
+  const model::CompiledProblem& cp = inst.cp;
+  const AnalysisReport report = analyze(cp);
+  bool saw_dominated = false, saw_symmetric = false;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.code == Code::DominatedNode) {
+      saw_dominated = true;
+      EXPECT_NE(d.subject.find("l3"), std::string::npos) << d.subject;
+    }
+    if (d.code == Code::SymmetricNodeClass) {
+      saw_symmetric = true;
+      EXPECT_NE(d.subject.find("l1"), std::string::npos) << d.subject;
+      EXPECT_NE(d.subject.find("l2"), std::string::npos) << d.subject;
+    }
+  }
+  EXPECT_TRUE(saw_dominated);
+  EXPECT_TRUE(saw_symmetric);
+
+  // The stage toggle silences both.
+  AnalysisOptions off;
+  off.symmetry = false;
+  for (const Diagnostic& d : analyze(cp, off).diagnostics) {
+    EXPECT_NE(d.code, Code::DominatedNode);
+    EXPECT_NE(d.code, Code::SymmetricNodeClass);
+  }
+}
+
+TEST(Symmetry, PrunedSearchMatchesUnprunedOnSymmetricStar) {
+  // The guarantee the fuzzer's symmetry oracle re-checks on random
+  // instances, pinned here on the hand-built star: attaching the partition
+  // changes neither the verdict nor the optimal cost, and actually prunes.
+  const auto base = compile_text(kDomain, kStarProblem);
+  const core::PlanResult unpruned = core::Sekitei(base.cp).plan();
+  ASSERT_TRUE(unpruned.ok()) << unpruned.failure;
+  EXPECT_EQ(unpruned.stats.pruned_placements, 0u);
+
+  auto attached = compile_text(kDomain, kStarProblem);
+  attach_symmetry(attached.cp);
+  ASSERT_EQ(attached.cp.symmetric_class_count, 1u);
+  const core::PlanResult pruned = core::Sekitei(attached.cp).plan();
+  ASSERT_TRUE(pruned.ok()) << pruned.failure;
+  EXPECT_DOUBLE_EQ(pruned.plan->cost_lb, unpruned.plan->cost_lb);
+  EXPECT_GT(pruned.stats.pruned_placements, 0u);
+  EXPECT_LE(pruned.stats.rg_expansions, unpruned.stats.rg_expansions);
+
+  // The knob restores the legacy search even with the partition attached.
+  core::PlannerOptions off;
+  off.symmetry_pruning = false;
+  const core::PlanResult legacy = core::Sekitei(attached.cp, off).plan();
+  ASSERT_TRUE(legacy.ok()) << legacy.failure;
+  EXPECT_EQ(legacy.stats.pruned_placements, 0u);
+  EXPECT_DOUBLE_EQ(legacy.plan->cost_lb, unpruned.plan->cost_lb);
+}
+
+TEST(Symmetry, PrunedPlanIsByteIdenticalOnAsymmetricDiamond) {
+  // All-singleton partitions make pruning a provable no-op: the golden
+  // diamond plan must come back byte-for-byte identical with it attached.
+  const auto lp = model::load_problem(slurp(data_file("media.sk")),
+                                      slurp(data_file("diamond.sk")));
+  const auto base = model::compile(lp->problem, lp->scenario);
+  const core::PlanResult unpruned = core::Sekitei(base).plan();
+  ASSERT_TRUE(unpruned.ok()) << unpruned.failure;
+
+  auto attached = model::compile(lp->problem, lp->scenario);
+  attach_symmetry(attached);
+  EXPECT_EQ(attached.symmetric_class_count, 0u);
+  const core::PlanResult pruned = core::Sekitei(attached).plan();
+  ASSERT_TRUE(pruned.ok()) << pruned.failure;
+  EXPECT_EQ(pruned.stats.pruned_placements, 0u);
+  EXPECT_EQ(pruned.plan->str(attached), unpruned.plan->str(base));
+  EXPECT_DOUBLE_EQ(pruned.plan->cost_lb, unpruned.plan->cost_lb);
+}
+
+}  // namespace
+}  // namespace sekitei::analysis

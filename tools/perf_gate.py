@@ -19,6 +19,9 @@ Gated metrics (lower_is_better marked "<"):
                                 path (sekitei_load record, max across runs)
     driftload.speedup        >  full-replan p50 over incremental-repair p50
                                 on the drift bench (bench_drift record)
+    symmetry.speedup         >  unpruned p50 over twin-pruned p50 on the
+                                symmetric-star bench (bench_symmetry record,
+                                max across families)
 
 A metric missing from the input is skipped (so the gate can run on a
 table2-only stream); a metric missing from the baseline fails unless
@@ -44,6 +47,7 @@ def collect(paths):
     """Extract the gated metrics from bench NDJSON files."""
     table2_search, table2_total = [], []
     best_rps, warm_rps, netload_rps, drift_speedup = None, None, None, None
+    symmetry_speedup = None
     for path in paths:
         with open(path, encoding="utf-8") as fh:
             for line in fh:
@@ -77,6 +81,10 @@ def collect(paths):
                     sp = float(rec.get("speedup", 0.0))
                     drift_speedup = (sp if drift_speedup is None
                                      else max(drift_speedup, sp))
+                elif name == "symmetry":
+                    sp = float(rec.get("speedup", 0.0))
+                    symmetry_speedup = (sp if symmetry_speedup is None
+                                        else max(symmetry_speedup, sp))
 
     current = {}
     if table2_search:
@@ -97,6 +105,9 @@ def collect(paths):
     if drift_speedup is not None:
         current["driftload.speedup"] = {
             "value": round(drift_speedup, 3), "lower_is_better": False}
+    if symmetry_speedup is not None:
+        current["symmetry.speedup"] = {
+            "value": round(symmetry_speedup, 3), "lower_is_better": False}
     return current
 
 

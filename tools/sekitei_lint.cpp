@@ -4,9 +4,10 @@
 // compiled instance.
 //
 //   $ ./sekitei_lint <domain.sk> <problem.sk> [<problem2.sk> ...]
-//                    [--format text|ndjson] [--Werror]
+//                    [--format text|ndjson|sarif] [--Werror]
 //                    [--suppress CODE[,CODE...]] [--max-sweeps N]
-//                    [--no-reachability] [--no-intervals] [--no-hygiene]
+//                    [--no-reachability] [--no-intervals] [--no-symmetry]
+//                    [--no-hygiene]
 //
 // Exit codes:
 //   0  no error-severity findings in any instance
@@ -17,6 +18,8 @@
 // --suppress accepts either numeric ids ("SK104") or names
 // ("unused-interface").  --format ndjson prints one JSON object per finding
 // per line; with several problem files each object gains a "file" field.
+// --format sarif emits one SARIF 2.1.0 document covering every instance,
+// with rule metadata for all SK codes (analysis/sarif.hpp).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,6 +28,7 @@
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/sarif.hpp"
 #include "model/compile.hpp"
 #include "model/textio.hpp"
 #include "support/error.hpp"
@@ -44,9 +48,10 @@ bool slurp(const char* path, std::string* out) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <domain.sk> <problem.sk> [<problem2.sk> ...]\n"
-               "          [--format text|ndjson] [--Werror]\n"
+               "          [--format text|ndjson|sarif] [--Werror]\n"
                "          [--suppress CODE[,CODE...]] [--max-sweeps N]\n"
-               "          [--no-reachability] [--no-intervals] [--no-hygiene]\n",
+               "          [--no-reachability] [--no-intervals] [--no-symmetry]\n"
+               "          [--no-hygiene]\n",
                argv0);
   return 2;
 }
@@ -57,18 +62,21 @@ int main(int argc, char** argv) {
   using namespace sekitei;
   std::vector<const char*> problem_paths;
   const char* domain_path = nullptr;
-  bool ndjson = false;
+  enum class Format { Text, Ndjson, Sarif };
+  Format format = Format::Text;
   analysis::AnalysisOptions options;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
       const char* fmt = argv[++i];
       if (std::strcmp(fmt, "ndjson") == 0) {
-        ndjson = true;
+        format = Format::Ndjson;
       } else if (std::strcmp(fmt, "text") == 0) {
-        ndjson = false;
+        format = Format::Text;
+      } else if (std::strcmp(fmt, "sarif") == 0) {
+        format = Format::Sarif;
       } else {
-        std::fprintf(stderr, "error: unknown format '%s' (text|ndjson)\n", fmt);
+        std::fprintf(stderr, "error: unknown format '%s' (text|ndjson|sarif)\n", fmt);
         return 2;
       }
     } else if (std::strcmp(argv[i], "--Werror") == 0) {
@@ -98,6 +106,8 @@ int main(int argc, char** argv) {
       options.reachability = false;
     } else if (std::strcmp(argv[i], "--no-intervals") == 0) {
       options.intervals = false;
+    } else if (std::strcmp(argv[i], "--no-symmetry") == 0) {
+      options.symmetry = false;
     } else if (std::strcmp(argv[i], "--no-hygiene") == 0) {
       options.hygiene = false;
     } else if (argv[i][0] == '-') {
@@ -119,6 +129,9 @@ int main(int argc, char** argv) {
 
   const bool many = problem_paths.size() > 1;
   int exit_code = 0;
+  // --format sarif: reports are collected across instances and rendered as
+  // one document after the loop.
+  std::vector<std::pair<std::string, analysis::AnalysisReport>> sarif_files;
   for (const char* path : problem_paths) {
     std::string problem_text;
     if (!slurp(path, &problem_text)) {
@@ -128,8 +141,13 @@ int main(int argc, char** argv) {
     try {
       const auto lp = model::load_problem(domain_text, problem_text);
       const auto cp = model::compile(lp->problem, lp->scenario);
-      const analysis::AnalysisReport report = analysis::analyze(cp, options);
-      if (ndjson) {
+      analysis::AnalysisReport report = analysis::analyze(cp, options);
+      if (report.exit_code() > exit_code) exit_code = report.exit_code();
+      if (format == Format::Sarif) {
+        sarif_files.emplace_back(path, std::move(report));
+        continue;
+      }
+      if (format == Format::Ndjson) {
         for (const analysis::Diagnostic& d : report.diagnostics) {
           if (many) {
             std::string line = d.json();
@@ -146,11 +164,13 @@ int main(int argc, char** argv) {
         if (many) std::printf("== %s ==\n", path);
         std::fputs(report.render_text().c_str(), stdout);
       }
-      if (report.exit_code() > exit_code) exit_code = report.exit_code();
     } catch (const Error& e) {
       std::fprintf(stderr, "error: %s: %s\n", path, e.what());
       return 2;
     }
+  }
+  if (format == Format::Sarif) {
+    std::fputs(analysis::render_sarif(sarif_files).c_str(), stdout);
   }
   return exit_code;
 }

@@ -35,6 +35,10 @@
 //                 stream both records (the repair's id gets a "/repair"
 //                 suffix).  --drift-seed varies the damage; --migration-
 //                 penalty prices each migrated component into repair_cost.
+// --drift-unsurvivable  instead of a seeded delta, the damage fails EVERY
+//                 link: no repair can exist, so (with --preflight) each
+//                 repair record must come back infeasible with
+//                 "repair_preflight_rejected":true before any search runs.
 //
 // Fault injection: SEKITEI_FAULTS=<point>:<nth>[:throw|:fail][,...] arms
 // deterministic faults before any request is submitted (support/fault.hpp).
@@ -90,7 +94,8 @@ int main(int argc, char** argv) {
                  "          [--cache-capacity N] [--max-pending N] [--retries N]\n"
                  "          [--retry-base-ms D] [--preflight] [--log <level>]\n"
                  "          [--metrics] [--metrics-every-ms D] [--flight-dir DIR]\n"
-                 "          [--drift] [--drift-seed N] [--migration-penalty P]\n",
+                 "          [--drift] [--drift-seed N] [--drift-unsurvivable]\n"
+                 "          [--migration-penalty P]\n",
                  argv[0]);
     return 2;
   }
@@ -112,6 +117,7 @@ int main(int argc, char** argv) {
   bool metrics_final = false;
   double metrics_every_ms = 0.0;
   bool drift = false;
+  bool drift_unsurvivable = false;
   std::uint64_t drift_seed = 0xD21F7;
   double migration_penalty = 0.0;
   std::vector<const char*> files;
@@ -152,6 +158,9 @@ int main(int argc, char** argv) {
       drift = true;
     } else if (std::strcmp(argv[i], "--drift-seed") == 0 && i + 1 < argc) {
       drift_seed = std::strtoull(argv[++i], nullptr, 10);
+      drift = true;
+    } else if (std::strcmp(argv[i], "--drift-unsurvivable") == 0) {
+      drift_unsurvivable = true;
       drift = true;
     } else if (std::strcmp(argv[i], "--migration-penalty") == 0 && i + 1 < argc) {
       migration_penalty = std::strtod(argv[++i], nullptr);
@@ -240,8 +249,16 @@ int main(int argc, char** argv) {
           service::RepairSpec spec;
           spec.prior_plan = *base.plan;
           spec.choices = base.choices;
-          spec.damage =
-              repair::seeded_drift(cp, *base.plan, drift_seed + k * files.size() + f);
+          if (drift_unsurvivable) {
+            // Sever every link: the goal cannot be re-delivered anywhere, so
+            // the repair pre-flight (if enabled) must certify infeasibility.
+            for (std::uint32_t l = 0; l < cp.net->link_count(); ++l) {
+              spec.damage.failed_links.push_back(LinkId(l));
+            }
+          } else {
+            spec.damage =
+                repair::seeded_drift(cp, *base.plan, drift_seed + k * files.size() + f);
+          }
           spec.migration_penalty = migration_penalty;
           rreq.repair = std::move(spec);
           service::PlanResponse rep = engine.plan(std::move(rreq));

@@ -23,7 +23,9 @@
 //              comparison
 //              (repair request records — those with a "repaired" key — also
 //              get their own digest: latency split by repaired/replanned,
-//              migration/reconnect/disruption tallies)
+//              migration/reconnect/disruption tallies, and a row counting
+//              pre-flight-rejected requests — unsurvivable drift certified
+//              before any search ran)
 //   "flight"   flight-recorder dump header -> listed individually
 // Anything else (stats records, flight samples) is counted and skipped.
 // Malformed lines are tolerated and tallied to stderr; --strict makes them
@@ -61,6 +63,7 @@ struct Tally {
   std::vector<double> solve_ms, wait_ms;
   struct Repair {
     std::size_t records = 0, repaired = 0;
+    std::size_t preflight_rejected = 0;  // unsurvivable drift, cut before search
     std::uint64_t migrations = 0, reconnects = 0, disruption = 0;
     std::vector<double> repaired_ms, replanned_ms;  // solve_ms split by path
   } repair;
@@ -152,7 +155,13 @@ void take_line(Tally& t, const std::string& line) {
     // the survivors held or the ladder fell to a full replan.
     if (const Value* rep = v.find("repaired"); rep != nullptr && rep->is_bool()) {
       ++t.repair.records;
-      if (rep->boolean) {
+      // Pre-flight-rejected requests never entered search: they are neither
+      // "repaired in place" nor "replanned", so keep them out of both
+      // latency splits and count them on their own digest row.
+      const Value* cut = v.find("repair_preflight_rejected");
+      if (cut != nullptr && cut->is_bool() && cut->boolean) {
+        ++t.repair.preflight_rejected;
+      } else if (rep->boolean) {
         ++t.repair.repaired;
         t.repair.repaired_ms.push_back(solve);
       } else {
@@ -257,7 +266,11 @@ void report(const Tally& t) {
   if (t.repair.records != 0) {
     std::printf("== repairs (%zu of the requests) ==\n", t.repair.records);
     std::printf("  repaired in place %zu, fell to full replan %zu\n", t.repair.repaired,
-                t.repair.records - t.repair.repaired);
+                t.repair.records - t.repair.repaired - t.repair.preflight_rejected);
+    if (t.repair.preflight_rejected != 0) {
+      std::printf("  pre-flight rejected %zu (unsurvivable drift, no search run)\n",
+                  t.repair.preflight_rejected);
+    }
     std::printf("  churn: %" PRIu64 " migrations, %" PRIu64 " reconnects, %" PRIu64
                 " disruption\n",
                 t.repair.migrations, t.repair.reconnects, t.repair.disruption);
