@@ -3,6 +3,7 @@
 #include "core/plrg.hpp"
 #include "core/rg.hpp"
 #include "core/slrg.hpp"
+#include "cp/search.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/timer.hpp"
@@ -10,10 +11,95 @@
 
 namespace sekitei::core {
 
+namespace {
+
+/// Folds CP branch-and-bound statistics into the planner stats snapshot.
+/// Field mapping keeps the existing keys (and hence stats_to_json, the
+/// flight recorder and every bench record) unchanged: expansions = visited
+/// nodes, replay = propagation, peak open = peak DFS depth.
+void fold_cp_stats(const cp::Stats& st, PlannerStats& out) {
+  out.rg_expansions = st.branches;
+  out.rg_nodes = st.nodes;
+  out.rg_peak_open = st.peak_depth;
+  out.rg_pruned_by_replay = st.pruned_by_propagation;
+  out.pruned_placements = st.pruned_symmetry;
+  out.replay_calls = st.propagations;
+  out.sim_rejections = st.sim_rejections;
+  out.rg_incumbents = st.incumbents;
+  out.incumbent_cost = st.incumbent_cost;
+  out.logically_unreachable = st.logically_unreachable;
+  out.hit_search_limit = st.hit_node_limit;
+  out.stopped = st.stopped;
+  if (st.stopped || st.hit_node_limit) out.open_cost_lb = st.lower_bound;
+  out.time_graph_ms = st.bound_ms;
+  out.time_search_ms = st.search_ms;
+}
+
+PlanResult plan_cp(const model::CompiledProblem& cp, const PlannerOptions& options,
+                   const std::function<bool(const Plan&)>& validate) {
+  PlanResult result;
+  result.stats.total_actions = cp.actions.size();
+
+  cp::Options co;
+  co.symmetry_breaking = options.symmetry_pruning;
+  co.forbid_repeated_actions = options.forbid_repeated_actions;
+  co.max_nodes = options.max_rg_expansions;
+  co.progress_every = options.progress_every;
+  co.stop = options.stop;
+  co.anytime = options.anytime;
+  if (validate) {
+    co.validate = [&](std::span<const ActionId> steps, double cost) {
+      Plan candidate;
+      candidate.steps.assign(steps.begin(), steps.end());
+      candidate.cost_lb = cost;
+      return validate(candidate);
+    };
+  }
+  if (options.progress) {
+    co.progress = [&](const cp::Stats& st) {
+      PlannerStats snap = result.stats;
+      fold_cp_stats(st, snap);
+      options.progress(snap);
+    };
+  }
+
+  cp::Result r = cp::solve(cp, co);
+  fold_cp_stats(r.stats, result.stats);
+  if (r.ok()) {
+    Plan plan;
+    plan.steps = std::move(*r.steps);
+    plan.cost_lb = r.cost;
+    result.plan = std::move(plan);
+    result.stats.suboptimal_on_stop = !r.stats.proven;
+  }
+  result.failure = std::move(r.failure);
+
+  SEKITEI_METRIC(metrics::registry()
+                     .histogram("planner.graph_ms", {{"mode", "cp"}})
+                     .observe(result.stats.time_graph_ms));
+  if (!result.stats.logically_unreachable) {
+    SEKITEI_METRIC(metrics::registry()
+                       .histogram("planner.search_ms", {{"mode", "cp"}})
+                       .observe(result.stats.time_search_ms));
+  }
+  SEKITEI_LOG_INFO("core.planner", result.ok() ? "plan found" : "no plan", log::kv("mode", "cp"),
+                   log::kv("plan_actions", result.ok() ? result.plan->size() : 0),
+                   log::kv("rg_expansions", result.stats.rg_expansions),
+                   log::kv("graph_ms", result.stats.time_graph_ms),
+                   log::kv("search_ms", result.stats.time_search_ms));
+  return result;
+}
+
+}  // namespace
+
 Sekitei::Sekitei(const model::CompiledProblem& cp, PlannerOptions options)
     : cp_(cp), options_(options) {}
 
 PlanResult Sekitei::plan(const std::function<bool(const Plan&)>& validate) {
+  if (options_.mode == PlannerOptions::Mode::Cp) {
+    trace::Span plan_span("planner.plan");
+    return plan_cp(cp_, options_, validate);
+  }
   PlanResult result;
   result.stats.total_actions = cp_.actions.size();
   trace::Span plan_span("planner.plan");

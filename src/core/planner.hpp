@@ -23,9 +23,14 @@ struct PlannerOptions {
   enum class Mode {
     Leveled,  // the paper's contribution: cost-optimal leveled planning
     Greedy,   // original Sekitei: plan-length costs + worst-case reservation
+    Cp,       // in-house CP branch-and-bound backend (src/cp): same leveled
+              // model and cost metric, independent search — proves the same
+              // optimum as Leveled, with lex-leader symmetry breaking
   };
   Mode mode = Mode::Leveled;
 
+  /// Phase-3 work budget: A* expansions under Leveled/Greedy, visited
+  /// branch-and-bound nodes under Cp.
   std::uint64_t max_rg_expansions = 1u << 21;
   std::uint64_t max_slrg_sets = 2u << 20;
   bool forbid_repeated_actions = true;

@@ -1,0 +1,79 @@
+#include "cp/bound.hpp"
+
+#include <algorithm>
+
+namespace sekitei::cp {
+
+Bound::Bound(const model::CompiledProblem& cp) : cp_(cp) {
+  const std::size_t np = cp_.props.size();
+  const std::size_t na = cp_.actions.size();
+
+  prop_cost_.assign(np, kInf);
+  for (PropId p : cp_.init_props) prop_cost_[p.index()] = 0.0;
+
+  // Fixpoint sweeps: costs only decrease and every decrease traces back to a
+  // shorter support chain, so np + 1 sweeps always suffice.
+  std::vector<double> via(na, kInf);
+  for (std::size_t sweep = 0; sweep <= np; ++sweep) {
+    for (std::size_t a = 0; a < na; ++a) {
+      const model::GroundAction& act = cp_.actions[a];
+      double pre_max = 0.0;
+      for (PropId q : act.pre) {
+        const double c = prop_cost_[q.index()];
+        if (c == kInf) {
+          pre_max = kInf;
+          break;
+        }
+        pre_max = std::max(pre_max, c);
+      }
+      via[a] = pre_max == kInf ? kInf : pre_max + act.cost_lb;
+    }
+    bool changed = false;
+    for (std::size_t p = 0; p < np; ++p) {
+      if (prop_cost_[p] == 0.0) continue;
+      double best = prop_cost_[p];
+      for (ActionId a : cp_.achievers_of(PropId(static_cast<std::uint32_t>(p)))) {
+        best = std::min(best, via[a.index()]);
+      }
+      if (best < prop_cost_[p]) {
+        prop_cost_[p] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  std::uint32_t comp_count = 0;
+  for (const model::GroundAction& act : cp_.actions) {
+    if (act.kind == model::ActionKind::Place) {
+      comp_count = std::max(comp_count, act.spec_index + 1);
+    }
+  }
+  comp_min_place_.assign(comp_count, kInf);
+  for (const model::GroundAction& act : cp_.actions) {
+    if (act.kind != model::ActionKind::Place) continue;
+    comp_min_place_[act.spec_index] = std::min(comp_min_place_[act.spec_index], act.cost_lb);
+  }
+  comp_mark_.assign(comp_count, 0);
+}
+
+double Bound::estimate(const std::vector<PropId>& state) {
+  ++epoch_;
+  double hmax = 0.0;
+  double additive = 0.0;
+  for (PropId p : state) {
+    const double c = prop_cost_[p.index()];
+    if (c == kInf) return kInf;
+    hmax = std::max(hmax, c);
+    if (c == 0.0) continue;  // holds initially: nothing left to pay for it
+    const model::PropKey& key = cp_.props.key(p);
+    if (key.kind != model::PropKind::Placed) continue;
+    if (key.entity < comp_mark_.size() && comp_mark_[key.entity] != epoch_) {
+      comp_mark_[key.entity] = epoch_;
+      additive += comp_min_place_[key.entity];
+    }
+  }
+  return std::max(hmax, additive);
+}
+
+}  // namespace sekitei::cp

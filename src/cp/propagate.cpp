@@ -1,0 +1,129 @@
+#include "cp/propagate.hpp"
+
+#include <algorithm>
+
+namespace sekitei::cp {
+
+using model::GroundAction;
+using model::SlotRole;
+using spec::LevelTag;
+
+bool Propagator::propagate(std::span<const ActionId> steps, bool from_init) {
+  ++calls_;
+  failure_.clear();
+  store_.reset(cp_.vars.size());
+  if (from_init) {
+    for (const model::InitMapEntry& e : cp_.init_map) store_.set(e.var, e.value);
+  }
+  for (ActionId a : steps) {
+    if (!step(cp_.actions[a.index()])) return false;
+  }
+  return true;
+}
+
+bool Propagator::step(const GroundAction& act) {
+  const model::CompiledSemantics& sem = *act.sem;
+  const std::size_t n = act.slot_vars.size();
+
+  // 1. Merge the action's optimistic intervals into the store.  Degradable
+  //    inputs may shift down to the required level, upgradable ones up;
+  //    everything else intersects (identical to the leveled replay rules —
+  //    the two backends must agree on which tails are feasible).
+  for (std::size_t s = 0; s < n; ++s) {
+    const VarId var = act.slot_vars[s];
+    const Interval req = act.slot_opt[s];
+    if (!store_.has(var)) {
+      store_.set(var, req);
+      continue;
+    }
+    const Interval cur = store_.get(var);
+    Interval merged;
+    if (sem.roles[s] == SlotRole::Input && sem.tags[s] == LevelTag::Degradable) {
+      if (cur.hi < req.lo || (cur.hi == req.lo && cur.hi_open && req.lo > 0)) {
+        failure_ = "degradable input below required level";
+        return false;
+      }
+      merged.lo = req.lo;
+      detail::min_upper(cur, req, merged.hi, merged.hi_open);
+    } else if (sem.roles[s] == SlotRole::Input && sem.tags[s] == LevelTag::Upgradable) {
+      if (cur.lo > req.hi || (cur.lo == req.hi && req.hi_open)) {
+        failure_ = "upgradable input above required level";
+        return false;
+      }
+      merged = {std::max(cur.lo, req.lo), req.hi, req.hi_open};
+    } else {
+      merged = intersect(cur, req);
+    }
+    if (merged.is_empty()) {
+      failure_ = "optimistic interval intersection empty";
+      return false;
+    }
+    store_.set(var, merged);
+  }
+
+  // Slot view of the store.
+  if (scratch_.size() < n) scratch_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) scratch_[s] = store_.get(act.slot_vars[s]);
+  const std::span<Interval> slots(scratch_.data(), n);
+
+  // 2. Conditions: prune unsatisfiable assignments; narrow single-variable
+  //    sides (necessary-condition cuts, hence sound).
+  for (const expr::CompiledCondition& cond : sem.conditions) {
+    if (!cond.satisfiable(slots)) {
+      failure_ = "condition failed: " + cond.source;
+      return false;
+    }
+    const std::uint32_t ls = cond.lhs.single_var_slot();
+    const std::uint32_t rs = cond.rhs.single_var_slot();
+    if (ls == UINT32_MAX && rs == UINT32_MAX) continue;
+    const Interval lv = cond.lhs.eval_interval(slots);
+    const Interval rv = cond.rhs.eval_interval(slots);
+    auto narrow = [&](std::uint32_t slot, Interval bound) -> bool {
+      const Interval nv = intersect(slots[slot], bound);
+      if (nv.is_empty()) {
+        failure_ = "narrowing emptied interval: " + cond.source;
+        return false;
+      }
+      slots[slot] = nv;
+      store_.set(act.slot_vars[slot], nv);
+      return true;
+    };
+    switch (cond.op) {
+      case expr::CmpOp::Ge:
+      case expr::CmpOp::Gt:
+        if (ls != UINT32_MAX && !narrow(ls, {rv.lo, kInf})) return false;
+        if (rs != UINT32_MAX && !narrow(rs, {-kInf, lv.hi, lv.hi_open})) return false;
+        break;
+      case expr::CmpOp::Le:
+      case expr::CmpOp::Lt:
+        if (ls != UINT32_MAX && !narrow(ls, {-kInf, rv.hi, rv.hi_open})) return false;
+        if (rs != UINT32_MAX && !narrow(rs, {lv.lo, kInf})) return false;
+        break;
+      case expr::CmpOp::Eq:
+        if (ls != UINT32_MAX && !narrow(ls, rv)) return false;
+        if (rs != UINT32_MAX && !narrow(rs, lv)) return false;
+        break;
+      case expr::CmpOp::Ne:
+        break;  // no useful interval cut
+    }
+  }
+
+  // 3. Effects: sequential interval execution, then write-back; produced
+  //    outputs must stay inside their asserted level.
+  for (const expr::CompiledEffect& eff : sem.effects) {
+    eff.apply_interval(slots);
+    Interval v = slots[eff.target];
+    if (sem.roles[eff.target] == SlotRole::Output) {
+      v = intersect(v, act.slot_opt[eff.target]);
+      if (v.is_empty()) {
+        failure_ = "produced value misses asserted level: " + eff.source;
+        return false;
+      }
+      slots[eff.target] = v;
+    }
+    store_.set(act.slot_vars[eff.target], v);
+  }
+  return true;
+}
+
+}  // namespace sekitei::cp

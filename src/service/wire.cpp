@@ -307,10 +307,12 @@ bool parse_request(const std::string& body, WireRequest& out, std::string& error
   if (!take_string(v, "mode", mode, error)) return false;
   if (mode == "greedy") {
     out.mode = core::PlannerOptions::Mode::Greedy;
+  } else if (mode == "cp") {
+    out.mode = core::PlannerOptions::Mode::Cp;
   } else if (mode == "leveled") {
     out.mode = core::PlannerOptions::Mode::Leveled;
   } else {
-    error = "unknown mode \"" + mode + "\" (expected leveled or greedy)";
+    error = "unknown mode \"" + mode + "\" (expected leveled, greedy or cp)";
     return false;
   }
   if (!take_bool(v, "validate", out.validate, error)) return false;
@@ -345,7 +347,11 @@ std::string render_request(const WireRequest& r) {
   out += ",\"deadline_ms\":";
   json::append_number(out, r.deadline_ms);
   out += ",\"mode\":";
-  out += r.mode == core::PlannerOptions::Mode::Greedy ? "\"greedy\"" : "\"leveled\"";
+  switch (r.mode) {
+    case core::PlannerOptions::Mode::Greedy: out += "\"greedy\""; break;
+    case core::PlannerOptions::Mode::Cp: out += "\"cp\""; break;
+    case core::PlannerOptions::Mode::Leveled: out += "\"leveled\""; break;
+  }
   out += ",\"validate\":";
   out += r.validate ? "true" : "false";
   out += ",\"preflight\":";

@@ -1,5 +1,6 @@
 #include "testing/fuzzer.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -45,6 +46,40 @@ OracleConfig solo(OracleConfig cfg, const std::string& oracle) {
   cfg.service = oracle == "service";
   cfg.drift = oracle == "drift";
   cfg.symmetry = oracle == "symmetry";
+  cfg.cp = oracle == "cp";
+  return cfg;
+}
+
+/// The distinct oracle names of a failing report — the *backend set* that
+/// produced the disagreement.  Minimizer probes must re-run exactly this set
+/// (snapshotted once, like the armed faults): probing with only the first
+/// disagreeing oracle made repros found by the others vanish whenever
+/// shrinking shifted the failure between oracles of one report.
+std::vector<std::string> disagreeing_oracles(const OracleReport& report) {
+  std::vector<std::string> names;
+  for (const Disagreement& d : report.disagreements) {
+    if (std::find(names.begin(), names.end(), d.oracle) == names.end()) {
+      names.push_back(d.oracle);
+    }
+  }
+  return names;
+}
+
+OracleConfig solo_set(const OracleConfig& base, const std::vector<std::string>& oracles) {
+  OracleConfig cfg = solo(base, oracles.empty() ? "crash" : oracles.front());
+  for (std::size_t i = 1; i < oracles.size(); ++i) {
+    const OracleConfig one = solo(base, oracles[i]);
+    cfg.greedy |= one.greedy;
+    cfg.preflight |= one.preflight;
+    cfg.validator |= one.validator;
+    cfg.permutation |= one.permutation;
+    cfg.widening |= one.widening;
+    cfg.refinement |= one.refinement;
+    cfg.service |= one.service;
+    cfg.drift |= one.drift;
+    cfg.symmetry |= one.symmetry;
+    cfg.cp |= one.cp;
+  }
   return cfg;
 }
 
@@ -119,11 +154,17 @@ FuzzStats fuzz(const FuzzParams& params, const EmitLine& emit) {
 
       GenInstance small = inst;
       if (params.minimize_repros) {
-        const std::string target = report.disagreements.front().oracle;
-        const OracleConfig probe_cfg = solo(params.oracles, target);
+        // Snapshot the full disagreeing-oracle set; a probe still fails when
+        // *any* of them disagrees again on the candidate.
+        const std::vector<std::string> targets = disagreeing_oracles(report);
+        const OracleConfig probe_cfg = solo_set(params.oracles, targets);
         const StillFails still_fails = [&](const GenInstance& cand) {
           faults.rearm();
-          return has_disagreement(run_oracles(cand, probe_cfg), target);
+          const OracleReport probe = run_oracles(cand, probe_cfg);
+          for (const std::string& t : targets) {
+            if (has_disagreement(probe, t)) return true;
+          }
+          return false;
         };
         MinimizeResult mr = minimize(inst, still_fails, params.max_minimize_probes);
         small = std::move(mr.instance);

@@ -41,6 +41,11 @@
 //                an independently reconstructed repair problem, and whose
 //                migration-penalty-aware cost never exceeds a full replan
 //                paying the penalty for every prior placement.
+//   cp           the in-house CP branch-and-bound backend (src/cp, shares
+//                no search code with the RG) proves the same verdict, and on
+//                solved instances the same optimal cost, as the A* search —
+//                the only oracle that checks *optimality* rather than
+//                consistency.
 //
 // Search-limit exhaustion yields Verdict::Unknown; comparisons involving an
 // Unknown side are skipped, never reported (an oracle only speaks when both
@@ -79,6 +84,7 @@ struct OracleConfig {
   bool service = true;
   bool drift = true;
   bool symmetry = true;
+  bool cp = true;
 
   // Deterministic search budgets; exhaustion classifies as Unknown.
   std::uint64_t max_rg_expansions = 60000;
@@ -121,7 +127,8 @@ struct OracleReport {
 [[nodiscard]] OracleReport run_oracles(const GenInstance& inst, const OracleConfig& cfg = {});
 
 /// Replays a saved repro pair (raw .sk texts) through the differential
-/// subset of the battery — greedy, preflight, validator and service.  The
+/// subset of the battery — greedy, preflight, validator, symmetry, cp,
+/// service and drift.  The
 /// metamorphic oracles need the structured instance and are skipped here.
 /// Never throws (same "crash" conversion as run_oracles).
 [[nodiscard]] OracleReport replay_text(const std::string& domain_text,

@@ -113,6 +113,21 @@ TEST(ParseRequest, AllFieldsParsed) {
   EXPECT_FALSE(req.degrade);
 }
 
+TEST(ParseRequest, CpModeParsesAndRoundTrips) {
+  wire::WireRequest req;
+  std::string err;
+  ASSERT_TRUE(wire::parse_request("{\"problem\":\"p\",\"mode\":\"cp\"}", req, err))
+      << err;
+  EXPECT_EQ(req.mode, sekitei::core::PlannerOptions::Mode::Cp);
+
+  wire::WireRequest out;
+  out.problem_text = "p";
+  out.mode = sekitei::core::PlannerOptions::Mode::Cp;
+  wire::WireRequest back;
+  ASSERT_TRUE(wire::parse_request(wire::render_request(out), back, err)) << err;
+  EXPECT_EQ(back.mode, sekitei::core::PlannerOptions::Mode::Cp);
+}
+
 TEST(ParseRequest, IntrospectionOpsNeedNoProblem) {
   wire::WireRequest req;
   std::string err;

@@ -22,6 +22,10 @@ Gated metrics (lower_is_better marked "<"):
     symmetry.speedup         >  unpruned p50 over twin-pruned p50 on the
                                 symmetric-star bench (bench_symmetry record,
                                 max across families)
+    cp.speedup               >  CP-without-symmetry p50 over CP-with on the
+                                symmetric-star bench (bench_cp "star" record;
+                                the table2 comparison rows carry no speedup
+                                key and are not gated)
 
 A metric missing from the input is skipped (so the gate can run on a
 table2-only stream); a metric missing from the baseline fails unless
@@ -47,7 +51,7 @@ def collect(paths):
     """Extract the gated metrics from bench NDJSON files."""
     table2_search, table2_total = [], []
     best_rps, warm_rps, netload_rps, drift_speedup = None, None, None, None
-    symmetry_speedup = None
+    symmetry_speedup, cp_speedup = None, None
     for path in paths:
         with open(path, encoding="utf-8") as fh:
             for line in fh:
@@ -85,6 +89,10 @@ def collect(paths):
                     sp = float(rec.get("speedup", 0.0))
                     symmetry_speedup = (sp if symmetry_speedup is None
                                         else max(symmetry_speedup, sp))
+                elif name == "cp" and "speedup" in rec:
+                    sp = float(rec["speedup"])
+                    cp_speedup = (sp if cp_speedup is None
+                                  else max(cp_speedup, sp))
 
     current = {}
     if table2_search:
@@ -108,6 +116,9 @@ def collect(paths):
     if symmetry_speedup is not None:
         current["symmetry.speedup"] = {
             "value": round(symmetry_speedup, 3), "lower_is_better": False}
+    if cp_speedup is not None:
+        current["cp.speedup"] = {
+            "value": round(cp_speedup, 3), "lower_is_better": False}
     return current
 
 

@@ -16,7 +16,8 @@
 // --max-nodes       topology-size cap of the generator (default 8)
 // --feasible-bias   probability of generously sized capacities (default .65)
 // --oracles         comma list of greedy,preflight,validator,permutation,
-//                   widening,refinement,service — or "all" (default)
+//                   widening,refinement,service,drift,symmetry,cp — or
+//                   "all" (default)
 // --out-dir         where <stem>.domain.sk/.problem.sk repros land
 //                   (default fuzz-repros)
 // --no-minimize     write the unshrunk failing instance instead

@@ -3,7 +3,7 @@
 // and stream one NDJSON record per request to stdout.
 //
 //   $ ./sekitei_serve <domain.sk> <problem.sk>... [--jobs N] [--deadline-ms D]
-//                     [--repeat K] [--greedy] [--no-validate] [--no-degrade]
+//                     [--repeat K] [--mode leveled|greedy|cp] [--no-validate]
 //                     [--cache-capacity N] [--max-pending N] [--retries N]
 //                     [--retry-base-ms D] [--log <level>]
 //
@@ -90,7 +90,8 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: %s <domain.sk> <problem.sk>... [--jobs N] [--deadline-ms D]\n"
-                 "          [--repeat K] [--greedy] [--no-validate] [--no-degrade]\n"
+                 "          [--repeat K] [--mode leveled|greedy|cp] [--greedy]\n"
+                 "          [--no-validate] [--no-degrade]\n"
                  "          [--cache-capacity N] [--max-pending N] [--retries N]\n"
                  "          [--retry-base-ms D] [--preflight] [--log <level>]\n"
                  "          [--metrics] [--metrics-every-ms D] [--flight-dir DIR]\n"
@@ -113,7 +114,8 @@ int main(int argc, char** argv) {
   std::size_t repeat = 1;
   std::size_t retries = 3;
   double retry_base_ms = 5.0;
-  bool greedy = false, validate = true, degrade = true;
+  core::PlannerOptions::Mode mode = core::PlannerOptions::Mode::Leveled;
+  bool validate = true, degrade = true;
   bool metrics_final = false;
   double metrics_every_ms = 0.0;
   bool drift = false;
@@ -140,7 +142,19 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--retry-base-ms") == 0 && i + 1 < argc) {
       retry_base_ms = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--greedy") == 0) {
-      greedy = true;
+      mode = core::PlannerOptions::Mode::Greedy;
+    } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
+      const char* m = argv[++i];
+      if (std::strcmp(m, "leveled") == 0) {
+        mode = core::PlannerOptions::Mode::Leveled;
+      } else if (std::strcmp(m, "greedy") == 0) {
+        mode = core::PlannerOptions::Mode::Greedy;
+      } else if (std::strcmp(m, "cp") == 0) {
+        mode = core::PlannerOptions::Mode::Cp;
+      } else {
+        std::fprintf(stderr, "error: unknown --mode %s (expected leveled, greedy or cp)\n", m);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--no-validate") == 0) {
       validate = false;
     } else if (std::strcmp(argv[i], "--no-degrade") == 0) {
@@ -219,7 +233,7 @@ int main(int argc, char** argv) {
       req.id = repeat == 1 ? std::string(files[f])
                            : std::string(files[f]) + "#" + std::to_string(k);
       req.problem = problems[f];
-      if (greedy) req.mode = core::PlannerOptions::Mode::Greedy;
+      req.mode = mode;
       req.deadline_ms = deadline_ms;
       req.validate = validate;
       req.degrade.enabled = degrade;
